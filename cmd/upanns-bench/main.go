@@ -1,0 +1,85 @@
+// Command upanns-bench regenerates the paper's evaluation artifacts: every
+// table and figure of Section 5, at a configurable scaled-down size.
+//
+// Usage:
+//
+//	upanns-bench [flags] -exp all|table1|fig1|fig4|fig7|fig10|...|fig20|recall
+//
+// Examples:
+//
+//	upanns-bench -exp fig10                # one experiment at defaults
+//	upanns-bench -exp all -n 96000 -dpus 64
+//	upanns-bench -exp all -quick           # reduced grid for a fast pass
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id or 'all' (ids: "+strings.Join(bench.IDs(), ", ")+")")
+		quick   = flag.Bool("quick", false, "use the reduced quick grid")
+		n       = flag.Int("n", 0, "base vectors per dataset (0 = default)")
+		queries = flag.Int("queries", 0, "queries per batch (0 = default)")
+		dpus    = flag.Int("dpus", 0, "simulated DPUs (0 = default)")
+		k       = flag.Int("k", 0, "top-k (0 = default)")
+		seed    = flag.Uint64("seed", 0, "random seed (0 = default)")
+	)
+	flag.Parse()
+
+	o := bench.DefaultOptions()
+	if *quick {
+		o = bench.QuickOptions()
+	}
+	if *n > 0 {
+		o.N = *n
+	}
+	if *queries > 0 {
+		o.Queries = *queries
+	}
+	if *dpus > 0 {
+		o.DPUs = *dpus
+	}
+	if *k > 0 {
+		o.K = *k
+	}
+	if *seed > 0 {
+		o.Seed = *seed
+	}
+
+	ctx := bench.NewContext(o)
+	var selected []bench.Experiment
+	if *exp == "all" {
+		selected = bench.All()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			e, ok := bench.Find(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; available: all, %s\n",
+					id, strings.Join(bench.IDs(), ", "))
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	fmt.Printf("UpANNS benchmark harness: N=%d, queries=%d, DPUs=%d, IVF=%v, nprobe=%v, k=%d\n\n",
+		o.N, o.Queries, o.DPUs, o.IVFGrid, o.NProbeGrid, o.K)
+	for _, e := range selected {
+		start := time.Now()
+		rep, err := e.Run(ctx)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Print(rep.String())
+		fmt.Printf("(%s completed in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+	}
+}

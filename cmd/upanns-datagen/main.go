@@ -1,0 +1,80 @@
+// Command upanns-datagen generates the synthetic evaluation datasets in
+// the standard fvecs/ivecs formats, so they can be inspected, reused, or
+// swapped for the real SIFT1B/DEEP1B/SPACEV1B files.
+//
+// Usage:
+//
+//	upanns-datagen -dataset sift -n 100000 -queries 1000 -out /tmp/sift
+//
+// writes /tmp/sift.base.fvecs, /tmp/sift.query.fvecs and
+// /tmp/sift.groundtruth.ivecs (exact top-100 neighbors).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dataset"
+)
+
+func main() {
+	var (
+		name    = flag.String("dataset", "sift", "dataset family: sift, deep, spacev")
+		n       = flag.Int("n", 100000, "number of base vectors")
+		queries = flag.Int("queries", 1000, "number of query vectors")
+		gtK     = flag.Int("gt-k", 100, "ground-truth neighbors per query (0 = skip)")
+		out     = flag.String("out", "", "output path prefix (required)")
+		seed    = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "missing -out path prefix")
+		os.Exit(2)
+	}
+	var spec dataset.Spec
+	switch *name {
+	case "sift":
+		spec = dataset.SIFT1B
+	case "deep":
+		spec = dataset.DEEP1B
+	case "spacev":
+		spec = dataset.SPACEV1B
+	default:
+		fmt.Fprintf(os.Stderr, "unknown dataset %q (sift, deep, spacev)\n", *name)
+		os.Exit(2)
+	}
+
+	fmt.Printf("generating %s: %d base vectors (dim %d), %d queries\n", spec.Name, *n, spec.Dim, *queries)
+	ds := dataset.Generate(spec, *n, *seed)
+	q := ds.Queries(*queries, *seed+1)
+
+	write := func(path string, fn func(*os.File) error) {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := fn(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", path)
+	}
+	write(*out+".base.fvecs", func(f *os.File) error { return dataset.WriteFvecs(f, ds.Vectors) })
+	write(*out+".query.fvecs", func(f *os.File) error { return dataset.WriteFvecs(f, q) })
+
+	if *gtK > 0 {
+		fmt.Println("computing exact ground truth...")
+		gt := dataset.GroundTruth(ds.Vectors, q, *gtK)
+		lists := make([][]int32, len(gt))
+		for i, cands := range gt {
+			lists[i] = make([]int32, len(cands))
+			for j, c := range cands {
+				lists[i][j] = int32(c.ID)
+			}
+		}
+		write(*out+".groundtruth.ivecs", func(f *os.File) error { return dataset.WriteIvecs(f, lists) })
+	}
+}

@@ -1,0 +1,144 @@
+// Command upanns-search builds an UpANNS deployment over a base vector
+// file (or a generated synthetic dataset) and answers queries, printing
+// neighbors, recall against exact ground truth, and the modelled timing.
+//
+// Usage:
+//
+//	upanns-search -base vectors.fvecs -query q.fvecs -nprobe 8 -k 10
+//	upanns-search -synthetic sift -n 50000 -queries 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/ivfpq"
+	"repro/internal/metrics"
+	"repro/internal/pim"
+	"repro/internal/vecmath"
+	"repro/internal/workload"
+)
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "upanns-search:", err)
+	os.Exit(1)
+}
+
+func main() {
+	var (
+		basePath  = flag.String("base", "", "base vectors (.fvecs); alternative to -synthetic")
+		queryPath = flag.String("query", "", "query vectors (.fvecs)")
+		synthetic = flag.String("synthetic", "", "generate a synthetic dataset instead: sift, deep, spacev")
+		n         = flag.Int("n", 50000, "synthetic base vectors")
+		nq        = flag.Int("queries", 100, "synthetic query count")
+		nlist     = flag.Int("ivf", 64, "IVF cluster count")
+		m         = flag.Int("m", 0, "PQ subquantizers (0 = dataset default / dim/8)")
+		nprobe    = flag.Int("nprobe", 8, "clusters probed per query")
+		k         = flag.Int("k", 10, "neighbors returned")
+		dpus      = flag.Int("dpus", 64, "simulated DPUs")
+		show      = flag.Int("show", 3, "queries to print in full")
+		seed      = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	var base, queries *vecmath.Matrix
+	var err error
+	switch {
+	case *synthetic != "":
+		var spec dataset.Spec
+		switch *synthetic {
+		case "sift":
+			spec = dataset.SIFT1B
+		case "deep":
+			spec = dataset.DEEP1B
+		case "spacev":
+			spec = dataset.SPACEV1B
+		default:
+			fail(fmt.Errorf("unknown synthetic dataset %q", *synthetic))
+		}
+		ds := dataset.Generate(spec, *n, *seed)
+		base = ds.Vectors
+		queries = ds.Queries(*nq, *seed+1)
+		if *m == 0 {
+			*m = spec.M
+		}
+	case *basePath != "" && *queryPath != "":
+		base, err = readFvecs(*basePath)
+		if err != nil {
+			fail(err)
+		}
+		queries, err = readFvecs(*queryPath)
+		if err != nil {
+			fail(err)
+		}
+		if *m == 0 {
+			*m = base.Dim / 8
+		}
+	default:
+		fail(fmt.Errorf("provide either -synthetic or both -base and -query"))
+	}
+
+	fmt.Printf("training IVFPQ: %d vectors, dim %d, IVF %d, M %d\n", base.Rows, base.Dim, *nlist, *m)
+	ix := ivfpq.Train(base, ivfpq.Params{NList: *nlist, M: *m, Seed: *seed, TrainSub: 16384})
+	ix.Add(base, 0)
+
+	spec := pim.DefaultSpec()
+	spec.NumDIMMs = 1
+	spec.DPUsPerDIMM = *dpus
+	sys := pim.NewSystem(spec)
+
+	cfg := core.DefaultConfig()
+	cfg.NProbe = *nprobe
+	cfg.K = *k
+	freqs := workload.ClusterFrequencies(ix.Coarse, queries, *nprobe)
+	fmt.Printf("deploying on %d simulated DPUs...\n", *dpus)
+	engine, err := core.Build(ix, sys, freqs, cfg)
+	if err != nil {
+		fail(err)
+	}
+	if r := engine.MeanReductionRate(); r > 0 {
+		fmt.Printf("co-occurrence encoding: %.1f%% mean length reduction\n", 100*r)
+	}
+
+	br, err := engine.SearchBatch(queries)
+	if err != nil {
+		fail(err)
+	}
+	for qi := 0; qi < *show && qi < len(br.Results); qi++ {
+		fmt.Printf("query %d:", qi)
+		for _, c := range br.Results[qi] {
+			fmt.Printf(" %d(%.3f)", c.ID, c.Dist)
+		}
+		fmt.Println()
+	}
+
+	gtQ := queries.Rows
+	if gtQ > 200 {
+		gtQ = 200
+	}
+	gt := dataset.GroundTruth(base, vecmath.WrapMatrix(queries.Data[:gtQ*queries.Dim], gtQ, queries.Dim), *k)
+	fmt.Printf("recall@%d = %.3f (first %d queries, exact ground truth)\n",
+		*k, dataset.Recall(br.Results[:gtQ], gt), gtQ)
+
+	tm := br.Timing
+	fmt.Printf("modelled batch latency %s (QPS %.0f): filter %s, schedule %s, xfer-in %s, kernel %s, xfer-out %s, reduce %s\n",
+		metrics.Seconds(tm.Total()), br.QPS,
+		metrics.Seconds(tm.HostFilter), metrics.Seconds(tm.HostSchedule),
+		metrics.Seconds(tm.XferIn), metrics.Seconds(tm.Kernel),
+		metrics.Seconds(tm.XferOut), metrics.Seconds(tm.HostReduce))
+	lut, comb, dist, merge := tm.DPUShares()
+	fmt.Printf("DPU stage shares: LUT %.1f%%, comb %.1f%%, distance %.1f%%, top-k %.1f%%; balance ratio %.2f\n",
+		100*lut, 100*comb, 100*dist, 100*merge, br.Balance)
+}
+
+func readFvecs(path string) (*vecmath.Matrix, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return dataset.ReadFvecs(f, 0)
+}

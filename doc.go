@@ -1,0 +1,13 @@
+// Package repro is a from-scratch Go reproduction of "UpANNS: Enhancing
+// Billion-Scale ANNS Efficiency with Real-World PIM Architecture"
+// (SC '25). The library lives under internal/: the UpANNS engine in
+// internal/core, the UPMEM PIM simulator in internal/pim, the shared
+// IVFPQ index in internal/ivfpq, and the roofline-modelled Faiss-CPU/GPU
+// comparators in internal/baseline. The benchmark harness in
+// internal/bench regenerates every table and figure of the paper's
+// evaluation; the root-level benchmarks in bench_test.go expose one
+// testing.B target per artifact.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the paper-vs-measured record.
+package repro

@@ -1,0 +1,94 @@
+// Recommendation serving: the paper's second motivating workload. Item
+// embeddings are SPACEV-like (100-dim), and user traffic is heavily
+// skewed — popular item neighborhoods receive orders of magnitude more
+// queries (Fig. 4). The example shows why Opt 1 (PIM-aware workload
+// distribution) matters: with random placement hot DPUs stall the batch,
+// with Algorithm 1+2 the load ratio drops toward 1 and the batch gets
+// faster, at identical results.
+//
+//	go run ./examples/recommend
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/ivfpq"
+	"repro/internal/pim"
+	"repro/internal/workload"
+)
+
+func main() {
+	const (
+		items  = 40000
+		users  = 256
+		nprobe = 8
+		topK   = 10
+	)
+	spec := dataset.SPACEV1B // the most skewed of the three paper datasets
+	fmt.Printf("recommendation catalog: %d item embeddings (%s, dim %d)\n", items, spec.Name, spec.Dim)
+
+	catalog := dataset.Generate(spec, items, 7)
+	ix := ivfpq.Train(catalog.Vectors, ivfpq.Params{NList: 64, M: spec.M, Seed: 3, TrainSub: 8192})
+	ix.Add(catalog.Vectors, 0)
+
+	// Historical traffic sample drives placement; live traffic is a fresh
+	// draw from the same skewed distribution.
+	history := catalog.Queries(1024, 100)
+	live := catalog.Queries(users, 200)
+	freqs := workload.ClusterFrequencies(ix.Coarse, history, nprobe)
+	fmt.Printf("cluster access skew (max/median): %.0fx\n\n", workload.AccessSkew(freqs))
+
+	newSys := func() *pim.System {
+		s := pim.DefaultSpec()
+		s.NumDIMMs = 1
+		s.DPUsPerDIMM = 32
+		return pim.NewSystem(s)
+	}
+
+	run := func(label string, usePlacement bool) *core.BatchResult {
+		cfg := core.DefaultConfig()
+		cfg.NProbe = nprobe
+		cfg.K = topK
+		cfg.UsePlacement = usePlacement
+		engine, err := core.Build(ix, newSys(), freqs, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		br, err := engine.SearchBatch(live)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s batch %.2fms  QPS %-7.0f  DPU load max/avg %.2f\n",
+			label, 1000*br.Timing.Total(), br.QPS, br.Balance)
+		return br
+	}
+
+	smart := run("PIM-aware placement:", true)
+	naive := run("random placement:", false)
+
+	// Same recommendations either way — placement is performance-only.
+	same := true
+	for qi := range smart.Results {
+		if len(smart.Results[qi]) != len(naive.Results[qi]) {
+			same = false
+			break
+		}
+		for i := range smart.Results[qi] {
+			if smart.Results[qi][i].Dist != naive.Results[qi][i].Dist {
+				same = false
+				break
+			}
+		}
+	}
+	fmt.Printf("\nidentical recommendation distances under both placements: %v\n", same)
+	fmt.Printf("hot-cluster replication cut the straggler DPU's excess load by %.1f%%\n",
+		100*(1-(smart.Balance-1)/(naive.Balance-1)))
+
+	fmt.Println("\nrecommendations for user 0:")
+	for rank, c := range smart.Results[0] {
+		fmt.Printf("  #%d item %d (distance %.3f)\n", rank+1, c.ID, c.Dist)
+	}
+}

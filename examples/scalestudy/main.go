@@ -1,0 +1,78 @@
+// Scale study: reproduce the Fig. 20 methodology as a library user —
+// measure QPS across DPU counts, fit the regression, and predict the QPS
+// of larger deployments, including the point where the PIM rack draws the
+// same power as one A100.
+//
+//	go run ./examples/scalestudy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/ivfpq"
+	"repro/internal/metrics"
+	"repro/internal/pim"
+	"repro/internal/workload"
+)
+
+func main() {
+	const (
+		n      = 30000
+		nq     = 100
+		nprobe = 8
+	)
+	ds := dataset.Generate(dataset.SIFT1B, n, 5)
+	ix := ivfpq.Train(ds.Vectors, ivfpq.Params{NList: 32, M: 16, Seed: 5, TrainSub: 8192})
+	ix.Add(ds.Vectors, 0)
+	queries := ds.Queries(nq, 6)
+	freqs := workload.ClusterFrequencies(ix.Coarse, ds.Queries(512, 9), nprobe)
+
+	var xs, ys []float64
+	fmt.Printf("%-8s %-10s\n", "DPUs", "QPS")
+	for _, dpus := range []int{8, 12, 16, 20, 24, 28, 32} {
+		spec := pim.DefaultSpec()
+		spec.NumDIMMs = 1
+		spec.DPUsPerDIMM = dpus
+		cfg := core.DefaultConfig()
+		cfg.NProbe = nprobe
+		engine, err := core.Build(ix, pim.NewSystem(spec), freqs, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		br, err := engine.SearchBatch(queries)
+		if err != nil {
+			log.Fatal(err)
+		}
+		xs = append(xs, float64(dpus))
+		ys = append(ys, br.QPS)
+		fmt.Printf("%-8d %-10.0f\n", dpus, br.QPS)
+	}
+
+	slope, intercept, r2 := metrics.LinReg(xs, ys)
+	fmt.Printf("\nlinear fit: QPS = %.2f*DPUs %+.1f (r2 = %.4f)\n", slope, intercept, r2)
+
+	// Power accounting: 23.22 W per 128-DPU DIMM (Table 1). The GPU
+	// comparator is scaled to the top measured deployment's fraction of
+	// the paper's 896 DPUs (32/896), preserving the published platform
+	// ratio; the equal-power comparison point scales identically.
+	const scale = 32.0 / 896.0
+	wattsPerDPU := 23.22 / 128
+	gb := baseline.NewGPU(ix)
+	gb.Dev = gb.Dev.Scaled(scale)
+	gpu, err := gb.SearchBatch(queries, nprobe, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gpuWatts := 300 * scale
+	equalPowerDPUs := gpuWatts / wattsPerDPU
+	predicted := slope*equalPowerDPUs + intercept
+	fmt.Printf("Faiss-GPU (scaled to the same platform fraction): %.0f QPS at %.1f W\n", gpu.QPS, gpuWatts)
+	fmt.Printf("predicted UpANNS at the equal-power point (%.0f DPUs, %.1f W): %.0f QPS (%.1fx GPU)\n",
+		equalPowerDPUs, equalPowerDPUs*wattsPerDPU, predicted, predicted/gpu.QPS)
+	fmt.Println("\nthe near-linear fit mirrors Fig. 20: DPUs add bandwidth and compute together,")
+	fmt.Println("so QPS scales with the DIMM count until the host transfer path saturates.")
+}

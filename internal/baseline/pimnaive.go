@@ -1,0 +1,18 @@
+package baseline
+
+import (
+	"repro/internal/core"
+	"repro/internal/ivfpq"
+	"repro/internal/pim"
+)
+
+// NewPIMNaive builds the paper's PIM-naive comparator: the UpANNS engine
+// with resource management only — random cluster placement, plain PQ codes
+// (no co-occurrence encoding), and unpruned top-k merges — so the ablation
+// isolates the contribution of the architectural optimizations.
+func NewPIMNaive(ix *ivfpq.Index, sys *pim.System, nprobe, k int) (*core.Engine, error) {
+	cfg := core.NaiveConfig()
+	cfg.NProbe = nprobe
+	cfg.K = k
+	return core.Build(ix, sys, nil, cfg)
+}

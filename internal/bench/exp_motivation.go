@@ -1,0 +1,244 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/archmodel"
+	"repro/internal/baseline"
+	"repro/internal/dataset"
+	"repro/internal/hnsw"
+	"repro/internal/ivfpq"
+	"repro/internal/metrics"
+	"repro/internal/pim"
+	"repro/internal/topk"
+)
+
+// Table1 prints the evaluated hardware platforms (paper Table 1).
+func (c *Context) Table1() (*Report, error) {
+	cpu, gpu := archmodel.CPU(), archmodel.GPU()
+	spec := pim.DefaultSpec()
+	t := metrics.NewTable("Table 1: evaluated hardware",
+		"platform", "memory", "peak power", "bandwidth", "price")
+	t.AddRow(cpu.Name, "128 GB", "190 W", "85.3 GB/s", "$1,400")
+	t.AddRow(gpu.Name, "80 GB", "300 W", "1935 GB/s", "$20,000")
+	t.AddRow("UPMEM PIM (7 DIMMs, 896 DPUs)",
+		fmt.Sprintf("%d GB", int64(spec.NumDPUs())*int64(spec.MRAMPerDPU)>>30),
+		fmt.Sprintf("%.0f W", spec.PeakWatts()),
+		"612.5 GB/s", "$2,800")
+	sim := metrics.NewTable("Simulated deployment used by this harness",
+		"parameter", "value")
+	sim.AddRow("DPUs", metrics.F(float64(c.O.DPUs)))
+	sim.AddRow("DPU clock", "350 MHz")
+	sim.AddRow("tasklets/DPU (max)", "24")
+	sim.AddRow("MRAM/DPU", "64 MB")
+	sim.AddRow("WRAM/DPU", "64 KB")
+	sim.AddRow("base vectors", metrics.F(float64(c.O.N)))
+	sim.AddRow("batch size", metrics.F(float64(c.O.Queries)))
+	return &Report{ID: "table1", Title: "Hardware specifications",
+		Tables: []*metrics.Table{t, sim}}, nil
+}
+
+// Fig1 reproduces the motivation breakdown: where CPU and GPU time goes as
+// the dataset scales. Paper-scale rows (1M/100M/1B) are computed from the
+// roofline models with the Fig. 1 parameters (|C|=4096, nprobe=32); a
+// measured row from a real functional run at the harness scale validates
+// the model's counting.
+func (c *Context) Fig1() (*Report, error) {
+	const (
+		nlist  = 4096
+		nprobe = 32
+		dim    = 128
+		m      = 16
+		nq     = 1000
+	)
+	mkWorkload := func(n float64) archmodel.Workload {
+		clusterSize := n / nlist
+		cands := float64(nq) * nprobe * clusterSize
+		return archmodel.Workload{
+			Queries:     nq,
+			FilterFlops: float64(nq) * nlist * dim * 3,
+			FilterBytes: float64(nq) * nlist * dim * 4,
+			LUTFlops:    float64(nq) * nprobe * m * 256 * (dim / m) * 3,
+			LUTBytes:    float64(nq) * nprobe * m * 256 * (dim / m) * 4,
+			ScanBytes:   cands * m,
+			ScanFlops:   cands * m * 2,
+			Candidates:  cands,
+			SelectionKs: 10,
+			IndexBytes:  int64(n) * int64(m+8),
+		}
+	}
+	rep := &Report{ID: "fig1", Title: "CPU/GPU stage breakdown vs dataset scale"}
+	for _, dev := range []archmodel.Device{archmodel.CPU(), archmodel.GPU()} {
+		t := metrics.NewTable(fmt.Sprintf("Fig. 1 (%s): stage share of batch time", dev.Name),
+			"scale", "filter", "LUT", "distance", "top-k", "batch time")
+		for _, sc := range []struct {
+			label string
+			n     float64
+		}{{"1M", 1e6}, {"100M", 1e8}, {"1B", 1e9}} {
+			st, ok := dev.Time(mkWorkload(sc.n))
+			if !ok {
+				t.AddRow(sc.label, "OOM")
+				continue
+			}
+			tot := st.Total()
+			t.AddRow(sc.label,
+				metrics.Pct(st.Filter/tot), metrics.Pct(st.LUT/tot),
+				metrics.Pct(st.Distance/tot), metrics.Pct(st.TopK/tot),
+				metrics.Seconds(tot))
+		}
+		rep.Tables = append(rep.Tables, t)
+	}
+
+	// Measured validation at harness scale.
+	s := c.getSetup(dataset.SIFT1B, c.O.IVFGrid[0])
+	cpuRes, gpuRes, err := c.runBaselines(s, s.queries, c.O.NProbeGrid[len(c.O.NProbeGrid)-1], c.O.K)
+	if err != nil {
+		return nil, err
+	}
+	mt := metrics.NewTable(fmt.Sprintf("Measured functional run (%s, N=%d)", s.spec.Name, c.O.N),
+		"backend", "filter", "LUT", "distance", "top-k")
+	for _, br := range []struct {
+		name string
+		r    *archmodel.StageTimes
+	}{{"Faiss-CPU", &cpuRes.Stages}, {"Faiss-GPU", &gpuRes.Stages}} {
+		if br.r == nil {
+			continue
+		}
+		tot := br.r.Total()
+		if tot == 0 {
+			continue
+		}
+		mt.AddRow(br.name,
+			metrics.Pct(br.r.Filter/tot), metrics.Pct(br.r.LUT/tot),
+			metrics.Pct(br.r.Distance/tot), metrics.Pct(br.r.TopK/tot))
+	}
+	rep.Tables = append(rep.Tables, mt)
+	rep.Notes = append(rep.Notes,
+		"expected shape: CPU bottleneck shifts from LUT construction (1M) to the memory-bound distance scan (1B); GPU top-k share grows past 64% at 1B")
+	return rep, nil
+}
+
+// Fig4 reports the skew of cluster access frequency, cluster size and
+// workload (size x frequency) on the SPACEV-like dataset.
+func (c *Context) Fig4() (*Report, error) {
+	s := c.getSetup(dataset.SPACEV1B, c.O.IVFGrid[len(c.O.IVFGrid)-1])
+	sizes := s.ix.ListSizes()
+	freqs := s.freqs
+
+	quantiles := func(vals []float64) (maxV, p90, p50, minV float64) {
+		sorted := append([]float64(nil), vals...)
+		sort.Float64s(sorted)
+		n := len(sorted)
+		return sorted[n-1], sorted[n*9/10], sorted[n/2], sorted[0]
+	}
+	toF := func(ints []int) []float64 {
+		out := make([]float64, len(ints))
+		for i, v := range ints {
+			out[i] = float64(v)
+		}
+		return out
+	}
+	work := make([]float64, len(sizes))
+	for i := range work {
+		work[i] = float64(sizes[i]) * freqs[i]
+	}
+
+	t := metrics.NewTable(fmt.Sprintf("Fig. 4: per-cluster distribution skew (%s, %d clusters)", s.spec.Name, len(sizes)),
+		"distribution", "max", "p90", "median", "min", "max/median")
+	for _, row := range []struct {
+		name string
+		vals []float64
+	}{
+		{"access frequency", freqs},
+		{"cluster size", toF(sizes)},
+		{"workload (size x freq)", work},
+	} {
+		maxV, p90, p50, minV := quantiles(row.vals)
+		ratio := maxV / maxFloat(p50, 1e-9)
+		t.AddRow(row.name, metrics.F(maxV), metrics.F(p90), metrics.F(p50), metrics.F(minV), metrics.Ratio(ratio))
+	}
+	return &Report{ID: "fig4", Title: "Cluster access/size/workload skew",
+		Tables: []*metrics.Table{t},
+		Notes: []string{
+			"paper reports ~500x access skew and up to 10^6x size skew at billion scale; the synthetic generator plants the same heavy-tailed shape at reduced magnitude",
+		}}, nil
+}
+
+func maxFloat(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Fig7 prints the modelled MRAM read latency curve.
+func (c *Context) Fig7() (*Report, error) {
+	spec := pim.DefaultSpec()
+	t := metrics.NewTable("Fig. 7: MRAM read latency vs transfer size",
+		"bytes", "latency (cycles)", "cycles/byte")
+	for b := 8; b <= spec.DMAMaxBytes; b *= 2 {
+		lat := spec.DMALatency(b)
+		t.AddRow(fmt.Sprintf("%d", b), metrics.F(lat), metrics.F(lat/float64(b)))
+	}
+	return &Report{ID: "fig7", Title: "MRAM read latency vs transfer size",
+		Tables: []*metrics.Table{t},
+		Notes: []string{
+			"expected shape: near-flat below ~256 B, close to linear beyond — small reads waste latency, huge reads waste WRAM (Section 4.2.2)",
+		}}, nil
+}
+
+// Intro reproduces the introduction's motivating comparison: graph-based
+// HNSW needs 60-450 bytes of link structure per vertex plus full-precision
+// vectors (~450 GB at a billion vertices), while compression-based IVFPQ
+// stores M code bytes per vector — the reason the paper builds on IVFPQ.
+// Both methods are built on the same data and queried for recall.
+func (c *Context) Intro() (*Report, error) {
+	n := c.O.N / 4
+	if n > 12000 {
+		n = 12000
+	}
+	spec := dataset.SIFT1B
+	ds := dataset.Generate(spec, n, c.O.Seed+301)
+	queries := ds.Queries(50, c.O.Seed+303)
+	truth := dataset.GroundTruth(ds.Vectors, queries, 10)
+
+	// HNSW.
+	g := hnsw.New(spec.Dim, hnsw.DefaultConfig())
+	for i := 0; i < ds.Vectors.Rows; i++ {
+		g.Add(ds.Vectors.Row(i))
+	}
+	hres := make([][]topk.Candidate, queries.Rows)
+	for i := 0; i < queries.Rows; i++ {
+		hres[i] = g.Search(queries.Row(i), 10)
+	}
+	hnswRecall := dataset.Recall(hres, truth)
+	hnswPerVec := float64(g.MemoryBytes()) / float64(n)
+
+	// IVFPQ at the paper's configuration (full 256-entry codebooks).
+	ix := ivfpq.Train(ds.Vectors, ivfpq.Params{
+		NList: c.O.IVFGrid[0], M: spec.M, Seed: c.O.Seed, TrainSub: c.O.TrainSub,
+	})
+	ix.Add(ds.Vectors, 0)
+	ires := make([][]topk.Candidate, queries.Rows)
+	nprobe := c.O.NProbeGrid[len(c.O.NProbeGrid)-1]
+	for i := 0; i < queries.Rows; i++ {
+		ires[i], _ = ix.Search(queries.Row(i), nprobe, 10)
+	}
+	ivfpqRecall := dataset.Recall(ires, truth)
+	ivfpqPerVec := float64(baseline.IndexBytes(ix)) / float64(n)
+
+	const billion = 1e9
+	t := metrics.NewTable(fmt.Sprintf("Intro: graph vs compression at N=%d (SIFT1B-like)", n),
+		"method", "bytes/vector", "memory @1B (extrapolated)", "recall@10")
+	t.AddRow("HNSW (M=16)", metrics.F(hnswPerVec),
+		fmt.Sprintf("%.0f GB", hnswPerVec*billion/1e9), metrics.Pct(hnswRecall))
+	t.AddRow(fmt.Sprintf("IVFPQ (M=%d, nprobe=%d)", spec.M, nprobe), metrics.F(ivfpqPerVec),
+		fmt.Sprintf("%.0f GB", ivfpqPerVec*billion/1e9), metrics.Pct(ivfpqRecall))
+	return &Report{ID: "intro", Title: "Graph vs compression motivation",
+		Tables: []*metrics.Table{t},
+		Notes: []string{
+			fmt.Sprintf("HNSW link overhead measured at %.0f B/vertex (paper: 60-450 B); full-precision vectors add %d B", g.LinkBytesPerVertex(), spec.Dim*4),
+			"expected shape: HNSW wins recall at this scale but its billion-scale footprint is impractical (paper: up to 450 GB), while IVFPQ stays tens of GB — the paper's reason to build on IVFPQ",
+		}}, nil
+}

@@ -1,0 +1,383 @@
+// Package cooc implements UpANNS' Co-occurrence Aware Encoding (Section
+// 4.3 of the paper). PQ codes have a small value range, so real datasets
+// contain element combinations — (code value, subspace position) triples —
+// that repeat across many vectors (the paper reports the triple (1,15,26)
+// in 5.7% of SIFT1B). UpANNS:
+//
+//  1. mines the top-m most frequent length-3 combinations per cluster via
+//     an Element Co-occurrence Graph (ECG);
+//  2. pre-assigns each combination subset a slot in a WRAM buffer that will
+//     hold its partial LUT sum, computed once per (query, cluster);
+//  3. re-encodes each vector into a shorter sequence of direct addresses:
+//     either a LUT address (256*position + code, no multiply needed on the
+//     DPU) or a combination-slot address standing for 2-3 original codes.
+//
+// Distance accumulation then becomes a pure gather-add over uint16/uint32
+// WRAM cells, and — because the combination sums are integer sums of the
+// same LUT entries the plain scan would read — results are bit-exact with
+// the non-CAE pipeline.
+package cooc
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/pq"
+)
+
+// ComboLen is the combination length the paper mines (length 3; longer
+// combinations need proportionally more WRAM).
+const ComboLen = 3
+
+// SlotsPerCombo is the number of WRAM slots reserved per combination: one
+// per non-empty subset of its three elements, indexed by a 3-bit mask
+// (mask 0 unused, kept for shift-only addressing).
+const SlotsPerCombo = 8
+
+// Combo is one mined combination: three (position, code) elements with
+// ascending positions.
+type Combo struct {
+	Positions [ComboLen]uint8
+	Codes     [ComboLen]uint8
+	Count     int // occurrences in the mined cluster
+}
+
+// Table holds a cluster's mined combinations and derived encode state.
+type Table struct {
+	M      int // PQ subspaces per vector
+	Combos []Combo
+
+	// byKey maps a packed (pos, code) pair key to the combos containing
+	// it, used during re-encoding.
+	byFull map[[ComboLen * 2]uint8]int
+}
+
+// MineParams controls combination mining.
+type MineParams struct {
+	TopM       int     // maximum combinations to keep (paper default 256)
+	MinSupport float64 // minimum fraction of vectors containing a combo
+	PairBeam   int     // candidate pairs retained while extending to triples (0 = 4*TopM)
+}
+
+// DefaultMineParams returns the paper's defaults.
+func DefaultMineParams() MineParams {
+	return MineParams{TopM: 256, MinSupport: 0.01}
+}
+
+func pairKey(p1, c1, p2, c2 uint8) uint32 {
+	return uint32(p1)<<24 | uint32(c1)<<16 | uint32(p2)<<8 | uint32(c2)
+}
+
+type tripleKey struct {
+	p1, c1, p2, c2, p3, c3 uint8
+}
+
+// Mine builds a Table from n encoded vectors (flattened, m bytes each),
+// implementing the ECG approach: pairwise co-occurrence counts first
+// (graph edges), the heaviest edges extended to triangles, and the top
+// triangles kept.
+func Mine(codes []uint8, n, m int, params MineParams) *Table {
+	if len(codes) != n*m {
+		panic(fmt.Sprintf("cooc: codes length %d != n*m = %d", len(codes), n*m))
+	}
+	if m < ComboLen || n == 0 || params.TopM <= 0 {
+		return newTable(m, nil)
+	}
+	beam := params.PairBeam
+	if beam <= 0 {
+		beam = 4 * params.TopM
+	}
+	minCount := int(params.MinSupport * float64(n))
+	if minCount < 2 {
+		minCount = 2
+	}
+
+	// Stage 1: ECG edges = (pos,code)-(pos,code) co-occurrence counts.
+	pairs := make(map[uint32]int)
+	for i := 0; i < n; i++ {
+		v := codes[i*m : (i+1)*m]
+		for a := 0; a < m; a++ {
+			for b := a + 1; b < m; b++ {
+				pairs[pairKey(uint8(a), v[a], uint8(b), v[b])]++
+			}
+		}
+	}
+	type edge struct {
+		key   uint32
+		count int
+	}
+	edges := make([]edge, 0, len(pairs))
+	for k, c := range pairs {
+		if c >= minCount {
+			edges = append(edges, edge{k, c})
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].count != edges[j].count {
+			return edges[i].count > edges[j].count
+		}
+		return edges[i].key < edges[j].key
+	})
+	if len(edges) > beam {
+		edges = edges[:beam]
+	}
+	heavy := make(map[uint32]bool, len(edges))
+	for _, e := range edges {
+		heavy[e.key] = true
+	}
+
+	// Stage 2: extend heavy edges to triangles by a second scan.
+	triples := make(map[tripleKey]int)
+	for i := 0; i < n; i++ {
+		v := codes[i*m : (i+1)*m]
+		for a := 0; a < m; a++ {
+			for b := a + 1; b < m; b++ {
+				if !heavy[pairKey(uint8(a), v[a], uint8(b), v[b])] {
+					continue
+				}
+				for c := b + 1; c < m; c++ {
+					triples[tripleKey{uint8(a), v[a], uint8(b), v[b], uint8(c), v[c]}]++
+				}
+			}
+		}
+	}
+	type tri struct {
+		key   tripleKey
+		count int
+	}
+	cand := make([]tri, 0, len(triples))
+	for k, c := range triples {
+		if c >= minCount {
+			cand = append(cand, tri{k, c})
+		}
+	}
+	sort.Slice(cand, func(i, j int) bool {
+		if cand[i].count != cand[j].count {
+			return cand[i].count > cand[j].count
+		}
+		return lessTriple(cand[i].key, cand[j].key)
+	})
+	if len(cand) > params.TopM {
+		cand = cand[:params.TopM]
+	}
+	combos := make([]Combo, len(cand))
+	for i, t := range cand {
+		combos[i] = Combo{
+			Positions: [ComboLen]uint8{t.key.p1, t.key.p2, t.key.p3},
+			Codes:     [ComboLen]uint8{t.key.c1, t.key.c2, t.key.c3},
+			Count:     t.count,
+		}
+	}
+	return newTable(m, combos)
+}
+
+func lessTriple(a, b tripleKey) bool {
+	ka := [6]uint8{a.p1, a.c1, a.p2, a.c2, a.p3, a.c3}
+	kb := [6]uint8{b.p1, b.c1, b.p2, b.c2, b.p3, b.c3}
+	for i := range ka {
+		if ka[i] != kb[i] {
+			return ka[i] < kb[i]
+		}
+	}
+	return false
+}
+
+func newTable(m int, combos []Combo) *Table {
+	t := &Table{M: m, Combos: combos, byFull: make(map[[ComboLen * 2]uint8]int, len(combos))}
+	for i, c := range combos {
+		var k [ComboLen * 2]uint8
+		copy(k[:ComboLen], c.Positions[:])
+		copy(k[ComboLen:], c.Codes[:])
+		if _, dup := t.byFull[k]; !dup {
+			t.byFull[k] = i
+		}
+	}
+	return t
+}
+
+// NumSlots returns the WRAM partial-sum slots this table needs.
+func (t *Table) NumSlots() int { return len(t.Combos) * SlotsPerCombo }
+
+// LUTAddrSpace returns the number of direct LUT addresses (256*M); slot
+// addresses start immediately after, as in Figure 8's final encoding.
+func (t *Table) LUTAddrSpace() int { return pq.CodebookSize * t.M }
+
+// SlotAddr returns the re-encoded address of (combo, mask).
+func (t *Table) SlotAddr(combo int, mask uint8) uint16 {
+	return uint16(t.LUTAddrSpace() + combo*SlotsPerCombo + int(mask))
+}
+
+// Encode re-encodes one M-byte PQ code into the PIM-friendly address
+// sequence. Matching is greedy in combo priority order: full triples
+// first (save 2 entries each), then pairs within combos (save 1), with
+// each position consumed at most once. Unmatched positions become direct
+// LUT addresses 256*pos + code.
+func (t *Table) Encode(dst []uint16, code []uint8) []uint16 {
+	if len(code) != t.M {
+		panic("cooc: Encode code length mismatch")
+	}
+	dst = dst[:0]
+	var used uint32 // bitmask of consumed positions (M <= 32)
+
+	// Pass 1: full triples via the exact-match index.
+	for ci, c := range t.Combos {
+		if code[c.Positions[0]] == c.Codes[0] &&
+			code[c.Positions[1]] == c.Codes[1] &&
+			code[c.Positions[2]] == c.Codes[2] {
+			m0 := uint32(1)<<c.Positions[0] | uint32(1)<<c.Positions[1] | uint32(1)<<c.Positions[2]
+			if used&m0 == 0 {
+				used |= m0
+				dst = append(dst, t.SlotAddr(ci, 0b111))
+			}
+		}
+	}
+	// Pass 2: pairs within combos.
+	for ci, c := range t.Combos {
+		for _, pm := range [3]uint8{0b011, 0b101, 0b110} {
+			ok := true
+			var posMask uint32
+			for bit := 0; bit < ComboLen; bit++ {
+				if pm&(1<<bit) == 0 {
+					continue
+				}
+				p := c.Positions[bit]
+				if code[p] != c.Codes[bit] || used&(1<<p) != 0 {
+					ok = false
+					break
+				}
+				posMask |= 1 << p
+			}
+			if ok {
+				used |= posMask
+				dst = append(dst, t.SlotAddr(ci, pm))
+			}
+		}
+	}
+	// Pass 3: direct addresses for everything else, in position order.
+	for p := 0; p < t.M; p++ {
+		if used&(1<<p) == 0 {
+			dst = append(dst, uint16(p*pq.CodebookSize+int(code[p])))
+		}
+	}
+	return dst
+}
+
+// Decode reconstructs the original M-byte PQ code from a re-encoded
+// address sequence (used by tests and the verification harness).
+func (t *Table) Decode(dst []uint8, addrs []uint16) []uint8 {
+	if len(dst) < t.M {
+		dst = make([]uint8, t.M)
+	}
+	dst = dst[:t.M]
+	lutSpace := t.LUTAddrSpace()
+	for _, a := range addrs {
+		if int(a) < lutSpace {
+			dst[int(a)/pq.CodebookSize] = uint8(int(a) % pq.CodebookSize)
+			continue
+		}
+		slot := int(a) - lutSpace
+		ci, mask := slot/SlotsPerCombo, uint8(slot%SlotsPerCombo)
+		c := t.Combos[ci]
+		for bit := 0; bit < ComboLen; bit++ {
+			if mask&(1<<bit) != 0 {
+				dst[c.Positions[bit]] = c.Codes[bit]
+			}
+		}
+	}
+	return dst
+}
+
+// SlotSums computes the partial-sum buffer for a quantized LUT: slot
+// (combo, mask) holds the integer sum of the LUT entries of the combo
+// elements selected by mask. This is the work the DPU performs right
+// after LUT construction (Figure 6, "Comb. Sum" stage).
+func (t *Table) SlotSums(dst []uint32, ql *pq.QLUT) []uint32 {
+	n := t.NumSlots()
+	if len(dst) < n {
+		dst = make([]uint32, n)
+	}
+	dst = dst[:n]
+	for ci, c := range t.Combos {
+		var elem [ComboLen]uint32
+		for bit := 0; bit < ComboLen; bit++ {
+			elem[bit] = uint32(ql.Table[int(c.Positions[bit])*pq.CodebookSize+int(c.Codes[bit])])
+		}
+		base := ci * SlotsPerCombo
+		for mask := 1; mask < SlotsPerCombo; mask++ {
+			var s uint32
+			for bit := 0; bit < ComboLen; bit++ {
+				if mask&(1<<bit) != 0 {
+					s += elem[bit]
+				}
+			}
+			dst[base+mask] = s
+		}
+		dst[base] = 0
+	}
+	return dst
+}
+
+// Distance accumulates the re-encoded distance: direct addresses index the
+// quantized LUT, slot addresses index the partial-sum buffer. The result
+// equals ql.QDistance of the original code exactly.
+func (t *Table) Distance(addrs []uint16, ql *pq.QLUT, sums []uint32) uint32 {
+	lutSpace := t.LUTAddrSpace()
+	var s uint32
+	for _, a := range addrs {
+		if int(a) < lutSpace {
+			s += uint32(ql.Table[a])
+		} else {
+			s += sums[int(a)-lutSpace]
+		}
+	}
+	return s
+}
+
+// EncodeStats reports how much CAE shortened a cluster's encoding.
+type EncodeStats struct {
+	Vectors       int
+	OriginalLen   int // total entries before (n*M)
+	EncodedLen    int // total entries after
+	MatchedTriple int // triple matches
+	MatchedPair   int // pair matches
+}
+
+// ReductionRate returns the paper's "length reduction rate":
+// 1 - encoded/original.
+func (s EncodeStats) ReductionRate() float64 {
+	if s.OriginalLen == 0 {
+		return 0
+	}
+	return 1 - float64(s.EncodedLen)/float64(s.OriginalLen)
+}
+
+// EncodeAll re-encodes n vectors, returning the variable-length records
+// flattened as [len, addr0, addr1, ...] per vector — the MRAM stream
+// layout the DPU kernel parses — plus statistics.
+func (t *Table) EncodeAll(codes []uint8, n int) ([]uint16, EncodeStats) {
+	stats := EncodeStats{Vectors: n, OriginalLen: n * t.M}
+	out := make([]uint16, 0, n*(t.M+1))
+	scratch := make([]uint16, 0, t.M)
+	lutSpace := t.LUTAddrSpace()
+	for i := 0; i < n; i++ {
+		scratch = t.Encode(scratch, codes[i*t.M:(i+1)*t.M])
+		out = append(out, uint16(len(scratch)))
+		out = append(out, scratch...)
+		stats.EncodedLen += len(scratch)
+		for _, a := range scratch {
+			if int(a) >= lutSpace {
+				slot := int(a) - lutSpace
+				if popcount3(uint8(slot%SlotsPerCombo)) == 3 {
+					stats.MatchedTriple++
+				} else {
+					stats.MatchedPair++
+				}
+			}
+		}
+	}
+	return out, stats
+}
+
+func popcount3(m uint8) int {
+	return int(m&1 + m>>1&1 + m>>2&1)
+}

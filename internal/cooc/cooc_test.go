@@ -1,0 +1,250 @@
+package cooc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pq"
+	"repro/internal/xrand"
+)
+
+// plantedCodes builds n M-byte codes where a known triple appears in a
+// fraction of vectors at fixed positions, over a background of noise.
+func plantedCodes(r *xrand.RNG, n, m int, frac float64) ([]uint8, Combo) {
+	combo := Combo{Positions: [3]uint8{1, 4, 7}, Codes: [3]uint8{11, 22, 33}}
+	codes := make([]uint8, n*m)
+	for i := 0; i < n; i++ {
+		v := codes[i*m : (i+1)*m]
+		for j := range v {
+			v[j] = uint8(r.Intn(200)) + 40 // keep away from planted codes
+		}
+		if r.Float64() < frac {
+			v[combo.Positions[0]] = combo.Codes[0]
+			v[combo.Positions[1]] = combo.Codes[1]
+			v[combo.Positions[2]] = combo.Codes[2]
+		}
+	}
+	return codes, combo
+}
+
+func TestMineFindsPlantedTriple(t *testing.T) {
+	r := xrand.New(1)
+	codes, want := plantedCodes(r, 2000, 16, 0.2)
+	table := Mine(codes, 2000, 16, DefaultMineParams())
+	if len(table.Combos) == 0 {
+		t.Fatal("no combos mined")
+	}
+	top := table.Combos[0]
+	if top.Positions != want.Positions || top.Codes != want.Codes {
+		t.Fatalf("top combo %+v, want %+v", top, want)
+	}
+	// ~20% of 2000 vectors.
+	if top.Count < 300 || top.Count > 500 {
+		t.Errorf("planted combo count %d, want ~400", top.Count)
+	}
+}
+
+func TestMineRespectsTopM(t *testing.T) {
+	r := xrand.New(2)
+	codes, _ := plantedCodes(r, 1000, 16, 0.3)
+	p := DefaultMineParams()
+	p.TopM = 3
+	table := Mine(codes, 1000, 16, p)
+	if len(table.Combos) > 3 {
+		t.Fatalf("mined %d combos, cap 3", len(table.Combos))
+	}
+}
+
+func TestMineEmptyAndTiny(t *testing.T) {
+	table := Mine(nil, 0, 16, DefaultMineParams())
+	if len(table.Combos) != 0 {
+		t.Fatal("combos from empty input")
+	}
+	// M smaller than combo length: no combos possible.
+	table = Mine([]uint8{1, 2}, 1, 2, DefaultMineParams())
+	if len(table.Combos) != 0 {
+		t.Fatal("combos with M < 3")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := xrand.New(3)
+	codes, _ := plantedCodes(r, 1500, 16, 0.4)
+	table := Mine(codes, 1500, 16, DefaultMineParams())
+	var buf []uint16
+	dec := make([]uint8, 16)
+	for i := 0; i < 1500; i++ {
+		orig := codes[i*16 : (i+1)*16]
+		buf = table.Encode(buf, orig)
+		if len(buf) > 16 {
+			t.Fatalf("vector %d: encoded length %d exceeds original 16", i, len(buf))
+		}
+		dec = table.Decode(dec, buf)
+		for j := range orig {
+			if dec[j] != orig[j] {
+				t.Fatalf("vector %d position %d: decode %d != original %d", i, j, dec[j], orig[j])
+			}
+		}
+	}
+}
+
+func TestEncodeShortensPlantedVectors(t *testing.T) {
+	r := xrand.New(4)
+	codes, _ := plantedCodes(r, 2000, 16, 0.5)
+	table := Mine(codes, 2000, 16, DefaultMineParams())
+	_, stats := table.EncodeAll(codes, 2000)
+	if stats.ReductionRate() <= 0.02 {
+		t.Errorf("reduction rate %v too small for 50%% planted triples", stats.ReductionRate())
+	}
+	if stats.MatchedTriple < 700 {
+		t.Errorf("only %d triple matches for ~1000 planted", stats.MatchedTriple)
+	}
+}
+
+func TestDistanceBitExact(t *testing.T) {
+	// The core correctness claim: CAE distances equal plain quantized-LUT
+	// distances exactly, because partial sums are integer sums of the same
+	// LUT entries.
+	r := xrand.New(5)
+	m := 16
+	codes, _ := plantedCodes(r, 1000, m, 0.4)
+	table := Mine(codes, 1000, m, DefaultMineParams())
+
+	// A synthetic quantized LUT with arbitrary entries.
+	ql := &pq.QLUT{Table: make([]uint16, m*pq.CodebookSize), Scale: 1, M: m}
+	for i := range ql.Table {
+		ql.Table[i] = uint16(r.Intn(3000))
+	}
+	sums := table.SlotSums(nil, ql)
+
+	var buf []uint16
+	for i := 0; i < 1000; i++ {
+		code := codes[i*m : (i+1)*m]
+		buf = table.Encode(buf, code)
+		got := table.Distance(buf, ql, sums)
+		want := ql.QDistance(code)
+		if got != want {
+			t.Fatalf("vector %d: CAE distance %d != plain %d", i, got, want)
+		}
+	}
+}
+
+func TestDistanceBitExactProperty(t *testing.T) {
+	r := xrand.New(6)
+	codes, _ := plantedCodes(r, 800, 12, 0.5)
+	table := Mine(codes, 800, 12, DefaultMineParams())
+	ql := &pq.QLUT{Table: make([]uint16, 12*pq.CodebookSize), Scale: 1, M: 12}
+	for i := range ql.Table {
+		ql.Table[i] = uint16(r.Intn(5000))
+	}
+	sums := table.SlotSums(nil, ql)
+	f := func(raw [12]uint8) bool {
+		code := raw[:]
+		addrs := table.Encode(nil, code)
+		return table.Distance(addrs, ql, sums) == ql.QDistance(code)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeAllRecordStream(t *testing.T) {
+	r := xrand.New(7)
+	codes, _ := plantedCodes(r, 100, 16, 0.3)
+	table := Mine(codes, 100, 16, DefaultMineParams())
+	stream, stats := table.EncodeAll(codes, 100)
+	// Walk the [len, addrs...] records and verify consistency.
+	pos, vecs, entries := 0, 0, 0
+	dec := make([]uint8, 16)
+	for pos < len(stream) {
+		l := int(stream[pos])
+		if l <= 0 || l > 16 {
+			t.Fatalf("record %d: bad length %d", vecs, l)
+		}
+		rec := stream[pos+1 : pos+1+l]
+		dec = table.Decode(dec, rec)
+		orig := codes[vecs*16 : (vecs+1)*16]
+		for j := range orig {
+			if dec[j] != orig[j] {
+				t.Fatalf("record %d decodes wrong at %d", vecs, j)
+			}
+		}
+		entries += l
+		pos += 1 + l
+		vecs++
+	}
+	if vecs != 100 {
+		t.Fatalf("stream holds %d records, want 100", vecs)
+	}
+	if entries != stats.EncodedLen {
+		t.Fatalf("stats EncodedLen %d != stream entries %d", stats.EncodedLen, entries)
+	}
+}
+
+func TestSlotAddrDisjointFromLUTSpace(t *testing.T) {
+	r := xrand.New(8)
+	codes, _ := plantedCodes(r, 500, 20, 0.4)
+	table := Mine(codes, 500, 20, DefaultMineParams())
+	if len(table.Combos) == 0 {
+		t.Skip("no combos mined")
+	}
+	for ci := range table.Combos {
+		for mask := uint8(1); mask < SlotsPerCombo; mask++ {
+			a := table.SlotAddr(ci, mask)
+			if int(a) < table.LUTAddrSpace() {
+				t.Fatalf("slot address %d collides with LUT space %d", a, table.LUTAddrSpace())
+			}
+		}
+	}
+}
+
+func TestMineDeterministic(t *testing.T) {
+	r1 := xrand.New(9)
+	codes, _ := plantedCodes(r1, 1200, 16, 0.35)
+	a := Mine(codes, 1200, 16, DefaultMineParams())
+	b := Mine(codes, 1200, 16, DefaultMineParams())
+	if len(a.Combos) != len(b.Combos) {
+		t.Fatalf("combo counts differ: %d vs %d", len(a.Combos), len(b.Combos))
+	}
+	for i := range a.Combos {
+		if a.Combos[i] != b.Combos[i] {
+			t.Fatalf("combo %d differs across runs", i)
+		}
+	}
+}
+
+func TestReductionRateZeroForNoMatches(t *testing.T) {
+	// Uniform random codes over the full range: no combo should reach
+	// 1% support in 2000 vectors, so encoding stays at original length.
+	r := xrand.New(10)
+	n, m := 2000, 16
+	codes := make([]uint8, n*m)
+	for i := range codes {
+		codes[i] = uint8(r.Intn(256))
+	}
+	table := Mine(codes, n, m, DefaultMineParams())
+	_, stats := table.EncodeAll(codes, n)
+	if rate := stats.ReductionRate(); rate > 0.05 {
+		t.Errorf("reduction rate %v on random codes, want ~0", rate)
+	}
+}
+
+func BenchmarkMine(b *testing.B) {
+	r := xrand.New(1)
+	codes, _ := plantedCodes(r, 5000, 16, 0.3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Mine(codes, 5000, 16, DefaultMineParams())
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	r := xrand.New(1)
+	codes, _ := plantedCodes(r, 2000, 16, 0.3)
+	table := Mine(codes, 2000, 16, DefaultMineParams())
+	var buf []uint16
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = table.Encode(buf, codes[(i%2000)*16:(i%2000+1)*16])
+	}
+}

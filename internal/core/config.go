@@ -1,0 +1,122 @@
+// Package core implements the UpANNS engine itself: the paper's primary
+// contribution. It takes a trained IVFPQ index and deploys it onto the
+// simulated UPMEM system, combining all four optimizations:
+//
+//   - Opt 1 (Section 4.1): PIM-aware data placement with hot-cluster
+//     replication (Algorithm 1) and greedy batch query scheduling across
+//     replicas (Algorithm 2);
+//   - Opt 2 (Section 4.2): intra-cluster tasklet parallelism with the
+//     explicit WRAM layout of Figure 6 (LUT / combination sums / per-
+//     tasklet staging buffers reusing the codebook area) and blocked MRAM
+//     reads tuned to the Fig. 7 latency curve;
+//   - Opt 3 (Section 4.3): co-occurrence aware encoding with partial-sum
+//     caching;
+//   - Opt 4 (Section 4.4): thread-local heaps merged through a semaphore
+//     with early-termination pruning.
+//
+// Turning the optimization flags off degrades the engine into the paper's
+// PIM-naive baseline, which keeps resource management but uses random
+// placement, plain PQ codes and unpruned merges.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cooc"
+)
+
+// Config selects the engine's optimizations and tuning parameters.
+type Config struct {
+	NProbe int // clusters probed per query
+	K      int // neighbors returned per query
+
+	// Tasklets per DPU (paper default 11: pipeline saturation point).
+	Tasklets int
+	// VectorsPerRead is the MRAM read granularity R in vectors (paper
+	// default 16, from the Fig. 17 sweep).
+	VectorsPerRead int
+
+	UsePlacement bool // Opt 1: Algorithm 1+2 vs random placement
+	UseCAE       bool // Opt 3: co-occurrence aware encoding
+	UsePruning   bool // Opt 4: early-termination top-k merge
+
+	MineParams cooc.MineParams // CAE mining parameters
+	Seed       uint64
+}
+
+// DefaultConfig returns the paper's default operating point.
+func DefaultConfig() Config {
+	return Config{
+		NProbe:         32,
+		K:              10,
+		Tasklets:       11,
+		VectorsPerRead: 16,
+		UsePlacement:   true,
+		UseCAE:         true,
+		UsePruning:     true,
+		MineParams:     cooc.DefaultMineParams(),
+		Seed:           1,
+	}
+}
+
+// NaiveConfig returns the PIM-naive baseline: the paper's "naive
+// implementation of IVFPQ on PIM with our PIM resource management
+// strategy" — tasklets and blocked reads stay, the other optimizations go.
+func NaiveConfig() Config {
+	c := DefaultConfig()
+	c.UsePlacement = false
+	c.UseCAE = false
+	c.UsePruning = false
+	return c
+}
+
+func (c Config) validate() error {
+	if c.NProbe <= 0 || c.K <= 0 {
+		return fmt.Errorf("core: NProbe and K must be positive (got %d, %d)", c.NProbe, c.K)
+	}
+	if c.Tasklets <= 0 {
+		return fmt.Errorf("core: Tasklets must be positive")
+	}
+	if c.VectorsPerRead <= 0 {
+		return fmt.Errorf("core: VectorsPerRead must be positive")
+	}
+	return nil
+}
+
+// Abstract DPU instruction costs for the operations the kernels perform.
+// These are per-element constants for a 350 MHz in-order RISC core; the
+// relative weights (not the absolute values) shape the reproduced figures.
+const (
+	// LUT construction: per float of a codebook entry (subtract,
+	// multiply, accumulate).
+	costLUTPerDim = 3
+	// Quantize one LUT entry to uint16 and store it.
+	costLUTStore = 2
+	// One combination partial-sum slot (gather up to 3 entries and add).
+	costCombSlot = 4
+	// Plain scan, per code byte: compute the table address from the
+	// position and code, load, accumulate.
+	costPlainEntry = 3
+	// CAE scan, per re-encoded entry: the entry IS the address — load and
+	// accumulate only (the Figure 8 "revise to direct address" step).
+	costCAEEntry = 2
+	// Record bookkeeping per vector (loop control, candidate id).
+	costRecordOverhead = 2
+	// Compare a candidate against the heap threshold.
+	costHeapCompare = 2
+	// Update a k-sized heap on accept (sift cost grows with log k).
+	costHeapUpdateBase = 4
+	// Per-item work when draining a local heap in ascending order.
+	costHeapPop = 6
+	// Write one result entry to the output buffer.
+	costResultEntry = 2
+)
+
+// heapUpdateCost returns the instruction cost of one accepted heap push.
+func heapUpdateCost(k int) int {
+	log2 := 0
+	for v := k; v > 1; v >>= 1 {
+		log2++
+	}
+	return costHeapUpdateBase + 2*log2
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/pim"
+)
+
+// Section 4.1.2: query patterns in UpANNS' target applications change
+// regularly but incrementally. The engine handles this adaptively:
+// minor shifts adjust the number of cluster replicas in place (new
+// replicas are appended to under-loaded DPUs' MRAM without touching
+// existing data); major shifts warrant a full data relocation (Rebuild).
+
+// FreqDrift measures how much a cluster access-frequency profile has
+// shifted: half the L1 distance between the two profiles normalized to
+// unit mass, i.e. the total-variation distance in [0, 1].
+func FreqDrift(old, new []float64) float64 {
+	if len(old) != len(new) || len(old) == 0 {
+		return 1
+	}
+	var sumOld, sumNew float64
+	for i := range old {
+		sumOld += old[i]
+		sumNew += new[i]
+	}
+	if sumOld <= 0 || sumNew <= 0 {
+		return 1
+	}
+	var tv float64
+	for i := range old {
+		d := old[i]/sumOld - new[i]/sumNew
+		if d < 0 {
+			d = -d
+		}
+		tv += d
+	}
+	return tv / 2
+}
+
+// DefaultDriftThreshold separates "minor" pattern changes (replica
+// adjustment suffices) from "major" ones (full relocation recommended).
+const DefaultDriftThreshold = 0.25
+
+// AdaptReplicas applies the minor-shift path: for every cluster whose
+// workload under newFreqs warrants more replicas than it has (Algorithm
+// 1's n_cpy formula), new replicas are written to the least-loaded DPUs.
+// Existing replicas are never moved or removed — removal would require
+// MRAM compaction, which the paper defers to full relocation. Returns the
+// number of replicas added.
+func (e *Engine) AdaptReplicas(newFreqs []float64) (int, error) {
+	nlist := e.Index.NList()
+	if len(newFreqs) != nlist {
+		return 0, fmt.Errorf("core: newFreqs length %d != nlist %d", len(newFreqs), nlist)
+	}
+	sizes := e.Index.ListSizes()
+	ovh := e.probeOverheadVecs()
+
+	// Recompute the average per-DPU workload under the new frequencies.
+	total := 0.0
+	for c := 0; c < nlist; c++ {
+		total += (float64(sizes[c]) + ovh) * newFreqs[c]
+	}
+	avgW := total / float64(e.Sys.NumDPUs())
+	if avgW <= 0 {
+		return 0, nil
+	}
+
+	added := 0
+	for c := 0; c < nlist; c++ {
+		if sizes[c] == 0 {
+			continue
+		}
+		w := (float64(sizes[c]) + ovh) * newFreqs[c]
+		want := int((w + avgW - 1) / avgW)
+		if want < 1 {
+			want = 1
+		}
+		if want > e.Sys.NumDPUs() {
+			want = e.Sys.NumDPUs()
+		}
+		have := len(e.Place.Replicas[c])
+		if want <= have {
+			continue
+		}
+		// Re-serialize the cluster's image; snapshot the encoding stats so
+		// the re-encode does not double-count them.
+		savedStats, savedRate := e.CAEStats, e.ReductionRates[c]
+		img, _ := e.buildClusterImage(c, e.tables[c], e.clusters[c].blockBytes)
+		e.CAEStats, e.ReductionRates[c] = savedStats, savedRate
+		for have < want {
+			dpu := e.leastLoadedWithout(c)
+			if dpu < 0 {
+				break // every DPU already holds this cluster
+			}
+			off := e.dataEnd[dpu]
+			if err := e.Sys.DPUs[dpu].WriteMRAM(off, img); err != nil {
+				return added, fmt.Errorf("core: adding replica of cluster %d to DPU %d: %w", c, dpu, err)
+			}
+			e.dataEnd[dpu] = align8(off + len(img))
+			e.Place.Replicas[c] = append(e.Place.Replicas[c], int32(dpu))
+			e.clusters[c].offsets = append(e.clusters[c].offsets, off)
+			e.Place.Sizes[dpu] += sizes[c]
+			e.Place.Load[dpu] += w / float64(want)
+			have++
+			added++
+		}
+	}
+	return added, nil
+}
+
+// leastLoadedWithout returns the least-loaded DPU that does not already
+// hold a replica of cluster c, or -1.
+func (e *Engine) leastLoadedWithout(c int) int {
+	type cand struct {
+		dpu  int
+		load float64
+	}
+	cands := make([]cand, 0, e.Sys.NumDPUs())
+	for d := 0; d < e.Sys.NumDPUs(); d++ {
+		holds := false
+		for _, r := range e.Place.Replicas[c] {
+			if int(r) == d {
+				holds = true
+				break
+			}
+		}
+		if !holds {
+			cands = append(cands, cand{d, e.Place.Load[d]})
+		}
+	}
+	if len(cands) == 0 {
+		return -1
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].load != cands[j].load {
+			return cands[i].load < cands[j].load
+		}
+		return cands[i].dpu < cands[j].dpu
+	})
+	return cands[0].dpu
+}
+
+// Rebuild performs the major-shift path: full data relocation onto a
+// fresh system of the same shape under the new frequency profile.
+func (e *Engine) Rebuild(newFreqs []float64) (*Engine, error) {
+	spec := e.Sys.Spec
+	return Build(e.Index, pim.NewSystem(spec), newFreqs, e.Cfg)
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFreqDriftBounds(t *testing.T) {
+	if d := FreqDrift([]float64{1, 2, 3}, []float64{1, 2, 3}); d != 0 {
+		t.Fatalf("identical profiles drift %v", d)
+	}
+	// Complete mass shift: total variation 1.
+	if d := FreqDrift([]float64{1, 0}, []float64{0, 1}); math.Abs(d-1) > 1e-12 {
+		t.Fatalf("disjoint profiles drift %v", d)
+	}
+	// Scale invariance.
+	if d := FreqDrift([]float64{1, 2}, []float64{10, 20}); d != 0 {
+		t.Fatalf("scaled profile drift %v", d)
+	}
+	if d := FreqDrift(nil, nil); d != 1 {
+		t.Fatalf("degenerate drift %v", d)
+	}
+	if d := FreqDrift([]float64{1}, []float64{1, 2}); d != 1 {
+		t.Fatalf("mismatched lengths drift %v", d)
+	}
+}
+
+func TestAdaptReplicasAddsForNewHotCluster(t *testing.T) {
+	ix, queries, freqs := testSetup(t, 8000, 30)
+	cfg := DefaultConfig()
+	cfg.NProbe = 4
+	e := buildEngine(t, ix, freqs, cfg, 8)
+
+	// Shift all heat onto the largest cluster.
+	sizes := ix.ListSizes()
+	hot := 0
+	for c, s := range sizes {
+		if s > sizes[hot] {
+			hot = c
+		}
+	}
+	newFreqs := make([]float64, len(freqs))
+	for i := range newFreqs {
+		newFreqs[i] = 0.05
+	}
+	newFreqs[hot] = float64(len(freqs)) // extreme concentration
+
+	before := len(e.Place.Replicas[hot])
+	added, err := e.AdaptReplicas(newFreqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added == 0 || len(e.Place.Replicas[hot]) <= before {
+		t.Fatalf("hot cluster replicas %d -> %d (added %d total)",
+			before, len(e.Place.Replicas[hot]), added)
+	}
+	// Replicas must be on distinct DPUs.
+	seen := map[int32]bool{}
+	for _, d := range e.Place.Replicas[hot] {
+		if seen[d] {
+			t.Fatalf("duplicate replica on DPU %d", d)
+		}
+		seen[d] = true
+	}
+
+	// The engine must still return correct results after adaptation.
+	br, err := e.SearchBatch(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := 0; qi < queries.Rows; qi += 7 {
+		want, _ := ix.SearchQuantized(queries.Row(qi), cfg.NProbe, cfg.K)
+		resultsEquivalent(t, qi, br.Results[qi], want)
+	}
+}
+
+func TestAdaptReplicasPreservesResultsUnderDrift(t *testing.T) {
+	ix, queries, freqs := testSetup(t, 10000, 40)
+	cfg := DefaultConfig()
+	cfg.NProbe = 4
+	adapted := buildEngine(t, ix, freqs, cfg, 8)
+	static := buildEngine(t, ix, freqs, cfg, 8)
+
+	// Synthetic drift: reverse the heat profile (total-variation > 0).
+	newFreqs := make([]float64, len(freqs))
+	for i := range newFreqs {
+		newFreqs[i] = freqs[len(freqs)-1-i]
+	}
+	drift := FreqDrift(freqs, newFreqs)
+	if drift <= 0 {
+		t.Skip("profiles coincidentally symmetric")
+	}
+	if _, err := adapted.AdaptReplicas(newFreqs); err != nil {
+		t.Fatal(err)
+	}
+	brA, err := adapted.SearchBatch(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	brS, err := static.SearchBatch(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Adaptation must not make balance drastically worse, and results
+	// stay equal (replicas only add scheduling freedom).
+	if brA.Balance > brS.Balance*1.25 {
+		t.Errorf("adapted balance %v much worse than static %v", brA.Balance, brS.Balance)
+	}
+	for qi := range brA.Results {
+		resultsEquivalent(t, qi, brA.Results[qi], brS.Results[qi])
+	}
+}
+
+func TestRebuildFullRelocation(t *testing.T) {
+	ix, queries, freqs := testSetup(t, 6000, 20)
+	cfg := DefaultConfig()
+	cfg.NProbe = 4
+	e := buildEngine(t, ix, freqs, cfg, 8)
+
+	newFreqs := make([]float64, len(freqs))
+	for i := range newFreqs {
+		newFreqs[i] = freqs[len(freqs)-1-i] // reversed heat
+	}
+	e2, err := e.Rebuild(newFreqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br1, err := e.SearchBatch(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br2, err := e2.SearchBatch(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := range br1.Results {
+		resultsEquivalent(t, qi, br1.Results[qi], br2.Results[qi])
+	}
+}
+
+func TestAdaptReplicasValidation(t *testing.T) {
+	ix, _, freqs := testSetup(t, 2000, 5)
+	e := buildEngine(t, ix, freqs, DefaultConfig(), 4)
+	if _, err := e.AdaptReplicas([]float64{1}); err == nil {
+		t.Fatal("no error for wrong freqs length")
+	}
+}

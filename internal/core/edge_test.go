@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/vecmath"
+)
+
+func TestResultsInvariantToReadGranularity(t *testing.T) {
+	// The MRAM block size is a pure performance knob: results must be
+	// identical for any VectorsPerRead, including odd values that exercise
+	// block padding and partial tail blocks.
+	ix, queries, freqs := testSetup(t, 5000, 15)
+	var ref *BatchResult
+	for _, r := range []int{2, 7, 16, 33} {
+		cfg := DefaultConfig()
+		cfg.NProbe = 4
+		cfg.VectorsPerRead = r
+		e := buildEngine(t, ix, freqs, cfg, 8)
+		br, err := e.SearchBatch(queries)
+		if err != nil {
+			t.Fatalf("R=%d: %v", r, err)
+		}
+		if ref == nil {
+			ref = br
+			continue
+		}
+		for qi := range br.Results {
+			resultsEquivalent(t, qi, br.Results[qi], ref.Results[qi])
+		}
+	}
+}
+
+func TestSingleDPUDeployment(t *testing.T) {
+	// Everything lands on one DPU: no scheduling freedom, but results and
+	// the pipeline must hold.
+	ix, queries, freqs := testSetup(t, 3000, 10)
+	cfg := DefaultConfig()
+	cfg.NProbe = 3
+	e := buildEngine(t, ix, freqs, cfg, 1)
+	br, err := e.SearchBatch(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Balance != 1 {
+		t.Errorf("single-DPU balance %v", br.Balance)
+	}
+	for qi := 0; qi < queries.Rows; qi++ {
+		want, _ := ix.SearchQuantized(queries.Row(qi), cfg.NProbe, cfg.K)
+		resultsEquivalent(t, qi, br.Results[qi], want)
+	}
+}
+
+func TestSingleQueryBatch(t *testing.T) {
+	ix, queries, freqs := testSetup(t, 3000, 5)
+	cfg := DefaultConfig()
+	cfg.NProbe = 4
+	e := buildEngine(t, ix, freqs, cfg, 8)
+	one := vecmath.WrapMatrix(queries.Data[:queries.Dim], 1, queries.Dim)
+	br, err := e.SearchBatch(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Results) != 1 || len(br.Results[0]) == 0 {
+		t.Fatalf("single-query batch results: %v", br.Results)
+	}
+	want, _ := ix.SearchQuantized(one.Row(0), cfg.NProbe, cfg.K)
+	resultsEquivalent(t, 0, br.Results[0], want)
+}
+
+func TestRepeatedBatchesReuseEngine(t *testing.T) {
+	// Input/output MRAM regions are transient per batch; repeated batches
+	// on one engine must not corrupt static data.
+	ix, queries, freqs := testSetup(t, 4000, 12)
+	cfg := DefaultConfig()
+	cfg.NProbe = 4
+	e := buildEngine(t, ix, freqs, cfg, 8)
+	first, err := e.SearchBatch(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		br, err := e.SearchBatch(queries)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		for qi := range br.Results {
+			for i := range br.Results[qi] {
+				if br.Results[qi][i] != first.Results[qi][i] {
+					t.Fatalf("round %d query %d rank %d drifted", round, qi, i)
+				}
+			}
+		}
+	}
+}
+
+func TestProbeOverheadPositive(t *testing.T) {
+	ix, _, freqs := testSetup(t, 2000, 5)
+	e := buildEngine(t, ix, freqs, DefaultConfig(), 4)
+	if ovh := e.probeOverheadVecs(); ovh <= 0 {
+		t.Fatalf("probe overhead %v", ovh)
+	}
+	// CAE overhead includes combination sums, so it exceeds the plain
+	// engine's LUT-only overhead per scan-equivalent... both must be sane.
+	naive := NaiveConfig()
+	eN := buildEngine(t, ix, freqs, naive, 4)
+	if ovh := eN.probeOverheadVecs(); ovh <= 0 {
+		t.Fatalf("naive probe overhead %v", ovh)
+	}
+}

@@ -1,0 +1,322 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/cooc"
+	"repro/internal/ivfpq"
+	"repro/internal/pim"
+	"repro/internal/placement"
+)
+
+// Engine is a deployed UpANNS instance: an IVFPQ index distributed across
+// the MRAM banks of a simulated UPMEM system.
+type Engine struct {
+	Index *ivfpq.Index
+	Sys   *pim.System
+	Cfg   Config
+	Place *placement.Placement
+
+	tables   []*cooc.Table // per-cluster CAE tables (nil entries if disabled)
+	clusters []clusterMeta
+	dataEnd  []int // per-DPU MRAM offset where static data ends
+	wram     wramLayout
+
+	// CAEStats aggregates re-encoding statistics across clusters.
+	CAEStats cooc.EncodeStats
+	// ReductionRates holds each cluster's CAE length reduction rate.
+	ReductionRates []float64
+
+	runtimes []*dpuRuntime // per-DPU scratch, reused across batches
+}
+
+// clusterMeta describes one cluster's MRAM image, identical on every
+// replica DPU.
+type clusterMeta struct {
+	nvec       int
+	nblocks    int
+	blockBytes int
+	nCombos    int
+	combBytes  int   // padded combination-definition bytes (CAE only)
+	offsets    []int // MRAM offset per replica, parallel to Place.Replicas[c]
+}
+
+// wramLayout is the explicit 64 KB scratchpad plan of Figure 6. The
+// staging region is reused across stages: codebook chunks during LUT
+// construction, combination definitions during the partial-sum stage,
+// encoded-point blocks during the scan, and the result buffer at the end —
+// the paper's WRAM reuse strategy.
+type wramLayout struct {
+	lutOff, lutBytes         int
+	combOff, combBytes       int
+	residOff, residBytes     int
+	heapBytes                int // reserved for (T+1) heaps of k entries
+	stagingOff, stagingBytes int // per tasklet
+}
+
+func align8(n int) int { return (n + 7) &^ 7 }
+
+// planWRAM computes and validates the scratchpad layout.
+func planWRAM(spec pim.Spec, dim, m, k, tasklets, blockBytes, maxCombos int) (wramLayout, error) {
+	var w wramLayout
+	w.lutOff = 0
+	w.lutBytes = m * 256 * 2
+	w.combOff = w.lutOff + w.lutBytes
+	w.combBytes = maxCombos * cooc.SlotsPerCombo * 4
+	w.residOff = w.combOff + w.combBytes
+	w.residBytes = align8(dim * 4)
+	w.heapBytes = align8((tasklets + 1) * k * 12)
+
+	staging := blockBytes
+	if c := align8(maxCombos * 6); c > staging {
+		staging = c
+	}
+	if r := align8(k * 16); r > staging {
+		staging = r
+	}
+	if staging < 512 {
+		staging = 512
+	}
+	if staging > spec.DMAMaxBytes {
+		return w, fmt.Errorf("core: staging buffer %d exceeds the %d-byte DMA limit", staging, spec.DMAMaxBytes)
+	}
+	w.stagingBytes = staging
+	w.stagingOff = w.residOff + w.residBytes + w.heapBytes
+
+	total := w.stagingOff + tasklets*w.stagingBytes
+	if total > spec.WRAMPerDPU {
+		return w, fmt.Errorf("core: WRAM plan needs %d bytes > %d available (LUT %d + comb %d + resid %d + heaps %d + %d tasklets x %d staging); reduce tasklets, k, or the MRAM read size",
+			total, spec.WRAMPerDPU, w.lutBytes, w.combBytes, w.residBytes, w.heapBytes, tasklets, w.stagingBytes)
+	}
+	return w, nil
+}
+
+func (w wramLayout) taskletStaging(id int) int { return w.stagingOff + id*w.stagingBytes }
+
+// Build deploys ix onto sys. freqs is the historical per-cluster access
+// frequency that drives Algorithm 1 (estimated from a query sample via
+// workload.ClusterFrequencies, or uniform if nil).
+func Build(ix *ivfpq.Index, sys *pim.System, freqs []float64, cfg Config) (*Engine, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Tasklets > sys.Spec.MaxTasklets {
+		return nil, fmt.Errorf("core: %d tasklets exceed the hardware's %d", cfg.Tasklets, sys.Spec.MaxTasklets)
+	}
+	nlist := ix.NList()
+	sizes := ix.ListSizes()
+	if freqs == nil {
+		freqs = make([]float64, nlist)
+		for i := range freqs {
+			freqs[i] = 1
+		}
+	}
+	if len(freqs) != nlist {
+		return nil, fmt.Errorf("core: freqs length %d != nlist %d", len(freqs), nlist)
+	}
+
+	e := &Engine{Index: ix, Sys: sys, Cfg: cfg}
+
+	// --- Opt 1: placement ---
+	if cfg.UsePlacement {
+		order := placement.ProximityOrder(ix.Coarse.Centroids)
+		params := placement.DefaultParams()
+		params.ProbeOverhead = e.probeOverheadVecs()
+		e.Place = placement.Place(sizes, freqs, sys.NumDPUs(), order, params)
+	} else {
+		e.Place = placement.RandomPlacement(sizes, sys.NumDPUs(), cfg.Seed)
+	}
+
+	// --- Opt 3: per-cluster CAE tables ---
+	m := ix.PQ.M
+	e.tables = make([]*cooc.Table, nlist)
+	e.ReductionRates = make([]float64, nlist)
+	maxCombos := 0
+	if cfg.UseCAE {
+		maxCombos = cfg.MineParams.TopM
+	}
+
+	// --- WRAM plan (Opt 2) ---
+	blockBytes, err := e.blockBytes(m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.wram, err = planWRAM(sys.Spec, ix.Dim, m, cfg.K, cfg.Tasklets, blockBytes, maxCombos)
+	if err != nil {
+		return nil, err
+	}
+
+	// --- Broadcast codebooks ---
+	cb := ix.PQ.Codebooks
+	cbBytes := make([]byte, len(cb)*4)
+	for i, v := range cb {
+		binary.LittleEndian.PutUint32(cbBytes[4*i:], math.Float32bits(v))
+	}
+	if err := sys.Broadcast(0, cbBytes); err != nil {
+		return nil, err
+	}
+	cursor := make([]int, sys.NumDPUs())
+	for i := range cursor {
+		cursor[i] = align8(len(cbBytes))
+	}
+
+	// --- Build and scatter cluster images ---
+	e.clusters = make([]clusterMeta, nlist)
+	for c := 0; c < nlist; c++ {
+		list := &ix.Lists[c]
+		if list.Len() == 0 {
+			continue
+		}
+		var table *cooc.Table
+		if cfg.UseCAE {
+			table = cooc.Mine(list.Codes, list.Len(), m, cfg.MineParams)
+			e.tables[c] = table
+		}
+		img, meta := e.buildClusterImage(c, table, blockBytes)
+		meta.offsets = make([]int, len(e.Place.Replicas[c]))
+		for ri, dpu := range e.Place.Replicas[c] {
+			off := cursor[dpu]
+			if err := sys.DPUs[dpu].WriteMRAM(off, img); err != nil {
+				return nil, fmt.Errorf("core: scatter cluster %d to DPU %d: %w", c, dpu, err)
+			}
+			meta.offsets[ri] = off
+			cursor[dpu] = align8(off + len(img))
+		}
+		e.clusters[c] = meta
+	}
+	e.dataEnd = cursor
+
+	// Per-DPU runtime scratch.
+	e.runtimes = make([]*dpuRuntime, sys.NumDPUs())
+	for i := range e.runtimes {
+		e.runtimes[i] = newDPURuntime(cfg.Tasklets, cfg.K, ix.Dim)
+	}
+	return e, nil
+}
+
+// blockBytes returns the fixed MRAM read size for the configured
+// vectors-per-read, validated against the DMA limit.
+func (e *Engine) blockBytes(m int, cfg Config) (int, error) {
+	var b int
+	if cfg.UseCAE {
+		// 8-byte block header + R records of worst-case (1+M) uint16s.
+		b = align8(blockHeaderBytes + cfg.VectorsPerRead*(m+1)*2)
+	} else {
+		b = align8(cfg.VectorsPerRead * m)
+	}
+	if b > e.Sys.Spec.DMAMaxBytes {
+		return 0, fmt.Errorf("core: VectorsPerRead %d needs %d-byte MRAM reads > the %d-byte DMA limit",
+			cfg.VectorsPerRead, b, e.Sys.Spec.DMAMaxBytes)
+	}
+	return b, nil
+}
+
+const blockHeaderBytes = 8 // uint32 first-record index, uint16 count, pad
+
+// buildClusterImage serializes one cluster into its MRAM byte image.
+//
+// Plain format: ceil(n/R) blocks of blockBytes, R records of M raw code
+// bytes each, zero-padded tail.
+//
+// CAE format: combination definitions (6 bytes each, 8-aligned), then
+// blocks of blockBytes, each [firstIdx u32][count u16][pad u16] followed
+// by variable-length records [len u16][addr u16 x len]; records never
+// span blocks.
+func (e *Engine) buildClusterImage(c int, table *cooc.Table, blockBytes int) ([]byte, clusterMeta) {
+	list := &e.Index.Lists[c]
+	m := e.Index.PQ.M
+	n := list.Len()
+	meta := clusterMeta{nvec: n, blockBytes: blockBytes}
+
+	if table == nil {
+		r := e.Cfg.VectorsPerRead
+		nblocks := (n + r - 1) / r
+		img := make([]byte, nblocks*blockBytes)
+		for i := 0; i < n; i++ {
+			b, j := i/r, i%r
+			copy(img[b*blockBytes+j*m:], list.Code(i, m))
+		}
+		meta.nblocks = nblocks
+		return img, meta
+	}
+
+	// CAE: re-encode and pack.
+	stream, stats := table.EncodeAll(list.Codes, n)
+	e.CAEStats.Vectors += stats.Vectors
+	e.CAEStats.OriginalLen += stats.OriginalLen
+	e.CAEStats.EncodedLen += stats.EncodedLen
+	e.CAEStats.MatchedTriple += stats.MatchedTriple
+	e.CAEStats.MatchedPair += stats.MatchedPair
+	e.ReductionRates[c] = stats.ReductionRate()
+
+	meta.nCombos = len(table.Combos)
+	meta.combBytes = align8(meta.nCombos * 6)
+	defs := make([]byte, meta.combBytes)
+	for i, cb := range table.Combos {
+		copy(defs[i*6:], cb.Positions[:])
+		copy(defs[i*6+3:], cb.Codes[:])
+	}
+
+	// Pack records into fixed-size blocks.
+	type block struct {
+		firstIdx int
+		count    int
+		words    []uint16
+	}
+	var blocks []block
+	cur := block{}
+	capWords := (blockBytes - blockHeaderBytes) / 2
+	pos, idx := 0, 0
+	for pos < len(stream) {
+		l := int(stream[pos])
+		rec := stream[pos : pos+1+l]
+		if len(cur.words)+len(rec) > capWords {
+			blocks = append(blocks, cur)
+			cur = block{firstIdx: idx}
+		}
+		cur.words = append(cur.words, rec...)
+		cur.count++
+		pos += 1 + l
+		idx++
+	}
+	if cur.count > 0 || len(blocks) == 0 {
+		blocks = append(blocks, cur)
+	}
+	meta.nblocks = len(blocks)
+
+	img := make([]byte, meta.combBytes+len(blocks)*blockBytes)
+	copy(img, defs)
+	for bi, b := range blocks {
+		base := meta.combBytes + bi*blockBytes
+		binary.LittleEndian.PutUint32(img[base:], uint32(b.firstIdx))
+		binary.LittleEndian.PutUint16(img[base+4:], uint16(b.count))
+		for wi, w := range b.words {
+			binary.LittleEndian.PutUint16(img[base+blockHeaderBytes+2*wi:], w)
+		}
+	}
+	return img, meta
+}
+
+// MeanReductionRate returns the average CAE length reduction across
+// non-empty clusters (0 when CAE is disabled).
+func (e *Engine) MeanReductionRate() float64 {
+	return e.CAEStats.ReductionRate()
+}
+
+// probeOverheadVecs converts the fixed per-probe DPU work (LUT
+// construction plus combination sums) into scan-vector equivalents, the
+// weighting Algorithms 1 and 2 use so workload estimates track actual
+// cycles even when clusters are small.
+func (e *Engine) probeOverheadVecs() float64 {
+	q := e.Index.PQ
+	lutInstr := q.M * q.KSub * (costLUTPerDim*q.Dsub + costLUTStore)
+	combInstr := 0
+	perVec := q.M*costPlainEntry + costRecordOverhead + costHeapCompare
+	if e.Cfg.UseCAE {
+		combInstr = e.Cfg.MineParams.TopM * (cooc.SlotsPerCombo - 1) * costCombSlot
+		perVec = q.M*costCAEEntry + costRecordOverhead + costHeapCompare
+	}
+	return float64(lutInstr+combInstr) / float64(perVec)
+}

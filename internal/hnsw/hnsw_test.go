@@ -1,0 +1,157 @@
+package hnsw
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/topk"
+	"repro/internal/vecmath"
+	"repro/internal/xrand"
+)
+
+func buildGraph(t testing.TB, n int) (*Graph, *vecmath.Matrix) {
+	t.Helper()
+	spec := dataset.Spec{
+		Name: "hnsw-test", Dim: 24, M: 8,
+		Anchors: 16, SizeSkew: 0.8, QuerySkew: 0.8, Noise: 0.25,
+	}
+	ds := dataset.Generate(spec, n, 3)
+	g := New(24, DefaultConfig())
+	for i := 0; i < ds.Vectors.Rows; i++ {
+		g.Add(ds.Vectors.Row(i))
+	}
+	return g, ds.Vectors
+}
+
+func TestAddAssignsSequentialIDs(t *testing.T) {
+	g := New(4, DefaultConfig())
+	for i := 0; i < 10; i++ {
+		if id := g.Add([]float32{float32(i), 0, 0, 0}); id != int32(i) {
+			t.Fatalf("id %d for insert %d", id, i)
+		}
+	}
+	if g.Len() != 10 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+}
+
+func TestSearchFindsExactMatch(t *testing.T) {
+	g, data := buildGraph(t, 2000)
+	hits := 0
+	for i := 0; i < 100; i++ {
+		res := g.Search(data.Row(i), 1)
+		if len(res) == 1 && res[0].ID == int64(i) && res[0].Dist == 0 {
+			hits++
+		}
+	}
+	if hits < 95 {
+		t.Errorf("exact self-match %d/100", hits)
+	}
+}
+
+func TestRecallAgainstBruteForce(t *testing.T) {
+	g, data := buildGraph(t, 3000)
+	r := xrand.New(9)
+	queries := vecmath.NewMatrix(30, 24)
+	for i := 0; i < queries.Rows; i++ {
+		src := data.Row(r.Intn(data.Rows))
+		row := queries.Row(i)
+		for d := range row {
+			row[d] = src[d] + float32(r.NormFloat64())*0.1
+		}
+	}
+	truth := dataset.GroundTruth(data, queries, 10)
+	got := make([][]topk.Candidate, queries.Rows)
+	for i := 0; i < queries.Rows; i++ {
+		got[i] = g.Search(queries.Row(i), 10)
+	}
+	if rec := dataset.Recall(got, truth); rec < 0.85 {
+		t.Errorf("HNSW recall@10 = %v, want >= 0.85 (graph methods excel at this scale)", rec)
+	}
+}
+
+func TestResultsAscending(t *testing.T) {
+	g, data := buildGraph(t, 1000)
+	res := g.Search(data.Row(0), 20)
+	for i := 1; i < len(res); i++ {
+		if res[i].Dist < res[i-1].Dist {
+			t.Fatalf("results not ascending at %d", i)
+		}
+	}
+}
+
+func TestLinkCapsRespected(t *testing.T) {
+	g, _ := buildGraph(t, 1500)
+	for l := range g.links {
+		for v, nbrs := range g.links[l] {
+			if len(nbrs) > g.maxLinks(l) {
+				t.Fatalf("vertex %d layer %d has %d links, cap %d", v, l, len(nbrs), g.maxLinks(l))
+			}
+		}
+	}
+}
+
+func TestMemoryAccounting(t *testing.T) {
+	g, data := buildGraph(t, 1000)
+	mem := g.MemoryBytes()
+	vecBytes := int64(data.Rows * data.Dim * 4)
+	if mem <= vecBytes {
+		t.Fatalf("memory %d must exceed raw vectors %d (links!)", mem, vecBytes)
+	}
+	lpv := g.LinkBytesPerVertex()
+	// With M=16 links: roughly 2M at layer 0 plus upper layers -> the
+	// paper's 60-450 B/vertex band.
+	if lpv < 60 || lpv > 450 {
+		t.Errorf("link bytes/vertex %v outside the paper's 60-450 band", lpv)
+	}
+}
+
+func TestEmptyAndDegenerate(t *testing.T) {
+	g := New(4, DefaultConfig())
+	if res := g.Search([]float32{0, 0, 0, 0}, 5); res != nil {
+		t.Fatal("search on empty graph should return nil")
+	}
+	g.Add([]float32{1, 2, 3, 4})
+	res := g.Search([]float32{1, 2, 3, 4}, 5)
+	if len(res) != 1 || res[0].ID != 0 {
+		t.Fatalf("single-vertex search: %v", res)
+	}
+}
+
+func TestDeterministicBuild(t *testing.T) {
+	build := func() *Graph {
+		g, _ := buildGraph(t, 800)
+		return g
+	}
+	a, b := build(), build()
+	if a.MemoryBytes() != b.MemoryBytes() || a.maxLevel != b.maxLevel {
+		t.Fatal("nondeterministic construction")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for M=1")
+		}
+	}()
+	New(4, Config{M: 1})
+}
+
+func BenchmarkAdd(b *testing.B) {
+	spec := dataset.Spec{Name: "b", Dim: 24, M: 8, Anchors: 16, Noise: 0.25}
+	ds := dataset.Generate(spec, 5000, 1)
+	g := New(24, DefaultConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Add(ds.Vectors.Row(i % ds.Vectors.Rows))
+	}
+}
+
+func BenchmarkSearch(b *testing.B) {
+	g, data := buildGraph(b, 5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Search(data.Row(i%data.Rows), 10)
+	}
+}

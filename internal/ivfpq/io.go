@@ -1,0 +1,180 @@
+package ivfpq
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/ivf"
+	"repro/internal/pq"
+	"repro/internal/vecmath"
+)
+
+// Binary index serialization. Training a billion-scale index takes hours,
+// so production deployments persist it; the format here is versioned,
+// little-endian, and self-validating:
+//
+//	magic "UPIX" | version u32 | dim u32 | nlist u32 | m u32 | ksub u32 |
+//	qscale f32 | centroids f32[nlist*dim] | codebooks f32[m*ksub*dsub] |
+//	per list: count u64, ids i64[count], codes u8[count*m]
+
+const (
+	indexMagic   = "UPIX"
+	indexVersion = 1
+)
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+// WriteTo serializes the index. It implements io.WriterTo.
+func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	bw := bufio.NewWriter(cw)
+
+	if _, err := bw.WriteString(indexMagic); err != nil {
+		return cw.n, err
+	}
+	hdr := []uint32{
+		indexVersion,
+		uint32(ix.Dim),
+		uint32(ix.NList()),
+		uint32(ix.PQ.M),
+		uint32(ix.PQ.KSub),
+		math.Float32bits(ix.QScale),
+	}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return cw.n, err
+		}
+	}
+	writeF32 := func(vals []float32) error {
+		buf := make([]byte, 4*len(vals))
+		for i, v := range vals {
+			binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+		}
+		_, err := bw.Write(buf)
+		return err
+	}
+	if err := writeF32(ix.Coarse.Centroids.Data); err != nil {
+		return cw.n, err
+	}
+	if err := writeF32(ix.PQ.Codebooks); err != nil {
+		return cw.n, err
+	}
+	for li := range ix.Lists {
+		l := &ix.Lists[li]
+		if err := binary.Write(bw, binary.LittleEndian, uint64(l.Len())); err != nil {
+			return cw.n, err
+		}
+		for _, id := range l.IDs {
+			if err := binary.Write(bw, binary.LittleEndian, uint64(id)); err != nil {
+				return cw.n, err
+			}
+		}
+		if _, err := bw.Write(l.Codes); err != nil {
+			return cw.n, err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// ReadIndex deserializes an index written by WriteTo.
+func ReadIndex(r io.Reader) (*Index, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("ivfpq: reading magic: %w", err)
+	}
+	if string(magic) != indexMagic {
+		return nil, fmt.Errorf("ivfpq: bad magic %q", magic)
+	}
+	var hdr [6]uint32
+	for i := range hdr {
+		if err := binary.Read(br, binary.LittleEndian, &hdr[i]); err != nil {
+			return nil, fmt.Errorf("ivfpq: reading header: %w", err)
+		}
+	}
+	if hdr[0] != indexVersion {
+		return nil, fmt.Errorf("ivfpq: unsupported version %d", hdr[0])
+	}
+	dim, nlist, m, ksub := int(hdr[1]), int(hdr[2]), int(hdr[3]), int(hdr[4])
+	switch {
+	case dim <= 0 || dim > 1<<16:
+		return nil, fmt.Errorf("ivfpq: implausible dim %d", dim)
+	case nlist <= 0 || nlist > 1<<24:
+		return nil, fmt.Errorf("ivfpq: implausible nlist %d", nlist)
+	case m <= 0 || dim%m != 0:
+		return nil, fmt.Errorf("ivfpq: implausible M %d for dim %d", m, dim)
+	case ksub < 2 || ksub > 256:
+		return nil, fmt.Errorf("ivfpq: implausible KSub %d", ksub)
+	}
+	qscale := math.Float32frombits(hdr[5])
+
+	readF32 := func(n int) ([]float32, error) {
+		buf := make([]byte, 4*n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, err
+		}
+		out := make([]float32, n)
+		for i := range out {
+			out[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+		}
+		return out, nil
+	}
+	cents, err := readF32(nlist * dim)
+	if err != nil {
+		return nil, fmt.Errorf("ivfpq: reading centroids: %w", err)
+	}
+	dsub := dim / m
+	cbs, err := readF32(m * ksub * dsub)
+	if err != nil {
+		return nil, fmt.Errorf("ivfpq: reading codebooks: %w", err)
+	}
+
+	ix := &Index{
+		Dim:    dim,
+		Coarse: &ivf.Coarse{Centroids: vecmath.WrapMatrix(cents, nlist, dim)},
+		PQ: &pq.Quantizer{
+			Dim: dim, M: m, Dsub: dsub, KSub: ksub, Codebooks: cbs,
+		},
+		Lists:  make([]List, nlist),
+		QScale: qscale,
+	}
+	for li := 0; li < nlist; li++ {
+		var count uint64
+		if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+			return nil, fmt.Errorf("ivfpq: reading list %d header: %w", li, err)
+		}
+		if count > 1<<40 {
+			return nil, fmt.Errorf("ivfpq: implausible list %d size %d", li, count)
+		}
+		l := &ix.Lists[li]
+		l.IDs = make([]int64, count)
+		for i := range l.IDs {
+			var v uint64
+			if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
+				return nil, fmt.Errorf("ivfpq: reading list %d ids: %w", li, err)
+			}
+			l.IDs[i] = int64(v)
+		}
+		l.Codes = make([]uint8, int(count)*m)
+		if _, err := io.ReadFull(br, l.Codes); err != nil {
+			return nil, fmt.Errorf("ivfpq: reading list %d codes: %w", li, err)
+		}
+		ix.NTotal += int64(count)
+	}
+	return ix, nil
+}

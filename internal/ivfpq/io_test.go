@@ -1,0 +1,88 @@
+package ivfpq
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestIndexRoundTrip(t *testing.T) {
+	ix, data := buildIndex(t, 31, 3000, 32, 12, 8)
+	var buf bytes.Buffer
+	n, err := ix.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := ReadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dim != ix.Dim || got.NList() != ix.NList() || got.NTotal != ix.NTotal {
+		t.Fatalf("shape mismatch: %d/%d/%d vs %d/%d/%d",
+			got.Dim, got.NList(), got.NTotal, ix.Dim, ix.NList(), ix.NTotal)
+	}
+	if got.QScale != ix.QScale || got.PQ.KSub != ix.PQ.KSub {
+		t.Fatal("scalar fields mismatch")
+	}
+	// Loaded index must return byte-identical search results.
+	for qi := 0; qi < 20; qi++ {
+		q := data.Row(qi)
+		a, _ := ix.Search(q, 4, 10)
+		b, _ := got.Search(q, 4, 10)
+		if len(a) != len(b) {
+			t.Fatalf("query %d: lengths differ", qi)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("query %d rank %d: %+v vs %+v", qi, i, a[i], b[i])
+			}
+		}
+		aq, _ := ix.SearchQuantized(q, 4, 10)
+		bq, _ := got.SearchQuantized(q, 4, 10)
+		for i := range aq {
+			if aq[i] != bq[i] {
+				t.Fatalf("query %d quantized rank %d differs", qi, i)
+			}
+		}
+	}
+}
+
+func TestReadIndexRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":     nil,
+		"bad magic": []byte("NOPE	aaaaaaaaaaaaaaaaaaaaaaaaaaaaa"),
+		"truncated": []byte("UPIX\x01\x00\x00\x00"),
+	}
+	for name, data := range cases {
+		if _, err := ReadIndex(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}
+
+func TestReadIndexRejectsBadVersion(t *testing.T) {
+	ix, _ := buildIndex(t, 33, 500, 8, 4, 4)
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[4] = 99 // version byte
+	if _, err := ReadIndex(bytes.NewReader(b)); err == nil {
+		t.Fatal("no error for future version")
+	}
+}
+
+func TestReadIndexRejectsTruncatedLists(t *testing.T) {
+	ix, _ := buildIndex(t, 35, 500, 8, 4, 4)
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()[:buf.Len()-10]
+	if _, err := ReadIndex(bytes.NewReader(b)); err == nil {
+		t.Fatal("no error for truncated list data")
+	}
+}

@@ -1,0 +1,203 @@
+package ivfpq
+
+import (
+	"testing"
+
+	"repro/internal/topk"
+	"repro/internal/vecmath"
+	"repro/internal/xrand"
+)
+
+func testData(seed uint64, rows, dim int) *vecmath.Matrix {
+	r := xrand.New(seed)
+	m := vecmath.NewMatrix(rows, dim)
+	for i := range m.Data {
+		m.Data[i] = float32(r.NormFloat64())
+	}
+	return m
+}
+
+func buildIndex(t testing.TB, seed uint64, rows, dim, nlist, m int) (*Index, *vecmath.Matrix) {
+	t.Helper()
+	data := testData(seed, rows, dim)
+	ix := Train(data, Params{NList: nlist, M: m, Seed: seed})
+	ix.Add(data, 0)
+	return ix, data
+}
+
+func bruteForce(data *vecmath.Matrix, q []float32, k int) []topk.Candidate {
+	ids := make([]int64, data.Rows)
+	ds := make([]float32, data.Rows)
+	for i := 0; i < data.Rows; i++ {
+		ids[i] = int64(i)
+		ds[i] = vecmath.L2Squared(q, data.Row(i))
+	}
+	return topk.SelectK(k, ids, ds)
+}
+
+func recallAtK(got, truth []topk.Candidate) float64 {
+	truthSet := make(map[int64]bool, len(truth))
+	for _, c := range truth {
+		truthSet[c.ID] = true
+	}
+	hit := 0
+	for _, c := range got {
+		if truthSet[c.ID] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(truth))
+}
+
+func TestIndexCoversAllVectors(t *testing.T) {
+	ix, data := buildIndex(t, 1, 2000, 16, 16, 4)
+	if ix.NTotal != int64(data.Rows) {
+		t.Fatalf("NTotal = %d", ix.NTotal)
+	}
+	total := 0
+	seen := make(map[int64]bool)
+	for _, sz := range ix.ListSizes() {
+		total += sz
+	}
+	if total != data.Rows {
+		t.Fatalf("lists hold %d vectors, want %d", total, data.Rows)
+	}
+	for li := range ix.Lists {
+		l := &ix.Lists[li]
+		if len(l.Codes) != l.Len()*ix.PQ.M {
+			t.Fatalf("list %d codes length %d for %d vectors", li, len(l.Codes), l.Len())
+		}
+		for _, id := range l.IDs {
+			if seen[id] {
+				t.Fatalf("id %d appears twice", id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestSearchFullProbeRecall(t *testing.T) {
+	// Probing every cluster makes IVF exact; only PQ error remains.
+	// Unstructured Gaussian data is PQ's worst case, so the bar is modest;
+	// the structured synthetic datasets reach much higher recall.
+	ix, data := buildIndex(t, 2, 4000, 32, 8, 16)
+	r := xrand.New(77)
+	totalRecall := 0.0
+	trials := 20
+	for i := 0; i < trials; i++ {
+		q := data.Row(r.Intn(data.Rows))
+		got, _ := ix.Search(q, ix.NList(), 10)
+		truth := bruteForce(data, q, 10)
+		totalRecall += recallAtK(got, truth)
+	}
+	if avg := totalRecall / float64(trials); avg < 0.7 {
+		t.Errorf("recall@10 with full probe = %v, want >= 0.7", avg)
+	}
+}
+
+func TestSearchSelfQueryFindsSelf(t *testing.T) {
+	ix, data := buildIndex(t, 3, 1000, 16, 8, 4)
+	// Searching for an indexed vector with generous probes should return
+	// it in the top-k nearly always.
+	hits := 0
+	for i := 0; i < 50; i++ {
+		got, _ := ix.Search(data.Row(i), 8, 10)
+		for _, c := range got {
+			if c.ID == int64(i) {
+				hits++
+				break
+			}
+		}
+	}
+	if hits < 45 {
+		t.Errorf("self-hit %d/50", hits)
+	}
+}
+
+func TestSearchStatsConsistent(t *testing.T) {
+	ix, data := buildIndex(t, 4, 1500, 16, 12, 4)
+	_, st := ix.Search(data.Row(0), 4, 5)
+	if st.ProbedClusters != 4 {
+		t.Errorf("probed %d clusters", st.ProbedClusters)
+	}
+	if st.CentroidScans != 12 {
+		t.Errorf("centroid scans %d", st.CentroidScans)
+	}
+	if st.CodeBytes != st.CodesScanned*ix.PQ.M {
+		t.Errorf("code bytes %d, scanned %d*M", st.CodeBytes, st.CodesScanned)
+	}
+	if st.HeapAccepted > st.HeapPushes || st.HeapPushes != st.CodesScanned {
+		t.Errorf("heap stats inconsistent: %+v", st)
+	}
+	// LUT entries: one table per non-empty probed cluster.
+	if st.LUTEntries%(ix.PQ.M*256) != 0 {
+		t.Errorf("LUT entries %d not a multiple of table size", st.LUTEntries)
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := SearchStats{CentroidScans: 1, LUTEntries: 2, CodesScanned: 3, CodeBytes: 4, HeapPushes: 5, HeapAccepted: 6, ProbedClusters: 7}
+	b := a
+	a.Add(b)
+	if a.CentroidScans != 2 || a.ProbedClusters != 14 || a.HeapAccepted != 12 {
+		t.Errorf("Add wrong: %+v", a)
+	}
+}
+
+func TestSearchQuantizedCloseToFloat(t *testing.T) {
+	ix, data := buildIndex(t, 5, 3000, 32, 8, 8)
+	r := xrand.New(5)
+	agree := 0.0
+	trials := 15
+	for i := 0; i < trials; i++ {
+		q := data.Row(r.Intn(data.Rows))
+		fl, _ := ix.Search(q, 4, 10)
+		qt, _ := ix.SearchQuantized(q, 4, 10)
+		agree += recallAtK(qt, fl)
+	}
+	if avg := agree / float64(trials); avg < 0.9 {
+		t.Errorf("quantized/float agreement %v, want >= 0.9", avg)
+	}
+}
+
+func TestTrainSubsampling(t *testing.T) {
+	data := testData(6, 3000, 16)
+	ix := Train(data, Params{NList: 8, M: 4, Seed: 6, TrainSub: 500})
+	ix.Add(data, 0)
+	got, _ := ix.Search(data.Row(0), 8, 5)
+	if len(got) != 5 {
+		t.Fatalf("search returned %d results", len(got))
+	}
+}
+
+func TestAddBaseID(t *testing.T) {
+	data := testData(7, 100, 8)
+	ix := Train(data, Params{NList: 4, M: 4, Seed: 7})
+	ix.Add(data, 1000)
+	got, _ := ix.Search(data.Row(0), 4, 1)
+	if got[0].ID != 1000 {
+		t.Fatalf("nearest to row 0 is %d, want 1000 (itself)", got[0].ID)
+	}
+}
+
+func TestTrainPanicsBadParams(t *testing.T) {
+	data := testData(8, 100, 8)
+	for _, p := range []Params{{NList: 0, M: 4}, {NList: 4, M: 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("no panic for params %+v", p)
+				}
+			}()
+			Train(data, p)
+		}()
+	}
+}
+
+func BenchmarkSearch(b *testing.B) {
+	ix, data := buildIndex(b, 1, 20000, 64, 64, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Search(data.Row(i%data.Rows), 8, 10)
+	}
+}

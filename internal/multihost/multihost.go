@@ -1,0 +1,174 @@
+// Package multihost implements the multi-host extension the paper
+// sketches in Section 5.5: "UpANNS can be easily extended to multi-host
+// configurations. Only query distribution and result aggregation require
+// cross-host communication. The core memory-intensive search operations
+// remain local to each host."
+//
+// The dataset is sharded contiguously across hosts; each host trains its
+// own IVFPQ index over its shard and deploys it on its own simulated PIM
+// system. A batch is broadcast to every host, searched locally, and the
+// per-host top-k lists are merged on the coordinator. Distances from
+// different hosts are compared in the float domain (each host has its own
+// LUT quantization scale), which is exactly as approximate as IVFPQ
+// itself.
+package multihost
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/ivfpq"
+	"repro/internal/pim"
+	"repro/internal/topk"
+	"repro/internal/vecmath"
+	"repro/internal/workload"
+)
+
+// Config parameterizes a multi-host deployment.
+type Config struct {
+	Hosts       int // number of hosts; the dataset shards evenly
+	DPUsPerHost int // simulated DPUs per host
+	Index       ivfpq.Params
+	Engine      core.Config
+	// InterHostLatency models one broadcast + gather round trip through
+	// the coordinator (seconds); 0 uses a datacenter-typical 50us.
+	InterHostLatency float64
+}
+
+// Host is one shard's deployment.
+type Host struct {
+	BaseID int64 // global id of the shard's first vector
+	Index  *ivfpq.Index
+	Engine *core.Engine
+}
+
+// Cluster is a deployed multi-host UpANNS.
+type Cluster struct {
+	Hosts   []*Host
+	cfg     Config
+	latency float64
+}
+
+// Build shards data across cfg.Hosts hosts and deploys each shard. The
+// optional histQueries sample drives per-host placement frequencies.
+func Build(data *vecmath.Matrix, histQueries *vecmath.Matrix, cfg Config) (*Cluster, error) {
+	if cfg.Hosts <= 0 {
+		return nil, fmt.Errorf("multihost: need at least one host")
+	}
+	if data.Rows < cfg.Hosts {
+		return nil, fmt.Errorf("multihost: %d rows cannot shard over %d hosts", data.Rows, cfg.Hosts)
+	}
+	lat := cfg.InterHostLatency
+	if lat == 0 {
+		lat = 50e-6
+	}
+	cl := &Cluster{cfg: cfg, latency: lat}
+	per := (data.Rows + cfg.Hosts - 1) / cfg.Hosts
+	for h := 0; h < cfg.Hosts; h++ {
+		lo, hi := h*per, (h+1)*per
+		if hi > data.Rows {
+			hi = data.Rows
+		}
+		if lo >= hi {
+			break
+		}
+		shard := vecmath.WrapMatrix(data.Data[lo*data.Dim:hi*data.Dim], hi-lo, data.Dim)
+		p := cfg.Index
+		p.Seed += uint64(h) * 1013
+		ix := ivfpq.Train(shard, p)
+		ix.Add(shard, 0)
+
+		spec := pim.DefaultSpec()
+		spec.NumDIMMs = 1
+		spec.DPUsPerDIMM = cfg.DPUsPerHost
+		sys := pim.NewSystem(spec)
+		var freqs []float64
+		if histQueries != nil {
+			freqs = workload.ClusterFrequencies(ix.Coarse, histQueries, cfg.Engine.NProbe)
+		}
+		eng, err := core.Build(ix, sys, freqs, cfg.Engine)
+		if err != nil {
+			return nil, fmt.Errorf("multihost: host %d: %w", h, err)
+		}
+		cl.Hosts = append(cl.Hosts, &Host{BaseID: int64(lo), Index: ix, Engine: eng})
+	}
+	return cl, nil
+}
+
+// Result is one multi-host batch outcome.
+type Result struct {
+	Results [][]topk.Candidate
+	// HostSeconds is each host's local batch time; the batch completes at
+	// the slowest host plus the coordination round trip.
+	HostSeconds []float64
+	TotalSec    float64
+	QPS         float64
+}
+
+// SearchBatch broadcasts queries to every host and merges the top-k.
+func (cl *Cluster) SearchBatch(queries *vecmath.Matrix) (*Result, error) {
+	nq := queries.Rows
+	k := cl.cfg.Engine.K
+	type hostOut struct {
+		idx int
+		br  *core.BatchResult
+		err error
+	}
+	outs := make([]hostOut, len(cl.Hosts))
+	var wg sync.WaitGroup
+	for hi, h := range cl.Hosts {
+		wg.Add(1)
+		go func(hi int, h *Host) {
+			defer wg.Done()
+			br, err := h.Engine.SearchBatch(queries)
+			outs[hi] = hostOut{hi, br, err}
+		}(hi, h)
+	}
+	wg.Wait()
+
+	res := &Result{
+		Results:     make([][]topk.Candidate, nq),
+		HostSeconds: make([]float64, len(cl.Hosts)),
+	}
+	heaps := make([]*topk.Heap, nq)
+	slowest := 0.0
+	for _, o := range outs {
+		if o.err != nil {
+			return nil, fmt.Errorf("multihost: host %d: %w", o.idx, o.err)
+		}
+		secs := o.br.Timing.Total()
+		res.HostSeconds[o.idx] = secs
+		if secs > slowest {
+			slowest = secs
+		}
+		base := cl.Hosts[o.idx].BaseID
+		for qi, cands := range o.br.Results {
+			if heaps[qi] == nil {
+				heaps[qi] = topk.NewHeap(k)
+			}
+			for _, c := range cands {
+				heaps[qi].Push(base+c.ID, c.Dist)
+			}
+		}
+	}
+	for qi, h := range heaps {
+		if h != nil {
+			res.Results[qi] = h.Sorted()
+		}
+	}
+	res.TotalSec = slowest + cl.latency
+	if res.TotalSec > 0 {
+		res.QPS = float64(nq) / res.TotalSec
+	}
+	return res, nil
+}
+
+// NumVectors returns the total indexed vectors across hosts.
+func (cl *Cluster) NumVectors() int64 {
+	var n int64
+	for _, h := range cl.Hosts {
+		n += h.Index.NTotal
+	}
+	return n
+}

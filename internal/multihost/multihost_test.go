@@ -1,0 +1,172 @@
+package multihost
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/ivfpq"
+	"repro/internal/topk"
+)
+
+func testConfig(hosts int) Config {
+	eng := core.DefaultConfig()
+	eng.NProbe = 6
+	eng.K = 10
+	return Config{
+		Hosts:       hosts,
+		DPUsPerHost: 8,
+		Index:       ivfpq.Params{NList: 12, M: 8, KSub: 64, Seed: 3, TrainSub: 4096},
+		Engine:      eng,
+	}
+}
+
+func testData(n int) (*dataset.Dataset, Config) {
+	spec := dataset.Spec{
+		Name: "mh-test", Dim: 32, M: 8,
+		Anchors: 24, SizeSkew: 0.9, QuerySkew: 0.9, Noise: 0.2,
+		MotifProb: 0.3, MotifCount: 3, MotifSpan: 2,
+	}
+	return dataset.Generate(spec, n, 5), testConfig(3)
+}
+
+func TestBuildShardsEvenly(t *testing.T) {
+	ds, cfg := testData(9000)
+	cl, err := Build(ds.Vectors, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cl.Hosts) != 3 {
+		t.Fatalf("%d hosts", len(cl.Hosts))
+	}
+	if cl.NumVectors() != 9000 {
+		t.Fatalf("indexed %d vectors", cl.NumVectors())
+	}
+	for h, host := range cl.Hosts {
+		if host.Index.NTotal != 3000 {
+			t.Errorf("host %d holds %d", h, host.Index.NTotal)
+		}
+	}
+}
+
+func TestSearchBatchAggregates(t *testing.T) {
+	ds, cfg := testData(9000)
+	hist := ds.Queries(200, 7)
+	cl, err := Build(ds.Vectors, hist, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := ds.Queries(30, 9)
+	res, err := cl.SearchBatch(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Results) != 30 {
+		t.Fatalf("results for %d queries", len(res.Results))
+	}
+	// Results must reference global ids across all shards.
+	seenShard := map[int64]bool{}
+	for _, cands := range res.Results {
+		if len(cands) == 0 {
+			t.Fatal("empty result")
+		}
+		for _, c := range cands {
+			if c.ID < 0 || c.ID >= 9000 {
+				t.Fatalf("id %d out of global range", c.ID)
+			}
+			seenShard[c.ID/3000] = true
+		}
+	}
+	if len(seenShard) < 2 {
+		t.Errorf("results drawn from only %d shards; aggregation suspect", len(seenShard))
+	}
+	if res.TotalSec <= 0 || res.QPS <= 0 {
+		t.Errorf("timing missing: %+v", res)
+	}
+	// Batch completes at the slowest host plus coordination.
+	maxHost := 0.0
+	for _, s := range res.HostSeconds {
+		if s > maxHost {
+			maxHost = s
+		}
+	}
+	if res.TotalSec <= maxHost {
+		t.Error("total time must include the coordination round trip")
+	}
+}
+
+func TestAggregationImprovesOnEveryHost(t *testing.T) {
+	// Against global ground truth, the merged multi-host result must beat
+	// what any single host can achieve alone (each host only sees a third
+	// of the data). This is the property cross-host aggregation provides.
+	ds, cfg := testData(9000)
+	cl, err := Build(ds.Vectors, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := ds.Queries(25, 11)
+	res, err := cl.SearchBatch(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := dataset.GroundTruth(ds.Vectors, queries, 10)
+	multiRecall := dataset.Recall(res.Results, truth)
+
+	for h, host := range cl.Hosts {
+		br, err := host.Engine.SearchBatch(queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Rebase shard-local ids to global ids for the recall measurement.
+		global := make([][]topk.Candidate, len(br.Results))
+		for qi, cands := range br.Results {
+			global[qi] = make([]topk.Candidate, len(cands))
+			for i, c := range cands {
+				global[qi][i] = topk.Candidate{ID: host.BaseID + c.ID, Dist: c.Dist}
+			}
+		}
+		solo := dataset.Recall(global, truth)
+		if multiRecall < solo {
+			t.Errorf("host %d alone (%v) beats the aggregate (%v)", h, solo, multiRecall)
+		}
+	}
+	if multiRecall <= 0.2 {
+		t.Errorf("aggregate recall %v implausibly low", multiRecall)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	ds, cfg := testData(100)
+	cfg.Hosts = 0
+	if _, err := Build(ds.Vectors, nil, cfg); err == nil {
+		t.Fatal("no error for zero hosts")
+	}
+	cfg.Hosts = 200
+	if _, err := Build(ds.Vectors, nil, cfg); err == nil {
+		t.Fatal("no error for more hosts than rows")
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	ds, cfg := testData(6000)
+	queries := ds.Queries(10, 13)
+	run := func() *Result {
+		cl, err := Build(ds.Vectors, nil, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := cl.SearchBatch(queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	for qi := range a.Results {
+		for i := range a.Results[qi] {
+			if a.Results[qi][i] != b.Results[qi][i] {
+				t.Fatalf("query %d rank %d differs across runs", qi, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,382 @@
+package pim
+
+import (
+	"encoding/binary"
+	"math"
+	"strings"
+	"testing"
+)
+
+func smallSpec() Spec {
+	s := DefaultSpec()
+	s.NumDIMMs = 1
+	s.DPUsPerDIMM = 4
+	return s
+}
+
+func TestDefaultSpecMatchesPaper(t *testing.T) {
+	s := DefaultSpec()
+	if s.NumDPUs() != 896 {
+		t.Errorf("NumDPUs = %d, want 896 (7 DIMMs x 128)", s.NumDPUs())
+	}
+	if s.MRAMPerDPU != 64<<20 || s.WRAMPerDPU != 64<<10 || s.IRAMPerDPU != 24<<10 {
+		t.Error("memory tier sizes do not match Section 2.2")
+	}
+	if s.MaxTasklets != 24 || s.ClockHz != 350e6 || s.IssueInterval != 11 {
+		t.Error("DPU core parameters do not match Section 2.2")
+	}
+	if w := s.PeakWatts(); math.Abs(w-162.54) > 0.01 {
+		t.Errorf("peak watts = %v, want ~162 (Table 1)", w)
+	}
+	// Total memory: 896 x 64MB = 56 GB (Table 1).
+	if got := int64(s.NumDPUs()) * int64(s.MRAMPerDPU); got != 56<<30 {
+		t.Errorf("total capacity = %d, want 56 GiB", got)
+	}
+}
+
+func TestDMALatencyCurveShape(t *testing.T) {
+	s := DefaultSpec()
+	// Fig. 7: latency grows slowly to the knee, then almost linearly.
+	l8 := s.DMALatency(8)
+	l256 := s.DMALatency(256)
+	l2048 := s.DMALatency(2048)
+	if l256 > 1.5*l8 {
+		t.Errorf("latency at 256B (%v) should be < 1.5x latency at 8B (%v)", l256, l8)
+	}
+	if l2048 < 4*l256 {
+		t.Errorf("latency at 2KB (%v) should be >> latency at 256B (%v)", l2048, l256)
+	}
+	// Monotonic non-decreasing.
+	prev := 0.0
+	for b := 8; b <= 2048; b += 8 {
+		l := s.DMALatency(b)
+		if l < prev {
+			t.Fatalf("latency not monotonic at %d bytes", b)
+		}
+		prev = l
+	}
+}
+
+func TestInstrCyclesPipelineModel(t *testing.T) {
+	s := DefaultSpec()
+	// Below 11 tasklets each instruction still costs 11 cycles; above,
+	// dispatch contention makes it cost N.
+	for _, n := range []int{1, 5, 11} {
+		if got := s.InstrCycles(n); got != 11 {
+			t.Errorf("InstrCycles(%d) = %v, want 11", n, got)
+		}
+	}
+	if got := s.InstrCycles(24); got != 24 {
+		t.Errorf("InstrCycles(24) = %v, want 24", got)
+	}
+}
+
+func TestThroughputSaturatesAt11Tasklets(t *testing.T) {
+	// Fixed total work split over T tasklets: wall time should fall ~1/T
+	// until 11, then flatten — the Fig. 13 shape.
+	spec := smallSpec()
+	const work = 11 * 24 * 10 // divisible by all tasklet counts used
+	wall := func(T int) float64 {
+		sys := NewSystem(spec)
+		res := sys.Launch([]int{0}, T, func(tk *Tasklet) {
+			tk.Exec(work / tk.N)
+		})
+		return res.MaxCycles
+	}
+	w1, w11, w24 := wall(1), wall(11), wall(24)
+	if ratio := w1 / w11; ratio < 10.5 || ratio > 11.5 {
+		t.Errorf("1->11 tasklet speedup = %v, want ~11", ratio)
+	}
+	if ratio := w11 / w24; ratio < 0.95 || ratio > 1.05 {
+		t.Errorf("11->24 tasklets changed wall time by %v, want ~1 (saturated)", ratio)
+	}
+}
+
+func TestMRAMWriteReadRoundTrip(t *testing.T) {
+	sys := NewSystem(smallSpec())
+	d := sys.DPUs[2]
+	data := make([]byte, 64)
+	for i := range data {
+		data[i] = byte(i * 3)
+	}
+	if err := d.WriteMRAM(128, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 64)
+	if err := d.ReadMRAM(128, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("byte %d: %d != %d", i, got[i], data[i])
+		}
+	}
+}
+
+func TestMRAMCapacityEnforced(t *testing.T) {
+	spec := smallSpec()
+	spec.MRAMPerDPU = 1024
+	sys := NewSystem(spec)
+	if err := sys.DPUs[0].WriteMRAM(1000, make([]byte, 100)); err == nil {
+		t.Fatal("no error writing past MRAM capacity")
+	}
+}
+
+func TestKernelDMAFunctional(t *testing.T) {
+	sys := NewSystem(smallSpec())
+	d := sys.DPUs[0]
+	src := make([]byte, 256)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	if err := d.WriteMRAM(0, src); err != nil {
+		t.Fatal(err)
+	}
+	sys.Launch([]int{0}, 1, func(tk *Tasklet) {
+		tk.MRAMRead(0, 0, 256)
+		// Transform in WRAM and write back.
+		w := tk.DPU.WRAM()
+		for i := 0; i < 256; i++ {
+			w[i] ^= 0xff
+		}
+		tk.Exec(256)
+		tk.MRAMWrite(1024, 0, 256)
+	})
+	got := make([]byte, 256)
+	if err := d.ReadMRAM(1024, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != byte(i)^0xff {
+			t.Fatalf("byte %d: got %d", i, got[i])
+		}
+	}
+}
+
+func TestDMARulesEnforced(t *testing.T) {
+	cases := []struct {
+		name          string
+		wram, mram, n int
+	}{
+		{"too small", 0, 0, 4},
+		{"unaligned", 0, 0, 12 + 1},
+		{"too large", 0, 0, 4096},
+		{"wram overflow", 64<<10 - 8, 0, 16},
+		{"negative mram", 0, -8, 8},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sys := NewSystem(smallSpec())
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", tc.name)
+				}
+			}()
+			sys.Launch([]int{0}, 1, func(tk *Tasklet) {
+				tk.MRAMRead(tc.wram, tc.mram, tc.n)
+			})
+		})
+	}
+}
+
+func TestDMAReadBeyondPopulatedYieldsZeros(t *testing.T) {
+	sys := NewSystem(smallSpec())
+	sys.DPUs[0].WriteMRAM(0, []byte{1, 2, 3, 4})
+	sys.Launch([]int{0}, 1, func(tk *Tasklet) {
+		w := tk.DPU.WRAM()
+		for i := 0; i < 16; i++ {
+			w[i] = 0xaa
+		}
+		tk.MRAMRead(0, 0, 16)
+		if w[0] != 1 || w[3] != 4 {
+			t.Error("populated bytes wrong")
+		}
+		for i := 4; i < 16; i++ {
+			if w[i] != 0 {
+				t.Errorf("byte %d not zeroed: %d", i, w[i])
+			}
+		}
+	})
+}
+
+func TestBarrierAlignsClocks(t *testing.T) {
+	sys := NewSystem(smallSpec())
+	clocks := make([]float64, 4)
+	sys.Launch([]int{0}, 4, func(tk *Tasklet) {
+		tk.Exec((tk.ID + 1) * 100) // staggered work
+		tk.Barrier()
+		clocks[tk.ID] = tk.Clock()
+	})
+	for i := 1; i < 4; i++ {
+		if clocks[i] != clocks[0] {
+			t.Fatalf("clock %d = %v != clock 0 = %v after barrier", i, clocks[i], clocks[0])
+		}
+	}
+	// The aligned clock must equal the slowest tasklet's work.
+	want := 4.0 * 100 * 11 // tasklet 3: 400 instr x 11 cycles
+	if clocks[0] != want {
+		t.Fatalf("aligned clock = %v, want %v", clocks[0], want)
+	}
+}
+
+func TestSemaphoreSerializesCriticalSections(t *testing.T) {
+	sys := NewSystem(smallSpec())
+	var exits [4]float64
+	sys.Launch([]int{0}, 4, func(tk *Tasklet) {
+		tk.Barrier() // equal start
+		tk.SemTake(0)
+		tk.Exec(100)
+		tk.SemGive(0)
+		exits[tk.ID] = tk.Clock()
+	})
+	// Each critical section must start after the previous one released.
+	for i := 1; i < 4; i++ {
+		if exits[i] <= exits[i-1] {
+			t.Fatalf("critical sections overlap: exits = %v", exits)
+		}
+	}
+}
+
+func TestLaunchParallelAcrossDPUs(t *testing.T) {
+	sys := NewSystem(smallSpec())
+	res := sys.Launch(nil, 2, func(tk *Tasklet) {
+		tk.Exec(100 * (tk.DPU.ID + 1))
+	})
+	if len(res.PerDPU) != 4 {
+		t.Fatalf("PerDPU len %d", len(res.PerDPU))
+	}
+	// Wall time equals the slowest DPU, not the sum.
+	if res.MaxCycles >= res.SumCycles {
+		t.Error("MaxCycles should be < SumCycles with imbalanced DPUs")
+	}
+	if res.MaxDPU != 3 {
+		t.Errorf("MaxDPU = %d, want 3", res.MaxDPU)
+	}
+	if res.BalanceRatio() <= 1 {
+		t.Errorf("balance ratio %v should exceed 1 for imbalanced work", res.BalanceRatio())
+	}
+}
+
+func TestLaunchDeterministicCycles(t *testing.T) {
+	run := func() float64 {
+		sys := NewSystem(smallSpec())
+		sys.Broadcast(0, make([]byte, 2048))
+		res := sys.Launch(nil, 8, func(tk *Tasklet) {
+			for i := 0; i < 10; i++ {
+				tk.MRAMRead(tk.ID*256, (tk.ID*13%8)*256, 256)
+				tk.Exec(50 + tk.ID)
+				tk.Barrier()
+			}
+			tk.SemTake(1)
+			tk.Exec(5)
+			tk.SemGive(1)
+		})
+		return res.MaxCycles
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("nondeterministic cycles: %v vs %v", a, b)
+	}
+}
+
+func TestTransferTimeUniformVsSkewed(t *testing.T) {
+	sys := NewSystem(smallSpec())
+	uniform, par := sys.TransferTime([]int{1024, 1024, 1024, 1024})
+	if !par {
+		t.Error("uniform sizes should transfer in parallel")
+	}
+	skewed, par2 := sys.TransferTime([]int{4096, 8, 8, 8})
+	if par2 {
+		t.Error("skewed sizes must serialize")
+	}
+	if skewed <= uniform {
+		t.Errorf("skewed transfer (%v) should cost more than uniform (%v)", skewed, uniform)
+	}
+}
+
+func TestTransferTimeZeroAndEmpty(t *testing.T) {
+	sys := NewSystem(smallSpec())
+	if s, _ := sys.TransferTime(nil); s != 0 {
+		t.Errorf("empty transfer time %v", s)
+	}
+	// Zeros don't participate: remaining equal sizes stay parallel.
+	if _, par := sys.TransferTime([]int{0, 512, 512, 0}); !par {
+		t.Error("zeros should not break uniformity")
+	}
+}
+
+func TestKernelStatsAccounting(t *testing.T) {
+	sys := NewSystem(smallSpec())
+	sys.DPUs[0].WriteMRAM(0, make([]byte, 1024))
+	res := sys.Launch([]int{0}, 2, func(tk *Tasklet) {
+		tk.MRAMRead(0, 0, 64)
+		tk.Exec(10)
+	})
+	st := res.PerDPU[0]
+	if st.MRAMReadOps != 2 || st.MRAMReadBytes != 128 {
+		t.Errorf("MRAM stats: %+v", st)
+	}
+	if st.Instructions != 20 {
+		t.Errorf("instructions = %d, want 20", st.Instructions)
+	}
+	if st.Seconds <= 0 || st.Cycles <= 0 {
+		t.Errorf("time not accounted: %+v", st)
+	}
+}
+
+func TestMixedBarrierDonePanics(t *testing.T) {
+	sys := NewSystem(smallSpec())
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic for divergent barrier usage")
+		}
+		if !strings.Contains(toString(r), "deadlock") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	sys.Launch([]int{0}, 2, func(tk *Tasklet) {
+		if tk.ID == 0 {
+			tk.Barrier() // tasklet 1 never reaches this barrier
+		}
+	})
+}
+
+func toString(v any) string {
+	if err, ok := v.(error); ok {
+		return err.Error()
+	}
+	if s, ok := v.(string); ok {
+		return s
+	}
+	return ""
+}
+
+func TestWRAMSizeIs64KB(t *testing.T) {
+	sys := NewSystem(smallSpec())
+	if len(sys.DPUs[0].WRAM()) != 64<<10 {
+		t.Fatalf("WRAM size %d", len(sys.DPUs[0].WRAM()))
+	}
+}
+
+func TestUint16WRAMHelpers(t *testing.T) {
+	// Sanity for the binary layout kernels rely on.
+	sys := NewSystem(smallSpec())
+	w := sys.DPUs[0].WRAM()
+	binary.LittleEndian.PutUint16(w[10:], 0xbeef)
+	if binary.LittleEndian.Uint16(w[10:]) != 0xbeef {
+		t.Fatal("endianness round trip failed")
+	}
+}
+
+func BenchmarkLaunchOverhead(b *testing.B) {
+	sys := NewSystem(smallSpec())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Launch(nil, 11, func(tk *Tasklet) {
+			tk.Exec(100)
+			tk.Barrier()
+			tk.Exec(100)
+		})
+	}
+}

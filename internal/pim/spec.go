@@ -1,0 +1,117 @@
+// Package pim is a functional and timing simulator of the UPMEM
+// Processing-in-Memory architecture the paper evaluates on (Section 2.2):
+// standard DDR4 DIMMs housing 16 PIM chips of 8 DPUs each, where every DPU
+// is a 350 MHz RISC core with 24 hardware threads ("tasklets"), a 14-stage
+// pipeline, 64 MB of private MRAM, a 64 KB WRAM scratchpad, and no channel
+// to other DPUs — all coordination routes through the host.
+//
+// Kernels are ordinary Go functions executed per tasklet. Functional state
+// (MRAM/WRAM bytes) is real, so search results are exact; time is modelled
+// with a cycle ledger per tasklet:
+//
+//   - Each abstract instruction costs max(issueInterval, activeTasklets)
+//     cycles of its tasklet's clock. This is the published "revolver"
+//     pipeline behaviour: a tasklet may dispatch only every 11 cycles, and
+//     with T >= 11 tasklets dispatch slots round-robin at one per cycle —
+//     which is exactly why Fig. 13 saturates at 11 tasklets.
+//   - MRAM<->WRAM DMA costs follow the paper's Fig. 7 curve: a large fixed
+//     cost, near-flat to ~256 B, then linear growth. Transfers must be
+//     8-byte aligned, between 8 and 2048 bytes (the hardware rule quoted
+//     in Section 4.2.1).
+//   - Host<->DPU transfers are parallel across DPUs only when every DPU
+//     moves the same number of bytes; otherwise they serialize (the UPMEM
+//     quirk described in Section 2.2).
+//
+// Within one DPU, tasklets are scheduled sequentially between barriers
+// (a deterministic "baton" scheduler), so results and cycle counts are
+// bit-reproducible; across DPUs, execution uses real goroutine parallelism.
+package pim
+
+// Spec holds the architectural parameters of a simulated PIM deployment.
+type Spec struct {
+	NumDIMMs    int // PIM modules installed
+	DPUsPerDIMM int // 16 chips x 8 DPUs = 128
+
+	MRAMPerDPU int // bytes of bulk DRAM per DPU
+	WRAMPerDPU int // bytes of scratchpad per DPU
+	IRAMPerDPU int // bytes of instruction memory (capacity bookkeeping only)
+
+	MaxTasklets   int     // hardware threads per DPU
+	ClockHz       float64 // DPU core clock
+	IssueInterval int     // min cycles between two instructions of one tasklet
+
+	// DMA latency curve (Fig. 7): lat(b) = DMABase + DMAPerByteNear*b for
+	// b <= DMAKnee, then + DMAPerByteFar*(b-DMAKnee) beyond the knee.
+	DMAMinBytes    int
+	DMAMaxBytes    int
+	DMAAlignBytes  int
+	DMABaseCycles  float64
+	DMAPerByteNear float64
+	DMAPerByteFar  float64
+	DMAKneeBytes   int
+
+	// Host transfer model: per-DPU bandwidth when transfers are uniform
+	// (they proceed in parallel), and the serialization penalty otherwise.
+	HostXferBytesPerSec float64
+	HostXferLatencySec  float64 // fixed per-transfer software overhead
+
+	WattsPerDIMM float64 // peak power per DIMM (Falevoz & Legriel: 23.22 W)
+}
+
+// DefaultSpec returns the paper's evaluated deployment: 7 DIMMs, 896 DPUs
+// (Table 1), with the published per-component parameters.
+func DefaultSpec() Spec {
+	return Spec{
+		NumDIMMs:    7,
+		DPUsPerDIMM: 128,
+
+		MRAMPerDPU: 64 << 20,
+		WRAMPerDPU: 64 << 10,
+		IRAMPerDPU: 24 << 10,
+
+		MaxTasklets:   24,
+		ClockHz:       350e6,
+		IssueInterval: 11,
+
+		DMAMinBytes:    8,
+		DMAMaxBytes:    2048,
+		DMAAlignBytes:  8,
+		DMABaseCycles:  100,
+		DMAPerByteNear: 0.08,
+		DMAPerByteFar:  0.5,
+		DMAKneeBytes:   256,
+
+		HostXferBytesPerSec: 350e6, // ~0.35 GB/s per DPU push/pull
+		HostXferLatencySec:  2e-6,
+
+		WattsPerDIMM: 23.22,
+	}
+}
+
+// NumDPUs returns the total DPU count of the deployment.
+func (s Spec) NumDPUs() int { return s.NumDIMMs * s.DPUsPerDIMM }
+
+// PeakWatts returns the deployment's peak power draw.
+func (s Spec) PeakWatts() float64 { return float64(s.NumDIMMs) * s.WattsPerDIMM }
+
+// DMALatency returns the modelled MRAM<->WRAM transfer latency in cycles
+// for a transfer of b bytes. It does not validate b; use CheckDMA first.
+func (s Spec) DMALatency(b int) float64 {
+	lat := s.DMABaseCycles + s.DMAPerByteNear*float64(b)
+	if b > s.DMAKneeBytes {
+		lat += s.DMAPerByteFar * float64(b-s.DMAKneeBytes)
+	}
+	return lat
+}
+
+// InstrCycles returns the cycle cost of one instruction when active
+// tasklets share the pipeline.
+func (s Spec) InstrCycles(activeTasklets int) float64 {
+	if activeTasklets > s.IssueInterval {
+		return float64(activeTasklets)
+	}
+	return float64(s.IssueInterval)
+}
+
+// SecondsFromCycles converts DPU cycles to seconds.
+func (s Spec) SecondsFromCycles(c float64) float64 { return c / s.ClockHz }

@@ -1,0 +1,169 @@
+package pim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// System is a simulated PIM deployment: the host-visible collection of
+// DPUs plus the transfer timing model. Host code scatters data into DPU
+// MRAM, launches kernels (parallel across DPUs, since each DPU owns its
+// memory), and gathers results.
+type System struct {
+	Spec Spec
+	DPUs []*DPU
+}
+
+// NewSystem builds a system with spec.NumDPUs() DPUs.
+func NewSystem(spec Spec) *System {
+	n := spec.NumDPUs()
+	if n <= 0 {
+		panic("pim: system needs at least one DPU")
+	}
+	s := &System{Spec: spec, DPUs: make([]*DPU, n)}
+	for i := range s.DPUs {
+		s.DPUs[i] = newDPU(i, &s.Spec)
+	}
+	return s
+}
+
+// NumDPUs returns the DPU count.
+func (s *System) NumDPUs() int { return len(s.DPUs) }
+
+// Broadcast writes the same data at offset into every DPU's MRAM.
+func (s *System) Broadcast(offset int, data []byte) error {
+	for _, d := range s.DPUs {
+		if err := d.WriteMRAM(offset, data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TransferTime models one host<->DPU bulk transfer round given the bytes
+// moved per DPU. Per Section 2.2, transfers proceed concurrently only when
+// every participating DPU moves the same number of bytes; otherwise they
+// serialize through the host. The returned flag reports whether the
+// parallel path applied. DPUs moving zero bytes do not participate.
+func (s *System) TransferTime(bytesPerDPU []int) (seconds float64, parallel bool) {
+	spec := s.Spec
+	first := -1
+	uniform := true
+	active := 0
+	total := 0
+	maxB := 0
+	for _, b := range bytesPerDPU {
+		if b == 0 {
+			continue
+		}
+		active++
+		total += b
+		if b > maxB {
+			maxB = b
+		}
+		if first == -1 {
+			first = b
+		} else if b != first {
+			uniform = false
+		}
+	}
+	if active == 0 {
+		return 0, true
+	}
+	if uniform {
+		return spec.HostXferLatencySec + float64(maxB)/spec.HostXferBytesPerSec, true
+	}
+	return float64(active)*spec.HostXferLatencySec + float64(total)/spec.HostXferBytesPerSec, false
+}
+
+// LaunchResult summarizes one kernel launch.
+type LaunchResult struct {
+	PerDPU []KernelStats // indexed like the dpus argument to Launch
+	// MaxSeconds is the launch's wall time: DPUs run in parallel, so the
+	// slowest DPU determines when the host can collect results.
+	MaxSeconds float64
+	MaxCycles  float64
+	SumCycles  float64
+	// MaxDPU is the index (into the dpus argument) of the slowest DPU.
+	MaxDPU int
+}
+
+// Launch runs kernel with nTasklets tasklets on each listed DPU. DPUs
+// execute concurrently on host goroutines; each DPU's tasklets run under
+// the deterministic baton scheduler. A nil dpus slice launches on all DPUs.
+func (s *System) Launch(dpus []int, nTasklets int, kernel Kernel) LaunchResult {
+	if dpus == nil {
+		dpus = make([]int, len(s.DPUs))
+		for i := range dpus {
+			dpus[i] = i
+		}
+	}
+	for _, id := range dpus {
+		if id < 0 || id >= len(s.DPUs) {
+			panic(fmt.Errorf("pim: Launch on unknown DPU %d", id))
+		}
+	}
+	res := LaunchResult{PerDPU: make([]KernelStats, len(dpus))}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(dpus) {
+		workers = len(dpus)
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstPanic any
+	next := make(chan int)
+	go func() {
+		for i := range dpus {
+			next <- i
+		}
+		close(next)
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				d := s.DPUs[dpus[i]]
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							mu.Lock()
+							if firstPanic == nil {
+								firstPanic = r
+							}
+							mu.Unlock()
+						}
+					}()
+					runKernel(d, nTasklets, kernel)
+				}()
+				res.PerDPU[i] = d.stats()
+			}
+		}()
+	}
+	wg.Wait()
+	if firstPanic != nil {
+		panic(firstPanic)
+	}
+
+	for i, st := range res.PerDPU {
+		res.SumCycles += st.Cycles
+		if st.Cycles > res.MaxCycles {
+			res.MaxCycles = st.Cycles
+			res.MaxDPU = i
+		}
+	}
+	res.MaxSeconds = s.Spec.SecondsFromCycles(res.MaxCycles)
+	return res
+}
+
+// BalanceRatio returns max/avg cycles across the launch's DPUs, the
+// Fig. 11 workload balance metric (1.0 = perfectly balanced).
+func (r LaunchResult) BalanceRatio() float64 {
+	if len(r.PerDPU) == 0 || r.SumCycles == 0 {
+		return 1
+	}
+	avg := r.SumCycles / float64(len(r.PerDPU))
+	return r.MaxCycles / avg
+}

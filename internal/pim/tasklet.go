@@ -1,0 +1,228 @@
+package pim
+
+import "fmt"
+
+// Tasklet is the execution context handed to a kernel: one of the N
+// hardware threads running on a DPU. Kernels advance simulated time with
+// Exec (compute instructions) and MRAMRead/MRAMWrite (DMA transfers), and
+// synchronize with Barrier and SemTake/SemGive, mirroring the UPMEM SDK
+// primitives the paper's Figure 6 and Figure 9 use.
+type Tasklet struct {
+	ID  int // tasklet index in [0, N)
+	N   int // tasklets launched on this DPU
+	DPU *DPU
+
+	clock  float64 // this tasklet's virtual time in cycles
+	sched  *batonSched
+	active bool
+}
+
+// Clock returns the tasklet's current virtual time in cycles.
+func (t *Tasklet) Clock() float64 { return t.clock }
+
+// Exec advances the tasklet by n abstract instructions. Each instruction
+// occupies one dispatch slot of the shared 14-stage pipeline, costing
+// max(issueInterval, N) cycles of this tasklet's clock.
+func (t *Tasklet) Exec(n int) {
+	if n <= 0 {
+		return
+	}
+	t.clock += float64(n) * t.DPU.spec.InstrCycles(t.N)
+	t.DPU.instrCount += int64(n)
+}
+
+// MRAMRead DMA-copies n bytes from MRAM into WRAM, enforcing the hardware
+// rules (8-byte aligned size in [8, 2048]) and charging the Fig. 7 latency.
+// Reads beyond the populated MRAM region but within capacity yield zeros.
+func (t *Tasklet) MRAMRead(wramOff, mramOff, n int) {
+	d := t.DPU
+	if err := d.checkDMA(wramOff, mramOff, n); err != nil {
+		panic(err)
+	}
+	if mramOff+n > d.spec.MRAMPerDPU {
+		panic(fmt.Errorf("pim: DPU %d MRAM read [%d,%d) beyond capacity", d.ID, mramOff, mramOff+n))
+	}
+	dst := d.wram[wramOff : wramOff+n]
+	populated := len(d.mram) - mramOff
+	switch {
+	case populated >= n:
+		copy(dst, d.mram[mramOff:mramOff+n])
+	case populated > 0:
+		copy(dst[:populated], d.mram[mramOff:])
+		clear(dst[populated:])
+	default:
+		clear(dst)
+	}
+	t.clock += d.spec.DMALatency(n)
+	d.mramReadOps++
+	d.mramReadBytes += int64(n)
+}
+
+// MRAMWrite DMA-copies n bytes from WRAM into MRAM under the same rules.
+func (t *Tasklet) MRAMWrite(mramOff, wramOff, n int) {
+	d := t.DPU
+	if err := d.checkDMA(wramOff, mramOff, n); err != nil {
+		panic(err)
+	}
+	if err := d.ensureMRAM(mramOff + n); err != nil {
+		panic(err)
+	}
+	copy(d.mram[mramOff:], d.wram[wramOff:wramOff+n])
+	t.clock += d.spec.DMALatency(n)
+	d.mramWriteOps++
+}
+
+// Barrier blocks until every tasklet on the DPU reaches it, then aligns
+// all tasklet clocks to the maximum (everyone waits for the slowest).
+func (t *Tasklet) Barrier() {
+	t.sched.barrier(t)
+}
+
+// SemTake acquires semaphore id. If another tasklet's critical section
+// (bounded by its SemGive) would still be running at this tasklet's
+// current virtual time, the clock advances to the release point —
+// modelling serialization of the shared top-k insertion in Section 4.4.
+func (t *Tasklet) SemTake(id int) {
+	if rel, ok := t.DPU.semClock[id]; ok && rel > t.clock {
+		t.clock = rel
+	}
+	t.Exec(1) // the sem_take() instruction itself
+}
+
+// SemGive releases semaphore id at the tasklet's current virtual time.
+func (t *Tasklet) SemGive(id int) {
+	t.Exec(1) // the sem_give() instruction itself
+	if rel, ok := t.DPU.semClock[id]; !ok || t.clock > rel {
+		t.DPU.semClock[id] = t.clock
+	}
+}
+
+// batonSched runs a DPU's tasklets one at a time ("baton passing") in
+// tasklet-ID order between barriers. This keeps shared-WRAM kernels free
+// of data races and makes both results and cycle counts deterministic,
+// while the timing model (Exec/DMA costs above) accounts for the true
+// hardware concurrency.
+type batonSched struct {
+	resume []chan struct{}
+	yield  chan yieldMsg
+}
+
+type yieldMsg struct {
+	id   int
+	done bool
+	err  any // recovered panic value, re-raised on the host
+}
+
+func (s *batonSched) barrier(t *Tasklet) {
+	s.yield <- yieldMsg{id: t.ID}
+	<-s.resume[t.ID]
+}
+
+// Kernel is the per-tasklet entry point of a DPU program.
+type Kernel func(t *Tasklet)
+
+// runKernel executes kernel on d with n tasklets and returns the DPU's
+// kernel time in cycles (max tasklet clock at completion).
+func runKernel(d *DPU, n int, kernel Kernel) {
+	if n <= 0 || n > d.spec.MaxTasklets {
+		panic(fmt.Errorf("pim: tasklet count %d outside [1,%d]", n, d.spec.MaxTasklets))
+	}
+	d.resetLaunch()
+	sched := &batonSched{
+		resume: make([]chan struct{}, n),
+		yield:  make(chan yieldMsg),
+	}
+	tasklets := make([]*Tasklet, n)
+	for i := 0; i < n; i++ {
+		sched.resume[i] = make(chan struct{})
+		tasklets[i] = &Tasklet{ID: i, N: n, DPU: d, sched: sched, active: true}
+	}
+	for i := 0; i < n; i++ {
+		go func(t *Tasklet) {
+			defer func() {
+				if r := recover(); r != nil {
+					sched.yield <- yieldMsg{id: t.ID, done: true, err: r}
+					return
+				}
+				sched.yield <- yieldMsg{id: t.ID, done: true}
+			}()
+			<-sched.resume[t.ID]
+			kernel(t)
+		}(tasklets[i])
+	}
+
+	doneCount := 0
+	var panicVal any
+	for doneCount < n {
+		atBarrier := 0
+		for i := 0; i < n; i++ {
+			t := tasklets[i]
+			if !t.active {
+				continue
+			}
+			sched.resume[i] <- struct{}{}
+			msg := <-sched.yield
+			if msg.err != nil && panicVal == nil {
+				panicVal = msg.err
+			}
+			if msg.done {
+				t.active = false
+				doneCount++
+			} else {
+				atBarrier++
+			}
+		}
+		// On real hardware a barrier releases only when every tasklet
+		// arrives; if any tasklet has already exited while another waits
+		// at a barrier, the kernel would deadlock.
+		if atBarrier > 0 && doneCount > 0 && panicVal == nil {
+			panicVal = fmt.Errorf("pim: DPU %d kernel deadlock: %d tasklets done, %d at barrier, %d total",
+				d.ID, doneCount, atBarrier, n)
+		}
+		if panicVal != nil {
+			// Drain remaining tasklets so their goroutines exit: wake each
+			// parked tasklet; its kernel continues and eventually finishes
+			// or panics, which we swallow here.
+			for doneCount < n {
+				progressed := false
+				for i := 0; i < n; i++ {
+					t := tasklets[i]
+					if !t.active {
+						continue
+					}
+					sched.resume[i] <- struct{}{}
+					msg := <-sched.yield
+					if msg.done {
+						t.active = false
+						doneCount++
+					}
+					progressed = true
+				}
+				if !progressed {
+					break
+				}
+			}
+			panic(panicVal)
+		}
+		if atBarrier > 0 {
+			// Align clocks: everyone waits for the slowest tasklet.
+			maxClock := 0.0
+			for _, t := range tasklets {
+				if t.clock > maxClock {
+					maxClock = t.clock
+				}
+			}
+			for _, t := range tasklets {
+				t.clock = maxClock
+			}
+		}
+	}
+
+	for _, t := range tasklets {
+		if t.clock > d.kernelCycles {
+			d.kernelCycles = t.clock
+		}
+	}
+	d.TotalCycles += d.kernelCycles
+	d.TotalMRAMReads += d.mramReadOps
+}

@@ -1,0 +1,246 @@
+package pq
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vecmath"
+	"repro/internal/xrand"
+)
+
+func randomData(seed uint64, rows, dim int) *vecmath.Matrix {
+	r := xrand.New(seed)
+	m := vecmath.NewMatrix(rows, dim)
+	for i := range m.Data {
+		m.Data[i] = float32(r.NormFloat64())
+	}
+	return m
+}
+
+func TestTrainShapes(t *testing.T) {
+	data := randomData(1, 2000, 32)
+	q := Train(data, 8, 1)
+	if q.Dsub != 4 || q.M != 8 || q.Dim != 32 {
+		t.Fatalf("bad shapes: %+v", q)
+	}
+	if len(q.Codebooks) != 8*CodebookSize*4 {
+		t.Fatalf("codebook size %d", len(q.Codebooks))
+	}
+	if q.CodeBytes() != 8 {
+		t.Fatalf("CodeBytes = %d", q.CodeBytes())
+	}
+}
+
+func TestTrainPanicsOnIndivisible(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Train(randomData(1, 10, 10), 3, 1)
+}
+
+func TestEncodeDecodeReducesError(t *testing.T) {
+	data := randomData(2, 3000, 16)
+	q := Train(data, 4, 2)
+	var quantErr, norm float64
+	dec := make([]float32, 16)
+	codes := make([]uint8, 4)
+	for i := 0; i < 200; i++ {
+		v := data.Row(i)
+		q.Encode(codes, v)
+		q.Decode(dec, codes)
+		quantErr += float64(vecmath.L2Squared(v, dec))
+		norm += float64(vecmath.Dot(v, v))
+	}
+	// PQ with 256 centroids per 4-dim subspace should capture most energy.
+	if quantErr/norm > 0.35 {
+		t.Errorf("relative quantization error %v too high", quantErr/norm)
+	}
+}
+
+func TestEncodeIdempotentOnCodebookEntries(t *testing.T) {
+	data := randomData(3, 1000, 8)
+	q := Train(data, 2, 3)
+	// A vector assembled from codebook entries must reconstruct exactly.
+	vec := make([]float32, 8)
+	copy(vec[0:4], q.CodebookEntry(0, 17))
+	copy(vec[4:8], q.CodebookEntry(1, 203))
+	got := q.Encode(nil, vec)
+	// Distance must be zero even if another entry is identical.
+	dec := q.Decode(nil, got)
+	if d := vecmath.L2Squared(vec, dec); d != 0 {
+		t.Fatalf("reconstruction distance %v for exact codebook vector (codes %v)", d, got)
+	}
+}
+
+func TestADCMatchesDecodedDistance(t *testing.T) {
+	data := randomData(4, 2000, 24)
+	q := Train(data, 6, 4)
+	r := xrand.New(99)
+	codes := make([]uint8, 6)
+	dec := make([]float32, 24)
+	for trial := 0; trial < 50; trial++ {
+		query := make([]float32, 24)
+		for i := range query {
+			query[i] = float32(r.NormFloat64())
+		}
+		v := data.Row(r.Intn(data.Rows))
+		q.Encode(codes, v)
+		q.Decode(dec, codes)
+		lut := q.BuildLUT(query)
+		adc := float64(ADCDistance(lut, codes))
+		direct := float64(vecmath.L2Squared(query, dec))
+		if math.Abs(adc-direct) > 1e-3*(1+direct) {
+			t.Fatalf("ADC %v != direct %v", adc, direct)
+		}
+	}
+}
+
+func TestADCPropertyRandomCodes(t *testing.T) {
+	data := randomData(5, 1500, 8)
+	q := Train(data, 4, 5)
+	f := func(seed uint32, c0, c1, c2, c3 uint8) bool {
+		r := xrand.New(uint64(seed))
+		query := make([]float32, 8)
+		for i := range query {
+			query[i] = float32(r.NormFloat64())
+		}
+		codes := []uint8{c0, c1, c2, c3}
+		lut := q.BuildLUT(query)
+		adc := float64(ADCDistance(lut, codes))
+		direct := float64(vecmath.L2Squared(query, q.Decode(nil, codes)))
+		return math.Abs(adc-direct) <= 1e-3*(1+direct)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantizeMonotonicity(t *testing.T) {
+	// Quantized distances must (approximately) preserve the ordering of
+	// float distances across many candidates.
+	data := randomData(6, 3000, 16)
+	q := Train(data, 4, 6)
+	r := xrand.New(7)
+	query := make([]float32, 16)
+	for i := range query {
+		query[i] = float32(r.NormFloat64())
+	}
+	lut := q.BuildLUT(query)
+	ql := q.Quantize(lut)
+
+	type pair struct {
+		f  float32
+		qd uint32
+	}
+	pairs := make([]pair, 300)
+	codes := make([]uint8, 4)
+	for i := range pairs {
+		q.Encode(codes, data.Row(i))
+		pairs[i] = pair{ADCDistance(lut, codes), ql.QDistance(codes)}
+	}
+	// Count strong inversions: float says clearly smaller but integer says
+	// larger. Allow slack for quantization rounding.
+	inv := 0
+	for i := range pairs {
+		for j := range pairs {
+			if pairs[i].f < pairs[j].f*0.98 && pairs[i].qd > pairs[j].qd {
+				inv++
+			}
+		}
+	}
+	if inv > 0 {
+		t.Errorf("%d strong order inversions after uint16 quantization", inv)
+	}
+}
+
+func TestQuantizeRoundTripScale(t *testing.T) {
+	data := randomData(8, 1000, 8)
+	q := Train(data, 2, 8)
+	r := xrand.New(11)
+	query := make([]float32, 8)
+	for i := range query {
+		query[i] = float32(r.NormFloat64())
+	}
+	lut := q.BuildLUT(query)
+	ql := q.Quantize(lut)
+	codes := make([]uint8, 2)
+	for i := 0; i < 100; i++ {
+		q.Encode(codes, data.Row(i))
+		fd := float64(ADCDistance(lut, codes))
+		qd := float64(ql.ToFloat(ql.QDistance(codes)))
+		if math.Abs(fd-qd) > 0.01*(1+fd) {
+			t.Fatalf("quantized distance %v far from float %v", qd, fd)
+		}
+	}
+}
+
+func TestQuantizeAllZerosLUT(t *testing.T) {
+	data := randomData(9, 600, 8)
+	q := Train(data, 2, 9)
+	lut := make(LUT, 2*CodebookSize) // all zeros
+	ql := q.Quantize(lut)
+	if ql.QDistance([]uint8{0, 1}) != 0 {
+		t.Fatal("zero LUT must give zero distances")
+	}
+	if ql.ToFloat(0) != 0 {
+		t.Fatal("ToFloat(0) != 0")
+	}
+}
+
+func TestBuildLUTIntoValidation(t *testing.T) {
+	data := randomData(10, 600, 8)
+	q := Train(data, 2, 10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for short LUT")
+		}
+	}()
+	q.BuildLUTInto(make(LUT, 10), make([]float32, 8))
+}
+
+func TestEncodeReusesDst(t *testing.T) {
+	data := randomData(11, 600, 8)
+	q := Train(data, 2, 11)
+	dst := make([]uint8, 2)
+	out := q.Encode(dst, data.Row(0))
+	if &out[0] != &dst[0] {
+		t.Fatal("Encode did not reuse dst")
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	data := randomData(1, 2000, 128)
+	q := Train(data, 16, 1)
+	codes := make([]uint8, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Encode(codes, data.Row(i%data.Rows))
+	}
+}
+
+func BenchmarkBuildLUT(b *testing.B) {
+	data := randomData(1, 2000, 128)
+	q := Train(data, 16, 1)
+	lut := make(LUT, 16*CodebookSize)
+	query := data.Row(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.BuildLUTInto(lut, query)
+	}
+}
+
+func BenchmarkADCDistance(b *testing.B) {
+	data := randomData(1, 2000, 128)
+	q := Train(data, 16, 1)
+	lut := q.BuildLUT(data.Row(0))
+	codes := q.Encode(nil, data.Row(1))
+	b.ResetTimer()
+	var sink float32
+	for i := 0; i < b.N; i++ {
+		sink = ADCDistance(lut, codes)
+	}
+	_ = sink
+}

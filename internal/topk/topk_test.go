@@ -1,0 +1,287 @@
+package topk
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestHeapBasic(t *testing.T) {
+	h := NewHeap(3)
+	h.Push(1, 5)
+	h.Push(2, 3)
+	h.Push(3, 8)
+	h.Push(4, 1) // evicts 8
+	h.Push(5, 9) // rejected
+	got := h.Sorted()
+	want := []Candidate{{4, 1}, {2, 3}, {1, 5}}
+	if len(got) != 3 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Sorted[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestHeapPushReturn(t *testing.T) {
+	h := NewHeap(2)
+	if !h.Push(1, 10) || !h.Push(2, 20) {
+		t.Fatal("pushes into non-full heap must be retained")
+	}
+	if h.Push(3, 30) {
+		t.Fatal("push worse than worst into full heap must be rejected")
+	}
+	if !h.Push(4, 5) {
+		t.Fatal("push better than worst must be retained")
+	}
+}
+
+func TestHeapWorst(t *testing.T) {
+	h := NewHeap(3)
+	h.Push(1, 5)
+	h.Push(2, 7)
+	if h.Worst() != 7 {
+		t.Fatalf("Worst = %v", h.Worst())
+	}
+}
+
+func TestHeapWorstPanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewHeap(1).Worst()
+}
+
+func TestNewHeapPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewHeap(0)
+}
+
+func TestWouldAccept(t *testing.T) {
+	h := NewHeap(1)
+	if !h.WouldAccept(100) {
+		t.Fatal("empty heap must accept anything")
+	}
+	h.Push(1, 50)
+	if h.WouldAccept(60) {
+		t.Fatal("full heap must reject worse")
+	}
+	if !h.WouldAccept(40) {
+		t.Fatal("full heap must accept better")
+	}
+}
+
+func TestHeapReset(t *testing.T) {
+	h := NewHeap(4)
+	h.Push(1, 1)
+	h.Reset()
+	if h.Len() != 0 {
+		t.Fatal("Reset did not empty the heap")
+	}
+	h.Push(2, 2)
+	if h.Len() != 1 {
+		t.Fatal("heap unusable after Reset")
+	}
+}
+
+func TestSortedDeterministicTies(t *testing.T) {
+	h := NewHeap(4)
+	h.Push(9, 1)
+	h.Push(3, 1)
+	h.Push(7, 1)
+	h.Push(5, 1)
+	got := h.Sorted()
+	for i := 1; i < len(got); i++ {
+		if got[i].ID < got[i-1].ID {
+			t.Fatalf("ties not sorted by ID: %+v", got)
+		}
+	}
+}
+
+func TestHeapMatchesSortProperty(t *testing.T) {
+	f := func(seed uint32, kRaw uint8) bool {
+		r := xrand.New(uint64(seed))
+		k := int(kRaw%20) + 1
+		n := r.Intn(200) + 1
+		h := NewHeap(k)
+		type pair struct {
+			id int64
+			d  float32
+		}
+		all := make([]pair, n)
+		for i := range all {
+			all[i] = pair{int64(i), r.Float32()}
+			h.Push(all[i].id, all[i].d)
+		}
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].d != all[j].d {
+				return all[i].d < all[j].d
+			}
+			return all[i].id < all[j].id
+		})
+		got := h.Sorted()
+		want := k
+		if n < k {
+			want = n
+		}
+		if len(got) != want {
+			return false
+		}
+		for i := range got {
+			if got[i].ID != all[i].id || got[i].Dist != all[i].d {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func buildLocals(r *xrand.RNG, nHeaps, k, perHeap int) []*Heap {
+	locals := make([]*Heap, nHeaps)
+	id := int64(0)
+	for i := range locals {
+		locals[i] = NewHeap(k)
+		for j := 0; j < perHeap; j++ {
+			locals[i].Push(id, r.Float32())
+			id++
+		}
+	}
+	return locals
+}
+
+func clone(locals []*Heap) []*Heap {
+	out := make([]*Heap, len(locals))
+	for i, h := range locals {
+		c := NewHeap(h.K())
+		for _, it := range h.Items() {
+			c.Push(it.ID, it.Dist)
+		}
+		out[i] = c
+	}
+	return out
+}
+
+func TestPrunedMergeEqualsFullMerge(t *testing.T) {
+	r := xrand.New(99)
+	for trial := 0; trial < 50; trial++ {
+		k := r.Intn(10) + 1
+		locals := buildLocals(r, r.Intn(8)+1, k, r.Intn(30))
+		locals2 := clone(locals)
+		pruned, _ := PrunedMerge(k, locals)
+		full, _ := FullMerge(k, locals2)
+		if len(pruned) != len(full) {
+			t.Fatalf("trial %d: len %d vs %d", trial, len(pruned), len(full))
+		}
+		for i := range pruned {
+			if pruned[i] != full[i] {
+				t.Fatalf("trial %d: pruned[%d]=%+v full=%+v", trial, i, pruned[i], full[i])
+			}
+		}
+	}
+}
+
+func TestPrunedMergeActuallyPrunes(t *testing.T) {
+	r := xrand.New(7)
+	locals := buildLocals(r, 16, 20, 20)
+	_, stats := PrunedMerge(20, locals)
+	if stats.Pruned == 0 {
+		t.Error("expected some pruning with 16 full local heaps")
+	}
+	if stats.Inserted+stats.Pruned != stats.Considered {
+		t.Errorf("stats inconsistent: %+v", stats)
+	}
+}
+
+func TestPrunedMergeEmptyLocals(t *testing.T) {
+	got, stats := PrunedMerge(5, []*Heap{nil, NewHeap(5)})
+	if len(got) != 0 || stats.Considered != 0 {
+		t.Fatalf("unexpected output from empty merge: %v %+v", got, stats)
+	}
+}
+
+func TestSelectK(t *testing.T) {
+	ids := []int64{10, 20, 30, 40}
+	ds := []float32{4, 2, 3, 1}
+	got := SelectK(2, ids, ds)
+	if got[0].ID != 40 || got[1].ID != 20 {
+		t.Fatalf("SelectK = %+v", got)
+	}
+}
+
+func TestSelectKMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	SelectK(1, []int64{1}, []float32{1, 2})
+}
+
+func TestPrunedMergeProperty(t *testing.T) {
+	f := func(seed uint32) bool {
+		r := xrand.New(uint64(seed))
+		k := r.Intn(15) + 1
+		locals := buildLocals(r, r.Intn(6)+1, k, r.Intn(40))
+		locals2 := clone(locals)
+		p, _ := PrunedMerge(k, locals)
+		fm, _ := FullMerge(k, locals2)
+		if len(p) != len(fm) {
+			return false
+		}
+		for i := range p {
+			if p[i] != fm[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkHeapPush(b *testing.B) {
+	r := xrand.New(1)
+	vals := make([]float32, 4096)
+	for i := range vals {
+		vals[i] = r.Float32()
+	}
+	h := NewHeap(100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Push(int64(i), vals[i&4095])
+	}
+}
+
+func BenchmarkPrunedMerge(b *testing.B) {
+	r := xrand.New(1)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		locals := buildLocals(r, 11, 100, 100)
+		b.StartTimer()
+		PrunedMerge(100, locals)
+	}
+}
+
+func BenchmarkFullMerge(b *testing.B) {
+	r := xrand.New(1)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		locals := buildLocals(r, 11, 100, 100)
+		b.StartTimer()
+		FullMerge(100, locals)
+	}
+}
