@@ -1,0 +1,257 @@
+// Command upanns-serve exposes an UpANNS deployment as an HTTP service:
+// the online counterpart of the one-shot upanns-search. Concurrent
+// single-query requests are coalesced into micro-batches by the
+// internal/serve scheduler before they reach the simulated PIM system, so
+// the DPU-side batching economics the paper measures (Fig. 16) carry
+// through to an interactive serving path.
+//
+// Start against a dataset written by upanns-datagen, or a synthetic one:
+//
+//	upanns-serve -base /tmp/sift.base.fvecs -addr :8080
+//	upanns-serve -synthetic sift -n 50000 -addr :8080
+//
+// Endpoints:
+//
+//	POST /search  {"vector": [...]}            -> {"ids": [...], "distances": [...]}
+//	GET  /stats                                -> serving counters + latency quantiles (JSON)
+//	GET  /healthz                              -> 200 once the index is deployed
+//
+// Under overload the server sheds with 503; requests that miss their
+// deadline return 504.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/ivfpq"
+	"repro/internal/multihost"
+	"repro/internal/pim"
+	"repro/internal/serve"
+	"repro/internal/vecmath"
+	"repro/internal/workload"
+)
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "upanns-serve:", err)
+	os.Exit(1)
+}
+
+func main() {
+	var (
+		basePath  = flag.String("base", "", "base vectors (.fvecs, e.g. from upanns-datagen); alternative to -synthetic")
+		synthetic = flag.String("synthetic", "", "generate a synthetic dataset instead: sift, deep, spacev")
+		n         = flag.Int("n", 50000, "synthetic base vectors")
+		nlist     = flag.Int("ivf", 64, "IVF cluster count")
+		m         = flag.Int("m", 0, "PQ subquantizers (0 = dataset default / dim/8)")
+		nprobe    = flag.Int("nprobe", 8, "clusters probed per query")
+		k         = flag.Int("k", 10, "neighbors returned")
+		dpus      = flag.Int("dpus", 64, "simulated DPUs (per host)")
+		hosts     = flag.Int("hosts", 1, "hosts; >1 shards the dataset via internal/multihost")
+		seed      = flag.Uint64("seed", 1, "random seed")
+
+		addr     = flag.String("addr", ":8080", "HTTP listen address")
+		maxBatch = flag.Int("max-batch", 32, "micro-batch size cap")
+		linger   = flag.Duration("linger", 200*time.Microsecond, "max wait to fill a micro-batch")
+		queue    = flag.Int("queue", 1024, "admission queue depth")
+		timeout  = flag.Duration("timeout", time.Second, "per-request deadline")
+		cache    = flag.Int("cache", 4096, "LRU result-cache entries (0 disables)")
+	)
+	flag.Parse()
+
+	base, mm, err := loadBase(*basePath, *synthetic, *n, *m, *seed)
+	if err != nil {
+		fail(err)
+	}
+	backend, err := buildBackend(base, mm, *nlist, *nprobe, *k, *dpus, *hosts, *seed)
+	if err != nil {
+		fail(err)
+	}
+
+	srv, err := serve.NewServer(serve.Config{
+		K:              *k,
+		MaxBatch:       *maxBatch,
+		MaxLinger:      *linger,
+		QueueDepth:     *queue,
+		DefaultTimeout: *timeout,
+		CacheSize:      *cache,
+	}, backend)
+	if err != nil {
+		fail(err)
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /search", func(w http.ResponseWriter, r *http.Request) {
+		handleSearch(srv, backend.Dim(), w, r)
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, srv.Stats())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+
+	hs := &http.Server{Addr: *addr, Handler: mux}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-ctx.Done()
+		log.Println("shutting down...")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		hs.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("serving %d vectors (dim %d) on %s: POST /search, GET /stats", base.Rows, base.Dim, *addr)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fail(err)
+	}
+	// ListenAndServe returns as soon as Shutdown starts; wait for the
+	// in-flight handlers to drain before closing the serving layer, so
+	// requests inside the grace period still get answers.
+	<-drained
+	srv.Close()
+	log.Printf("final stats: %s", srv.Stats().Latency)
+}
+
+// loadBase reads or generates the base vectors and resolves M.
+func loadBase(basePath, synthetic string, n, m int, seed uint64) (*vecmath.Matrix, int, error) {
+	switch {
+	case synthetic != "":
+		var spec dataset.Spec
+		switch synthetic {
+		case "sift":
+			spec = dataset.SIFT1B
+		case "deep":
+			spec = dataset.DEEP1B
+		case "spacev":
+			spec = dataset.SPACEV1B
+		default:
+			return nil, 0, fmt.Errorf("unknown synthetic dataset %q (sift, deep, spacev)", synthetic)
+		}
+		log.Printf("generating synthetic %s: %d vectors", spec.Name, n)
+		ds := dataset.Generate(spec, n, seed)
+		if m == 0 {
+			m = spec.M
+		}
+		return ds.Vectors, m, nil
+	case basePath != "":
+		f, err := os.Open(basePath)
+		if err != nil {
+			return nil, 0, err
+		}
+		defer f.Close()
+		base, err := dataset.ReadFvecs(f, 0)
+		if err != nil {
+			return nil, 0, err
+		}
+		if m == 0 {
+			m = base.Dim / 8
+		}
+		log.Printf("loaded %d vectors (dim %d) from %s", base.Rows, base.Dim, basePath)
+		return base, m, nil
+	default:
+		return nil, 0, fmt.Errorf("provide either -base or -synthetic")
+	}
+}
+
+// buildBackend trains, deploys and wraps the engine (or sharded cluster).
+func buildBackend(base *vecmath.Matrix, m, nlist, nprobe, k, dpus, hosts int, seed uint64) (serve.Backend, error) {
+	ecfg := core.DefaultConfig()
+	ecfg.NProbe = nprobe
+	ecfg.K = k
+	ecfg.Seed = seed
+
+	if hosts > 1 {
+		log.Printf("deploying on %d hosts x %d DPUs...", hosts, dpus)
+		cl, err := multihost.Build(base, nil, multihost.Config{
+			Hosts:       hosts,
+			DPUsPerHost: dpus,
+			Index:       ivfpq.Params{NList: nlist, M: m, Seed: seed, TrainSub: 16384},
+			Engine:      ecfg,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return serve.NewClusterBackend(cl, k), nil
+	}
+
+	log.Printf("training IVFPQ: IVF %d, M %d", nlist, m)
+	ix := ivfpq.Train(base, ivfpq.Params{NList: nlist, M: m, Seed: seed, TrainSub: 16384})
+	ix.Add(base, 0)
+	spec := pim.DefaultSpec()
+	spec.NumDIMMs = 1
+	spec.DPUsPerDIMM = dpus
+	sys := pim.NewSystem(spec)
+	// Bootstrap placement frequencies from a self-sample of the base set;
+	// a production deployment would feed a historical query log.
+	sample := vecmath.WrapMatrix(base.Data[:min(512, base.Rows)*base.Dim], min(512, base.Rows), base.Dim)
+	freqs := workload.ClusterFrequencies(ix.Coarse, sample, nprobe)
+	log.Printf("deploying on %d simulated DPUs...", dpus)
+	eng, err := core.Build(ix, sys, freqs, ecfg)
+	if err != nil {
+		return nil, err
+	}
+	return serve.NewEngineBackend(eng), nil
+}
+
+type searchRequest struct {
+	Vector []float32 `json:"vector"`
+}
+
+type searchResponse struct {
+	IDs       []int64   `json:"ids"`
+	Distances []float32 `json:"distances"`
+}
+
+func handleSearch(srv *serve.Server, dim int, w http.ResponseWriter, r *http.Request) {
+	var req searchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad JSON: " + err.Error()})
+		return
+	}
+	if len(req.Vector) != dim {
+		writeJSON(w, http.StatusBadRequest, map[string]string{
+			"error": fmt.Sprintf("vector has %d dims, index has %d", len(req.Vector), dim)})
+		return
+	}
+	cands, err := srv.Search(r.Context(), req.Vector)
+	switch {
+	case errors.Is(err, serve.ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+		return
+	case errors.Is(err, serve.ErrDeadline), errors.Is(err, context.DeadlineExceeded):
+		writeJSON(w, http.StatusGatewayTimeout, map[string]string{"error": "deadline exceeded"})
+		return
+	case err != nil:
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		return
+	}
+	resp := searchResponse{IDs: make([]int64, len(cands)), Distances: make([]float32, len(cands))}
+	for i, c := range cands {
+		resp.IDs[i] = c.ID
+		resp.Distances[i] = c.Dist
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}

@@ -8,6 +8,11 @@
 // evaluation; the root-level benchmarks in bench_test.go expose one
 // testing.B target per artifact.
 //
-// See README.md for a tour, DESIGN.md for the system inventory, and
-// EXPERIMENTS.md for the paper-vs-measured record.
+// Beyond the offline reproduction, internal/serve provides an online
+// query-serving layer — micro-batching, admission control, request
+// coalescing, and an LRU result cache over the engine — exposed as an
+// HTTP service by cmd/upanns-serve and measured by the harness' "serving"
+// experiment (QPS vs tail latency across batching policies).
+//
+// See README.md for a tour and DESIGN.md for the system inventory.
 package repro

@@ -263,6 +263,7 @@ func All() []Experiment {
 		{"fig19", "Query time breakdown per architecture", (*Context).Fig19},
 		{"fig20", "Scalability vs DPU count", (*Context).Fig20},
 		{"recall", "Accuracy validation across backends", (*Context).RecallCheck},
+		{"serving", "Online serving: batching/caching vs QPS and p99", (*Context).Serving},
 	}
 }
 

@@ -18,8 +18,8 @@ func tinyOptions() Options {
 
 func TestExperimentRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 17 {
-		t.Fatalf("registry holds %d experiments, want 17", len(all))
+	if len(all) != 18 {
+		t.Fatalf("registry holds %d experiments, want 18", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -37,7 +37,7 @@ func TestExperimentRegistry(t *testing.T) {
 	if _, ok := Find("nonsense"); ok {
 		t.Fatal("Find(nonsense) succeeded")
 	}
-	if len(IDs()) != 17 {
+	if len(IDs()) != 18 {
 		t.Fatal("IDs() count mismatch")
 	}
 }
@@ -90,6 +90,69 @@ func TestRecallCheckExperiment(t *testing.T) {
 		if row[4] != "true" {
 			t.Errorf("dataset %s: UpANNS != quantized reference", row[0])
 		}
+	}
+}
+
+// TestServingExperiment checks the acceptance shape of the serving sweep:
+// micro-batching (batch >= 8) must beat batch-1 dispatch on QPS without
+// worsening p99, and the result cache must lift p50 under Zipfian load.
+func TestServingExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive in -short mode")
+	}
+	ctx := NewContext(tinyOptions())
+	policies := ServingPolicies()
+	points, err := ctx.ServingCurve(policies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(policies) {
+		t.Fatalf("%d points for %d policies", len(points), len(policies))
+	}
+	for _, pt := range points {
+		if pt.Stats.Shed != 0 || pt.Stats.Expired != 0 || pt.Stats.BackendErrs != 0 {
+			t.Fatalf("%s: lossy run (shed=%d expired=%d errs=%d); measurements invalid",
+				pt.Policy.Name, pt.Stats.Shed, pt.Stats.Expired, pt.Stats.BackendErrs)
+		}
+		if pt.QPS <= 0 {
+			t.Fatalf("%s: nonpositive QPS", pt.Policy.Name)
+		}
+	}
+
+	base, batched := points[0], points[1]
+	if batched.Policy.MaxBatch < 8 {
+		t.Fatalf("second policy batches %d < 8", batched.Policy.MaxBatch)
+	}
+	if batched.Stats.MeanBatchSize <= 1.5 {
+		t.Errorf("micro-batching never coalesced: mean batch %.2f", batched.Stats.MeanBatchSize)
+	}
+	if batched.QPS <= base.QPS {
+		t.Errorf("batch=%d QPS %.0f not above batch=1 QPS %.0f",
+			batched.Policy.MaxBatch, batched.QPS, base.QPS)
+	}
+	if batched.Stats.Latency.P99 > base.Stats.Latency.P99 {
+		t.Errorf("batch=%d p99 %.4fs worse than batch=1 p99 %.4fs",
+			batched.Policy.MaxBatch, batched.Stats.Latency.P99, base.Stats.Latency.P99)
+	}
+
+	uncached, cached := points[len(points)-2], points[len(points)-1]
+	if cached.Policy.CacheSize == 0 || uncached.Policy.CacheSize != 0 {
+		t.Fatal("last two policies must be cache-off then cache-on")
+	}
+	if cached.Stats.HitRate() <= 0.1 {
+		t.Errorf("cache hit rate %.2f too low for Zipf load", cached.Stats.HitRate())
+	}
+	if cached.Stats.Latency.P50 >= uncached.Stats.Latency.P50 {
+		t.Errorf("cache did not reduce p50: %.6fs vs %.6fs",
+			cached.Stats.Latency.P50, uncached.Stats.Latency.P50)
+	}
+
+	rep := servingReport(points)
+	if len(rep.Tables) == 0 || len(rep.Tables[0].Rows) != len(policies) {
+		t.Fatal("serving report malformed")
+	}
+	if !strings.Contains(rep.String(), "serving") {
+		t.Fatal("serving report render missing id")
 	}
 }
 

@@ -1,0 +1,176 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/serve"
+	"repro/internal/vecmath"
+	"repro/internal/workload"
+)
+
+// ServingPolicy is one serving-layer operating point of the QPS-vs-p99
+// sweep.
+type ServingPolicy struct {
+	Name      string
+	MaxBatch  int
+	Linger    time.Duration
+	CacheSize int
+}
+
+// ServingPolicies returns the sweep: no batching, two micro-batching
+// settings, and micro-batching plus the result cache.
+func ServingPolicies() []ServingPolicy {
+	return []ServingPolicy{
+		{Name: "batch=1 (no batching)", MaxBatch: 1},
+		{Name: "batch=8 linger=200us", MaxBatch: 8, Linger: 200 * time.Microsecond},
+		{Name: "batch=32 linger=500us", MaxBatch: 32, Linger: 500 * time.Microsecond},
+		{Name: "batch=32 + cache", MaxBatch: 32, Linger: 500 * time.Microsecond, CacheSize: 256},
+	}
+}
+
+// ServingPoint is one measured serving operating point.
+type ServingPoint struct {
+	Policy ServingPolicy
+	QPS    float64
+	Stats  serve.Stats
+}
+
+// Serving is the online-serving experiment: closed-loop clients issue
+// Zipf-skewed single-query requests against the serving layer
+// (internal/serve) fronting the engine, and each policy's sustained QPS
+// and latency quantiles are measured end to end. It is the serving-tier
+// restatement of Fig. 16: per-query cost falls with batched dispatch, so
+// micro-batching lifts QPS while *reducing* tail latency under concurrent
+// load (queue waits shrink faster than linger adds delay), and the LRU
+// cache converts the Fig. 4a popularity skew into sub-engine-latency p50.
+func (c *Context) Serving() (*Report, error) {
+	points, err := c.ServingCurve(ServingPolicies())
+	if err != nil {
+		return nil, err
+	}
+	return servingReport(points), nil
+}
+
+// servingReport renders measured serving points as the experiment report.
+func servingReport(points []ServingPoint) *Report {
+	rep := &Report{ID: "serving", Title: "Online serving: micro-batching and caching vs QPS and tail latency"}
+	t := metrics.NewTable(
+		fmt.Sprintf("Serving sweep (%s, %d closed-loop clients, Zipf query popularity)",
+			dataset.SIFT1B.Name, servingClients),
+		"policy", "QPS", "mean batch", "coalesced", "hit rate", "p50", "p95", "p99", "shed")
+	for _, pt := range points {
+		t.AddRow(pt.Policy.Name,
+			metrics.F(pt.QPS),
+			metrics.F(pt.Stats.MeanBatchSize),
+			fmt.Sprintf("%d", pt.Stats.Coalesced),
+			metrics.Pct(pt.Stats.HitRate()),
+			metrics.Seconds(pt.Stats.Latency.P50),
+			metrics.Seconds(pt.Stats.Latency.P95),
+			metrics.Seconds(pt.Stats.Latency.P99),
+			fmt.Sprintf("%d", pt.Stats.Shed))
+	}
+	rep.Tables = append(rep.Tables, t)
+
+	base, batched, cached := points[0], points[1], points[len(points)-1]
+	rep.Notes = append(rep.Notes,
+		fmt.Sprintf("micro-batching (batch=8) vs none: %.2fx QPS, p99 %s -> %s",
+			batched.QPS/base.QPS,
+			metrics.Seconds(base.Stats.Latency.P99), metrics.Seconds(batched.Stats.Latency.P99)),
+		fmt.Sprintf("result cache under Zipf load: hit rate %s, p50 %s -> %s",
+			metrics.Pct(cached.Stats.HitRate()),
+			metrics.Seconds(points[len(points)-2].Stats.Latency.P50),
+			metrics.Seconds(cached.Stats.Latency.P50)),
+		"expected shape: batch >= 8 strictly above batch=1 QPS at equal-or-lower p99; cache cuts p50 further")
+	return rep
+}
+
+// servingClients is the closed-loop client count; enough concurrency to
+// fill micro-batches without oversubscribing small CI machines.
+const servingClients = 16
+
+// ServingCurve measures every policy on the harness' default engine and
+// returns the raw points (the Serving experiment renders them; tests
+// assert on them directly).
+func (c *Context) ServingCurve(policies []ServingPolicy) ([]ServingPoint, error) {
+	s := c.getSetup(dataset.SIFT1B, c.O.IVFGrid[0])
+	nprobe := c.O.NProbeGrid[0]
+	cfg := c.upannsConfig(nprobe)
+	e, err := c.getEngine(s, cfg, buildKey(cfg), c.O.DPUs)
+	if err != nil {
+		return nil, err
+	}
+
+	total := 10 * c.O.Queries
+	if total < 400 {
+		total = 400
+	}
+	perClient := (total + servingClients - 1) / servingClients
+
+	points := make([]ServingPoint, 0, len(policies))
+	for _, p := range policies {
+		pt, err := c.runServingPolicy(e, s.queries, p, perClient)
+		if err != nil {
+			return nil, fmt.Errorf("serving policy %q: %w", p.Name, err)
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+// runServingPolicy drives one policy with closed-loop Zipfian clients and
+// returns the measured point.
+func (c *Context) runServingPolicy(e *core.Engine, pool *vecmath.Matrix, p ServingPolicy, perClient int) (ServingPoint, error) {
+	srv, err := serve.NewServer(serve.Config{
+		K:              c.O.K,
+		MaxBatch:       p.MaxBatch,
+		MaxLinger:      p.Linger,
+		QueueDepth:     4096,
+		DefaultTimeout: 60 * time.Second,
+		CacheSize:      p.CacheSize,
+	}, serve.NewEngineBackend(e))
+	if err != nil {
+		return ServingPoint{}, err
+	}
+
+	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	var firstErr error
+	start := time.Now()
+	for w := 0; w < servingClients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Zipf exponent ~1 matches the access-skew regime of Fig. 4a;
+			// per-client seeds decorrelate the streams.
+			stream := workload.NewQueryStream(pool, 1.0, c.O.Seed+uint64(w)*7919)
+			for i := 0; i < perClient; i++ {
+				if _, err := srv.Search(context.Background(), stream.Next()); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	srv.Close()
+	if firstErr != nil {
+		return ServingPoint{}, firstErr
+	}
+	st := srv.Stats()
+	return ServingPoint{
+		Policy: p,
+		QPS:    float64(st.Completed+st.CacheHits) / elapsed,
+		Stats:  st,
+	}, nil
+}

@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/multihost"
+	"repro/internal/topk"
+	"repro/internal/vecmath"
+)
+
+// Backend answers one micro-batch of queries. Implementations must be
+// safe for calls from a single worker goroutine; the adapters below add a
+// mutex so the same backend instance may also be shared across servers.
+type Backend interface {
+	// Search returns k candidates per query row, ascending distance.
+	Search(queries *vecmath.Matrix, k int) ([][]topk.Candidate, error)
+	// Dim returns the backend's query dimensionality.
+	Dim() int
+}
+
+// EngineBackend adapts a single-host core.Engine. Engine.SearchBatch
+// reuses per-DPU scratch across batches and is not reentrant, so the
+// adapter serializes access.
+type EngineBackend struct {
+	mu sync.Mutex
+	e  *core.Engine
+}
+
+// NewEngineBackend wraps e.
+func NewEngineBackend(e *core.Engine) *EngineBackend { return &EngineBackend{e: e} }
+
+// Dim returns the engine's index dimensionality.
+func (b *EngineBackend) Dim() int { return b.e.Index.Dim }
+
+// Search dispatches the batch to the engine and truncates to k.
+func (b *EngineBackend) Search(queries *vecmath.Matrix, k int) ([][]topk.Candidate, error) {
+	if k > b.e.Cfg.K {
+		return nil, fmt.Errorf("serve: k %d exceeds engine K %d", k, b.e.Cfg.K)
+	}
+	b.mu.Lock()
+	br, err := b.e.SearchBatch(queries)
+	b.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return truncate(br.Results, k), nil
+}
+
+// ClusterBackend adapts a multihost.Cluster (which fans one batch out to
+// every host and merges), serialized for the same reason as
+// EngineBackend: each host engine reuses per-DPU scratch.
+type ClusterBackend struct {
+	mu sync.Mutex
+	cl *multihost.Cluster
+	k  int // the cluster's configured merge K
+}
+
+// NewClusterBackend wraps cl; mergeK is the cluster's configured
+// Engine.K (the deepest k it can answer).
+func NewClusterBackend(cl *multihost.Cluster, mergeK int) *ClusterBackend {
+	return &ClusterBackend{cl: cl, k: mergeK}
+}
+
+// Dim returns the cluster's query dimensionality.
+func (b *ClusterBackend) Dim() int { return b.cl.Hosts[0].Index.Dim }
+
+// Search dispatches the batch to every host and truncates the merged
+// results to k.
+func (b *ClusterBackend) Search(queries *vecmath.Matrix, k int) ([][]topk.Candidate, error) {
+	if k > b.k {
+		return nil, fmt.Errorf("serve: k %d exceeds cluster K %d", k, b.k)
+	}
+	b.mu.Lock()
+	res, err := b.cl.SearchBatch(queries)
+	b.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return truncate(res.Results, k), nil
+}
+
+// FuncBackend adapts a plain function; tests and synthetic load drivers
+// use it to exercise the scheduler without building an engine.
+type FuncBackend struct {
+	D  int
+	Fn func(queries *vecmath.Matrix, k int) ([][]topk.Candidate, error)
+}
+
+// Dim returns the configured dimensionality.
+func (b *FuncBackend) Dim() int { return b.D }
+
+// Search invokes the wrapped function.
+func (b *FuncBackend) Search(queries *vecmath.Matrix, k int) ([][]topk.Candidate, error) {
+	return b.Fn(queries, k)
+}
+
+// truncate trims every result list to at most k entries.
+func truncate(res [][]topk.Candidate, k int) [][]topk.Candidate {
+	for i, r := range res {
+		if len(r) > k {
+			res[i] = r[:k]
+		}
+	}
+	return res
+}

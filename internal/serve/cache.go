@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"container/list"
+	"encoding/binary"
+	"math"
+	"sync"
+
+	"repro/internal/topk"
+)
+
+// lruCache is an exact-match result cache keyed on quantized query
+// vectors. Real ANNS traffic is Zipf-skewed over query identity (hot
+// queries repeat verbatim — the serving-side face of the paper's Fig. 4a
+// cluster-access skew), so even a small LRU absorbs a large fraction of
+// load. Quantizing each coordinate to a grid cell before hashing makes
+// the key robust to floating-point jitter between byte-identical
+// requests without conflating genuinely different queries.
+type lruCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recently used
+	entries map[string]*list.Element
+}
+
+// vecKeyer quantizes query vectors into identity strings. The same keys
+// serve two mechanisms: cache lookups, and intra-batch coalescing (two
+// requests with equal keys are the same query, so one backend row answers
+// both).
+type vecKeyer struct{ quantum float64 }
+
+// key quantizes vec onto the grid and packs the cell coordinates into a
+// string usable as a map key.
+func (q vecKeyer) key(vec []float32) string {
+	buf := make([]byte, 8*len(vec))
+	inv := 1 / q.quantum
+	for i, v := range vec {
+		cell := int64(math.Round(float64(v) * inv))
+		binary.LittleEndian.PutUint64(buf[8*i:], uint64(cell))
+	}
+	return string(buf)
+}
+
+type cacheEntry struct {
+	key   string
+	cands []topk.Candidate
+}
+
+// newLRUCache returns a cache holding up to capacity entries, or nil when
+// capacity <= 0 (caching disabled).
+func newLRUCache(capacity int) *lruCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &lruCache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns a copy of the cached result for key, if present, and marks
+// it most recently used.
+func (c *lruCache) get(key string) ([]topk.Candidate, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	cands := el.Value.(*cacheEntry).cands
+	out := make([]topk.Candidate, len(cands))
+	copy(out, cands)
+	return out, true
+}
+
+// put stores a copy of cands under key, evicting the least recently used
+// entry when full.
+func (c *lruCache) put(key string, cands []topk.Candidate) {
+	stored := make([]topk.Candidate, len(cands))
+	copy(stored, cands)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).cands = stored
+		c.order.MoveToFront(el)
+		return
+	}
+	if c.order.Len() >= c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, cands: stored})
+}
+
+// len returns the current entry count.
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

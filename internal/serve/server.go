@@ -1,0 +1,319 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/topk"
+	"repro/internal/vecmath"
+)
+
+// request is one in-flight query.
+type request struct {
+	vec      []float32
+	key      string // quantized-vector identity (cache key / coalescing key)
+	deadline time.Time
+	submit   time.Time
+	reply    chan reply // buffered(1): workers never block on abandoned waiters
+}
+
+type reply struct {
+	cands []topk.Candidate
+	err   error
+}
+
+// Server fronts one or more search backends with micro-batching,
+// admission control and result caching. Create with NewServer, shut down
+// with Close.
+type Server struct {
+	cfg   Config
+	dim   int
+	queue chan *request
+	work  chan []*request
+	stopc chan struct{}
+	wg    sync.WaitGroup // batcher + workers
+
+	mu     sync.RWMutex // guards closed against in-flight enqueues
+	closed bool
+
+	keyer *vecKeyer // quantized query identity for caching and coalescing
+	cache *lruCache
+	ctr   counters
+	lat   *metrics.Histogram
+}
+
+// NewServer starts a server over the given backends: one worker goroutine
+// per backend, so parallelism equals the number of backend replicas (a
+// single engine admits no intra-batch concurrency — its per-DPU scratch
+// is reused across batches). All backends must share a dimensionality.
+func NewServer(cfg Config, backends ...Backend) (*Server, error) {
+	if len(backends) == 0 {
+		return nil, fmt.Errorf("serve: NewServer needs at least one backend")
+	}
+	dim := backends[0].Dim()
+	for _, b := range backends[1:] {
+		if b.Dim() != dim {
+			return nil, fmt.Errorf("serve: backend dims differ (%d vs %d)", dim, b.Dim())
+		}
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		dim:   dim,
+		queue: make(chan *request, cfg.QueueDepth),
+		work:  make(chan []*request, len(backends)),
+		stopc: make(chan struct{}),
+		keyer: &vecKeyer{quantum: cfg.CacheQuantum},
+		cache: newLRUCache(cfg.CacheSize),
+		lat:   metrics.NewLatencyHistogram(),
+	}
+	s.wg.Add(1 + len(backends))
+	go s.batcher()
+	for _, b := range backends {
+		go s.worker(b, dim)
+	}
+	return s, nil
+}
+
+// Config returns the server's effective (default-filled) configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// Search answers one query with the k nearest neighbors (k = Config.K).
+// The vector must match the backend dimensionality. Search blocks until
+// a result is available or the request's deadline — the earlier of ctx's
+// deadline and DefaultTimeout — expires. Under overload it fails fast
+// with ErrOverloaded. Callers must not modify the returned candidates.
+func (s *Server) Search(ctx context.Context, vec []float32) ([]topk.Candidate, error) {
+	if len(vec) != s.dim {
+		return nil, fmt.Errorf("serve: query has %d dims, backend has %d", len(vec), s.dim)
+	}
+	now := time.Now()
+	r := &request{vec: vec, key: s.keyer.key(vec), submit: now, reply: make(chan reply, 1)}
+	s.ctr.requests.Add(1)
+
+	if s.cache != nil {
+		if cands, ok := s.cache.get(r.key); ok {
+			s.ctr.cacheHits.Add(1)
+			s.lat.Observe(time.Since(now).Seconds())
+			return cands, nil
+		}
+	}
+
+	r.deadline = now.Add(s.cfg.DefaultTimeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(r.deadline) {
+		r.deadline = d
+	}
+
+	// Admission: the RLock pairs with Close's Lock so no request can slip
+	// into the queue after the drain pass has started.
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return nil, ErrClosed
+	}
+	select {
+	case s.queue <- r:
+		s.ctr.accepted.Add(1)
+		s.mu.RUnlock()
+	default:
+		s.mu.RUnlock()
+		s.ctr.shed.Add(1)
+		return nil, ErrOverloaded
+	}
+
+	timer := time.NewTimer(time.Until(r.deadline))
+	defer timer.Stop()
+	select {
+	case rep := <-r.reply:
+		if rep.err != nil {
+			if rep.err == ErrDeadline {
+				s.ctr.expired.Add(1)
+			}
+			return nil, rep.err
+		}
+		// Completion is accounted here, at delivery: a backend answer whose
+		// waiter already gave up counts as expired, not completed, so the
+		// outcome counters partition the requests.
+		s.ctr.completed.Add(1)
+		s.lat.Observe(time.Since(now).Seconds())
+		return rep.cands, nil
+	case <-ctx.Done():
+		s.ctr.expired.Add(1)
+		return nil, context.Cause(ctx)
+	case <-timer.C:
+		s.ctr.expired.Add(1)
+		return nil, ErrDeadline
+	}
+}
+
+// Close stops admission, flushes every queued request through the
+// backends, and waits for the batcher and workers to exit. It is
+// idempotent; Search calls racing with Close either complete normally or
+// return ErrClosed.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.stopc)
+	s.wg.Wait()
+}
+
+// batcher drains the admission queue into micro-batches: a batch opens on
+// its first request and dispatches when MaxBatch is reached or MaxLinger
+// elapses, whichever comes first.
+func (s *Server) batcher() {
+	defer s.wg.Done()
+	defer close(s.work)
+	for {
+		select {
+		case first := <-s.queue:
+			s.work <- s.fill(first)
+		case <-s.stopc:
+			s.drain()
+			return
+		}
+	}
+}
+
+// fill grows a batch opened by first until full, linger expiry, or
+// shutdown.
+func (s *Server) fill(first *request) []*request {
+	batch := []*request{first}
+	if s.cfg.MaxBatch <= 1 {
+		return batch
+	}
+	if s.cfg.MaxLinger == 0 {
+		// Greedy: take whatever is already queued, never wait.
+		for len(batch) < s.cfg.MaxBatch {
+			select {
+			case r := <-s.queue:
+				batch = append(batch, r)
+			default:
+				return batch
+			}
+		}
+		return batch
+	}
+	timer := time.NewTimer(s.cfg.MaxLinger)
+	defer timer.Stop()
+	for len(batch) < s.cfg.MaxBatch {
+		select {
+		case r := <-s.queue:
+			batch = append(batch, r)
+		case <-timer.C:
+			return batch
+		case <-s.stopc:
+			return batch
+		}
+	}
+	return batch
+}
+
+// drain flushes everything still queued at shutdown into final batches.
+// Admission is already closed (Close holds the write lock before stopc is
+// closed), so the queue can only shrink here.
+func (s *Server) drain() {
+	batch := make([]*request, 0, s.cfg.MaxBatch)
+	for {
+		select {
+		case r := <-s.queue:
+			batch = append(batch, r)
+			if len(batch) == s.cfg.MaxBatch {
+				s.work <- batch
+				batch = make([]*request, 0, s.cfg.MaxBatch)
+			}
+		default:
+			if len(batch) > 0 {
+				s.work <- batch
+			}
+			return
+		}
+	}
+}
+
+// worker owns one backend and executes dispatched batches until the work
+// channel closes.
+func (s *Server) worker(b Backend, dim int) {
+	defer s.wg.Done()
+	queries := vecmath.NewMatrix(s.cfg.MaxBatch, dim)
+	for batch := range s.work {
+		s.runBatch(b, batch, queries)
+	}
+}
+
+// runBatch drops stale requests, coalesces duplicate queries, dispatches
+// one backend batch of distinct rows, and fans results back out.
+func (s *Server) runBatch(b Backend, batch []*request, scratch *vecmath.Matrix) {
+	now := time.Now()
+	live := batch[:0]
+	for _, r := range batch {
+		if now.After(r.deadline) {
+			// The waiter accounts the expiry (it owns the outcome); the
+			// reply only unblocks a waiter that has not yet timed out.
+			r.reply <- reply{err: ErrDeadline}
+			continue
+		}
+		live = append(live, r)
+	}
+	if len(live) == 0 {
+		return
+	}
+
+	// Coalesce: under Zipf-skewed traffic the same hot query often appears
+	// several times in one micro-batch; one backend row answers them all.
+	// Batch-size-1 dispatch can never do this — it is part of why batched
+	// serving wins beyond the DPU-side amortization.
+	rowOf := make(map[string]int, len(live))
+	assign := make([]int, len(live))
+	distinct := live[:0:0]
+	for i, r := range live {
+		if row, ok := rowOf[r.key]; ok {
+			assign[i] = row
+			continue
+		}
+		rowOf[r.key] = len(distinct)
+		assign[i] = len(distinct)
+		distinct = append(distinct, r)
+	}
+	s.ctr.coalesced.Add(uint64(len(live) - len(distinct)))
+
+	m := vecmath.WrapMatrix(scratch.Data[:len(distinct)*scratch.Dim], len(distinct), scratch.Dim)
+	for i, r := range distinct {
+		copy(m.Row(i), r.vec)
+	}
+	res, err := b.Search(m, s.cfg.K)
+	if err != nil {
+		s.ctr.backendErrs.Add(uint64(len(live)))
+		for _, r := range live {
+			r.reply <- reply{err: err}
+		}
+		return
+	}
+	s.ctr.batches.Add(1)
+	s.ctr.batchedQ.Add(uint64(len(distinct)))
+	if s.cache != nil {
+		for i, r := range distinct {
+			s.cache.put(r.key, res[i])
+		}
+	}
+	delivered := make([]bool, len(distinct))
+	for i, r := range live {
+		cands := res[assign[i]]
+		if delivered[assign[i]] {
+			// Coalesced duplicates get their own copy so no two callers
+			// share a mutable result slice.
+			cp := make([]topk.Candidate, len(cands))
+			copy(cp, cands)
+			cands = cp
+		}
+		delivered[assign[i]] = true
+		r.reply <- reply{cands: cands}
+	}
+}

@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"sync/atomic"
+
+	"repro/internal/metrics"
+)
+
+// counters is the server's internal atomic counter block.
+type counters struct {
+	requests    atomic.Uint64 // Search calls that passed validation
+	accepted    atomic.Uint64 // admitted to the queue
+	completed   atomic.Uint64 // answers delivered to callers in time
+	cacheHits   atomic.Uint64 // answered from the LRU
+	shed        atomic.Uint64 // rejected: queue full
+	expired     atomic.Uint64 // deadline passed before an answer
+	backendErrs atomic.Uint64 // backend returned an error
+	batches     atomic.Uint64 // backend dispatches
+	batchedQ    atomic.Uint64 // distinct queries across all dispatches
+	coalesced   atomic.Uint64 // duplicates answered by a batch-mate's row
+}
+
+// Stats is a point-in-time, JSON-serializable view of the server.
+type Stats struct {
+	Requests    uint64 `json:"requests"`
+	Accepted    uint64 `json:"accepted"`
+	Completed   uint64 `json:"completed"`
+	CacheHits   uint64 `json:"cache_hits"`
+	Shed        uint64 `json:"shed"`
+	Expired     uint64 `json:"expired"`
+	BackendErrs uint64 `json:"backend_errors"`
+
+	Batches       uint64  `json:"batches"`
+	BatchedQ      uint64  `json:"batched_queries"`
+	Coalesced     uint64  `json:"coalesced"`
+	MeanBatchSize float64 `json:"mean_batch_size"`
+
+	QueueDepth int `json:"queue_depth"`
+	CacheLen   int `json:"cache_entries"`
+
+	// Latency covers every successful reply (cache hits included),
+	// admission to response, in seconds.
+	Latency metrics.Snapshot `json:"latency_seconds"`
+}
+
+// HitRate returns cache hits as a fraction of successful replies.
+func (s Stats) HitRate() float64 {
+	served := s.Completed + s.CacheHits
+	if served == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(served)
+}
+
+// Stats snapshots the server's counters and latency histogram.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		Requests:    s.ctr.requests.Load(),
+		Accepted:    s.ctr.accepted.Load(),
+		Completed:   s.ctr.completed.Load(),
+		CacheHits:   s.ctr.cacheHits.Load(),
+		Shed:        s.ctr.shed.Load(),
+		Expired:     s.ctr.expired.Load(),
+		BackendErrs: s.ctr.backendErrs.Load(),
+		Batches:     s.ctr.batches.Load(),
+		BatchedQ:    s.ctr.batchedQ.Load(),
+		Coalesced:   s.ctr.coalesced.Load(),
+		QueueDepth:  len(s.queue),
+		Latency:     s.lat.Snapshot(),
+	}
+	if st.Batches > 0 {
+		st.MeanBatchSize = float64(st.BatchedQ) / float64(st.Batches)
+	}
+	if s.cache != nil {
+		st.CacheLen = s.cache.len()
+	}
+	return st
+}

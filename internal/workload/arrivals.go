@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/vecmath"
+	"repro/internal/xrand"
+)
+
+// This file provides the online-serving side of the workload package: the
+// request streams the serving layer (internal/serve) is driven with. Two
+// ingredients reproduce real ANNS traffic:
+//
+//   - arrivals follow an open-loop Poisson process at a target rate, so
+//     load is independent of service latency (requests pile up when the
+//     server falls behind, exactly how overload manifests in production);
+//   - query identity is drawn Zipf-skewed from a fixed pool of distinct
+//     queries, so a small set of hot queries repeats verbatim — the skew
+//     Fig. 4a measures per cluster, lifted to whole queries, and the
+//     property an exact-match result cache exploits.
+
+// PoissonArrivals returns n arrival offsets from time zero for an
+// open-loop Poisson process with the given mean rate (requests/second).
+// Offsets are strictly non-decreasing. It panics if qps <= 0 or n < 0.
+func PoissonArrivals(qps float64, n int, seed uint64) []time.Duration {
+	if qps <= 0 {
+		panic("workload: PoissonArrivals needs qps > 0")
+	}
+	if n < 0 {
+		panic("workload: PoissonArrivals needs n >= 0")
+	}
+	r := xrand.New(seed ^ 0x9e3779b97f4a7c15)
+	out := make([]time.Duration, n)
+	t := 0.0
+	for i := range out {
+		// Inverse-CDF exponential inter-arrival; guard the log(0) corner.
+		u := r.Float64()
+		if u == 0 {
+			u = math.SmallestNonzeroFloat64
+		}
+		t += -math.Log(u) / qps
+		out[i] = time.Duration(t * float64(time.Second))
+	}
+	return out
+}
+
+// QueryStream draws queries from a fixed pool with Zipf-distributed
+// popularity: pool row 0 is the hottest query, row N-1 the coldest. A
+// stream is deterministic for a seed and NOT safe for concurrent use;
+// give each load-generating client its own stream (vary the seed).
+type QueryStream struct {
+	pool *vecmath.Matrix
+	zipf *xrand.Zipf
+	rng  *xrand.RNG
+}
+
+// NewQueryStream builds a stream over pool with Zipf exponent skew
+// (0 = uniform popularity; ~1 matches the paper's access skew regime).
+func NewQueryStream(pool *vecmath.Matrix, skew float64, seed uint64) *QueryStream {
+	if pool == nil || pool.Rows == 0 {
+		panic("workload: NewQueryStream needs a non-empty pool")
+	}
+	return &QueryStream{
+		pool: pool,
+		zipf: xrand.NewZipf(pool.Rows, skew),
+		rng:  xrand.New(seed),
+	}
+}
+
+// NextIndex draws the next query's pool row.
+func (s *QueryStream) NextIndex() int { return s.zipf.Sample(s.rng) }
+
+// Next draws the next query vector. The returned slice aliases the pool;
+// callers must not modify it.
+func (s *QueryStream) Next() []float32 { return s.pool.Row(s.NextIndex()) }
+
+// HitRateUpperBound returns the best possible exact-match cache hit rate
+// for this stream's popularity law with a cache of the given size: the
+// probability mass of the `size` hottest queries. It bounds what the
+// serving layer's LRU can achieve under this load.
+func (s *QueryStream) HitRateUpperBound(size int) float64 {
+	if size <= 0 {
+		return 0
+	}
+	if size > s.zipf.N() {
+		size = s.zipf.N()
+	}
+	mass := 0.0
+	for i := 0; i < size; i++ {
+		mass += s.zipf.Prob(i)
+	}
+	return mass
+}

@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/vecmath"
+)
+
+func TestPoissonArrivals(t *testing.T) {
+	const qps, n = 1000.0, 20000
+	arr := PoissonArrivals(qps, n, 7)
+	if len(arr) != n {
+		t.Fatalf("len = %d", len(arr))
+	}
+	for i := 1; i < n; i++ {
+		if arr[i] < arr[i-1] {
+			t.Fatalf("arrivals not monotonic at %d: %v < %v", i, arr[i], arr[i-1])
+		}
+	}
+	// Mean rate must land near the target: n arrivals in ~n/qps seconds.
+	span := arr[n-1].Seconds()
+	rate := float64(n) / span
+	if math.Abs(rate-qps)/qps > 0.05 {
+		t.Errorf("measured rate %.1f, want ~%.1f", rate, qps)
+	}
+	// Deterministic for a seed, different across seeds.
+	again := PoissonArrivals(qps, n, 7)
+	for i := range arr {
+		if arr[i] != again[i] {
+			t.Fatal("arrivals not deterministic for equal seeds")
+		}
+	}
+	other := PoissonArrivals(qps, n, 8)
+	same := true
+	for i := range arr {
+		if arr[i] != other[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical arrivals")
+	}
+	if got := PoissonArrivals(qps, 0, 1); len(got) != 0 {
+		t.Error("n=0 must return an empty slice")
+	}
+}
+
+func TestQueryStreamSkew(t *testing.T) {
+	pool := vecmath.NewMatrix(64, 4)
+	for i := 0; i < pool.Rows; i++ {
+		pool.Row(i)[0] = float32(i)
+	}
+	s := NewQueryStream(pool, 1.0, 11)
+	counts := make([]int, pool.Rows)
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		idx := s.NextIndex()
+		if idx < 0 || idx >= pool.Rows {
+			t.Fatalf("index %d out of range", idx)
+		}
+		counts[idx]++
+	}
+	// Row 0 must be the hottest and much hotter than the median row.
+	for i := 1; i < pool.Rows; i++ {
+		if counts[i] > counts[0] {
+			t.Fatalf("row %d (%d draws) hotter than row 0 (%d)", i, counts[i], counts[0])
+		}
+	}
+	if counts[0] < 8*counts[pool.Rows/2] {
+		t.Errorf("skew too weak: hot %d vs median %d", counts[0], counts[pool.Rows/2])
+	}
+	// Next must alias the pool row of the drawn index.
+	v := s.Next()
+	if len(v) != pool.Dim {
+		t.Fatalf("query dim %d", len(v))
+	}
+
+	// Hit-rate bound: monotone in cache size, 1.0 at full coverage.
+	b8, b16 := s.HitRateUpperBound(8), s.HitRateUpperBound(16)
+	if !(b8 > 0 && b8 < b16 && b16 < 1) {
+		t.Errorf("hit bounds not monotone: %v, %v", b8, b16)
+	}
+	if full := s.HitRateUpperBound(pool.Rows + 5); math.Abs(full-1) > 1e-12 {
+		t.Errorf("full-coverage bound %v != 1", full)
+	}
+	if s.HitRateUpperBound(0) != 0 {
+		t.Error("zero-size bound must be 0")
+	}
+
+	// Uniform skew: hottest row should NOT dominate.
+	u := NewQueryStream(pool, 0, 13)
+	uc := make([]int, pool.Rows)
+	for i := 0; i < draws; i++ {
+		uc[u.NextIndex()]++
+	}
+	want := draws / pool.Rows
+	if uc[0] > want*2 {
+		t.Errorf("uniform stream skewed: row 0 drew %d, expected ~%d", uc[0], want)
+	}
+}
+
+func TestPoissonArrivalsBurstiness(t *testing.T) {
+	// A Poisson process must show inter-arrival variance ~ mean^2
+	// (exponential CV = 1); a deterministic pacer would have CV ~ 0. This
+	// guards against accidentally replacing the process with fixed pacing.
+	arr := PoissonArrivals(500, 10000, 3)
+	gaps := make([]float64, len(arr)-1)
+	mean := 0.0
+	for i := 1; i < len(arr); i++ {
+		gaps[i-1] = (arr[i] - arr[i-1]).Seconds()
+		mean += gaps[i-1]
+	}
+	mean /= float64(len(gaps))
+	varSum := 0.0
+	for _, g := range gaps {
+		varSum += (g - mean) * (g - mean)
+	}
+	cv := math.Sqrt(varSum/float64(len(gaps))) / mean
+	if cv < 0.9 || cv > 1.1 {
+		t.Errorf("inter-arrival CV = %.3f, want ~1 (exponential)", cv)
+	}
+}
