@@ -13,9 +13,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -31,6 +33,8 @@ func main() {
 		dpus    = flag.Int("dpus", 0, "simulated DPUs (0 = default)")
 		k       = flag.Int("k", 0, "top-k (0 = default)")
 		seed    = flag.Uint64("seed", 0, "random seed (0 = default)")
+		jsonDir = flag.String("json", "", "directory to write BENCH_<id>.json artifacts into (experiments with machine-readable results)")
+		check   = flag.Bool("check", false, "exit non-zero if any artifact reports acceptance-shape violations (the CI regression gate)")
 	)
 	flag.Parse()
 
@@ -70,8 +74,17 @@ func main() {
 		}
 	}
 
+	if *jsonDir != "" {
+		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "creating artifact dir: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	fmt.Printf("UpANNS benchmark harness: N=%d, queries=%d, DPUs=%d, IVF=%v, nprobe=%v, k=%d\n\n",
 		o.N, o.Queries, o.DPUs, o.IVFGrid, o.NProbeGrid, o.K)
+	var violations []string
+	checkedArtifacts := 0
 	for _, e := range selected {
 		start := time.Now()
 		rep, err := e.Run(ctx)
@@ -81,5 +94,40 @@ func main() {
 		}
 		fmt.Print(rep.String())
 		fmt.Printf("(%s completed in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+		if rep.Artifact == nil {
+			continue
+		}
+		if *jsonDir != "" {
+			path := filepath.Join(*jsonDir, "BENCH_"+rep.ID+".json")
+			raw, err := json.MarshalIndent(rep.Artifact, "", "  ")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: marshaling artifact: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+			if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: writing artifact: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n\n", path)
+		}
+		if *check {
+			checkedArtifacts++
+			violations = append(violations, rep.Artifact.Violations()...)
+		}
+	}
+	if *check {
+		if checkedArtifacts == 0 {
+			// A gate that verified nothing must not go green.
+			fmt.Fprintln(os.Stderr, "-check: none of the selected experiments produce an artifact; nothing was verified")
+			os.Exit(1)
+		}
+		if len(violations) > 0 {
+			fmt.Fprintln(os.Stderr, "acceptance-shape violations:")
+			for _, v := range violations {
+				fmt.Fprintln(os.Stderr, "  - "+v)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("acceptance shapes: OK (%d artifacts checked)\n", checkedArtifacts)
 	}
 }

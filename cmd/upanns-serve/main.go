@@ -5,6 +5,13 @@
 // the DPU-side batching economics the paper measures (Fig. 16) carry
 // through to an interactive serving path.
 //
+// In single-host mode the index is deployed through internal/mutable, so
+// the corpus is updatable while serving: POST /upsert and /delete stage
+// writes in the epoch overlay (batched by the serve-side write batcher),
+// and a background compactor republishes the PIM deployment when log,
+// tombstone, or drift pressure crosses its threshold — without pausing
+// reads. Multi-host mode (-hosts > 1) remains read-only.
+//
 // Start against a dataset written by upanns-datagen, or a synthetic one:
 //
 //	upanns-serve -base /tmp/sift.base.fvecs -addr :8080
@@ -13,11 +20,16 @@
 // Endpoints:
 //
 //	POST /search  {"vector": [...]}            -> {"ids": [...], "distances": [...]}
-//	GET  /stats                                -> serving counters + latency quantiles (JSON)
-//	GET  /healthz                              -> 200 once the index is deployed
+//	POST /upsert  {"id": 7, "vector": [...]}   -> {"id": 7}
+//	POST /delete  {"id": 7}                    -> {"id": 7}
+//	GET  /stats                                -> serving + write + index epoch counters (JSON)
+//	GET  /healthz                              -> 200 while serving; 503 while draining
 //
 // Under overload the server sheds with 503; requests that miss their
-// deadline return 504.
+// deadline return 504. On SIGINT/SIGTERM the server drains gracefully:
+// admission stops (new requests get 503), in-flight batches and queued
+// writes flush, a pending compaction finishes, then the process exits. A
+// second signal forces immediate exit.
 package main
 
 import (
@@ -30,6 +42,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -37,7 +50,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/ivfpq"
 	"repro/internal/multihost"
-	"repro/internal/pim"
+	"repro/internal/mutable"
 	"repro/internal/serve"
 	"repro/internal/vecmath"
 	"repro/internal/workload"
@@ -58,7 +71,7 @@ func main() {
 		nprobe    = flag.Int("nprobe", 8, "clusters probed per query")
 		k         = flag.Int("k", 10, "neighbors returned")
 		dpus      = flag.Int("dpus", 64, "simulated DPUs (per host)")
-		hosts     = flag.Int("hosts", 1, "hosts; >1 shards the dataset via internal/multihost")
+		hosts     = flag.Int("hosts", 1, "hosts; >1 shards the dataset via internal/multihost (read-only)")
 		seed      = flag.Uint64("seed", 1, "random seed")
 
 		addr     = flag.String("addr", ":8080", "HTTP listen address")
@@ -67,16 +80,39 @@ func main() {
 		queue    = flag.Int("queue", 1024, "admission queue depth")
 		timeout  = flag.Duration("timeout", time.Second, "per-request deadline")
 		cache    = flag.Int("cache", 4096, "LRU result-cache entries (0 disables)")
+
+		writeBatch    = flag.Int("write-batch", 64, "write micro-batch size cap")
+		writeLinger   = flag.Duration("write-linger", time.Millisecond, "max wait to fill a write batch")
+		compactEvery  = flag.Duration("compact-interval", 25*time.Millisecond, "compaction pressure poll period (0 disables the background compactor)")
+		drainDeadline = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget for in-flight HTTP requests")
+		statePath     = flag.String("state", "", "durable index state: loaded at startup when present, written on graceful shutdown (single-host mode)")
 	)
 	flag.Parse()
-
-	base, mm, err := loadBase(*basePath, *synthetic, *n, *m, *seed)
-	if err != nil {
-		fail(err)
+	if *statePath != "" && *hosts > 1 {
+		// Refuse rather than silently serve without the durability the
+		// operator asked for: only single-host (mutable) mode persists.
+		fail(fmt.Errorf("-state requires single-host mode (-hosts 1); multi-host sharding is read-only"))
 	}
-	backend, err := buildBackend(base, mm, *nlist, *nprobe, *k, *dpus, *hosts, *seed)
-	if err != nil {
-		fail(err)
+
+	var backend serve.Backend
+	var updatable *mutable.UpdatableIndex
+	if *statePath != "" && *hosts == 1 {
+		if u, ok := loadState(*statePath, *nprobe, *k, *dpus, *seed, *compactEvery); ok {
+			backend, updatable = u, u
+		}
+	}
+	var base *vecmath.Matrix
+	if backend == nil {
+		var mm int
+		var err error
+		base, mm, err = loadBase(*basePath, *synthetic, *n, *m, *seed)
+		if err != nil {
+			fail(err)
+		}
+		backend, updatable, err = buildBackend(base, mm, *nlist, *nprobe, *k, *dpus, *hosts, *seed, *compactEvery)
+		if err != nil {
+			fail(err)
+		}
 	}
 
 	srv, err := serve.NewServer(serve.Config{
@@ -91,14 +127,67 @@ func main() {
 		fail(err)
 	}
 
+	var writer *serve.WriteBatcher
+	if updatable != nil {
+		writer = serve.NewWriteBatcher(serve.WriteConfig{
+			MaxBatch:       *writeBatch,
+			MaxLinger:      *writeLinger,
+			DefaultTimeout: *timeout,
+			// Writes change answers; drop cached results before the
+			// writers are acknowledged so reads never see stale hits.
+			OnApplied: srv.InvalidateCache,
+		}, updatable)
+	}
+
+	// draining flips when shutdown starts: the handlers shed new work
+	// with 503 while in-flight requests ride out the grace period.
+	var draining atomic.Bool
+	shedIfDraining := func(w http.ResponseWriter) bool {
+		if draining.Load() {
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "server draining"})
+			return true
+		}
+		return false
+	}
+
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /search", func(w http.ResponseWriter, r *http.Request) {
+		if shedIfDraining(w) {
+			return
+		}
 		handleSearch(srv, backend.Dim(), w, r)
 	})
+	mux.HandleFunc("POST /upsert", func(w http.ResponseWriter, r *http.Request) {
+		if shedIfDraining(w) {
+			return
+		}
+		handleWrite(writer, backend.Dim(), true, w, r)
+	})
+	mux.HandleFunc("POST /delete", func(w http.ResponseWriter, r *http.Request) {
+		if shedIfDraining(w) {
+			return
+		}
+		handleWrite(writer, backend.Dim(), false, w, r)
+	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, srv.Stats())
+		st := statsPayload{Serve: srv.Stats()}
+		if writer != nil {
+			ws := writer.Stats()
+			st.Writes = &ws
+		}
+		if updatable != nil {
+			is := updatable.Stats()
+			st.Index = &is
+		}
+		writeJSON(w, http.StatusOK, st)
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if draining.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
@@ -110,22 +199,113 @@ func main() {
 	go func() {
 		defer close(drained)
 		<-ctx.Done()
-		log.Println("shutting down...")
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		// First signal: drain. Re-arm signals so a second one kills the
+		// process immediately instead of waiting out the drain.
+		stop()
+		force := make(chan os.Signal, 1)
+		signal.Notify(force, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-force
+			log.Println("second signal: forcing exit")
+			os.Exit(1)
+		}()
+		log.Println("shutting down: admission stopped, draining in-flight work...")
+		draining.Store(true)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainDeadline)
 		defer cancel()
-		hs.Shutdown(shutdownCtx)
+		hs.Shutdown(shutdownCtx) //nolint:errcheck // drain is best-effort under its deadline
 	}()
 
-	log.Printf("serving %d vectors (dim %d) on %s: POST /search, GET /stats", base.Rows, base.Dim, *addr)
+	mode := "read-only"
+	nvec := int64(0)
+	if updatable != nil {
+		mode = "mutable (upsert/delete enabled)"
+		nvec = updatable.Stats().BaseVectors
+	} else if base != nil {
+		nvec = int64(base.Rows)
+	}
+	log.Printf("serving %d vectors (dim %d) on %s [%s]: POST /search /upsert /delete, GET /stats", nvec, backend.Dim(), *addr, mode)
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fail(err)
 	}
 	// ListenAndServe returns as soon as Shutdown starts; wait for the
-	// in-flight handlers to drain before closing the serving layer, so
-	// requests inside the grace period still get answers.
+	// in-flight handlers to drain, then close the layers in dependency
+	// order: read batches flush, queued writes apply, and a pending
+	// compaction finishes before exit.
 	<-drained
 	srv.Close()
+	if writer != nil {
+		writer.Close()
+	}
+	if updatable != nil {
+		updatable.Close()
+		log.Printf("final index state: epoch %d, %d compactions, %d pending log entries",
+			updatable.Stats().Epoch, updatable.Stats().Compactions, updatable.Stats().PendingLog)
+		if *statePath != "" {
+			if err := saveState(*statePath, updatable); err != nil {
+				log.Printf("persisting state: %v", err)
+			} else {
+				log.Printf("state persisted to %s (pending writes survive the restart)", *statePath)
+			}
+		}
+	}
 	log.Printf("final stats: %s", srv.Stats().Latency)
+}
+
+// loadState restores a persisted updatable index, reporting whether one
+// was loaded (a missing file just means a cold start).
+func loadState(path string, nprobe, k, dpus int, seed uint64, compactEvery time.Duration) (*mutable.UpdatableIndex, bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			fail(err)
+		}
+		return nil, false
+	}
+	defer f.Close()
+	u, err := mutable.Read(f, mutableConfig(nprobe, k, dpus, seed, compactEvery))
+	if err != nil {
+		fail(fmt.Errorf("loading state from %s: %w", path, err))
+	}
+	st := u.Stats()
+	log.Printf("restored state from %s: epoch %d, %d base vectors, %d pending log entries, %d tombstones",
+		path, st.Epoch, st.BaseVectors, st.PendingLog, st.Tombstones)
+	return u, true
+}
+
+// saveState atomically persists the updatable index next to path.
+func saveState(path string, u *mutable.UpdatableIndex) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := u.WriteTo(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// mutableConfig is the single-host deployment config: the shared
+// streaming policy (mutable.ServingConfig: K slack, CAE off, one DIMM)
+// plus this server's compactor poll period.
+func mutableConfig(nprobe, k, dpus int, seed uint64, compactEvery time.Duration) mutable.Config {
+	mcfg := mutable.ServingConfig(nprobe, k, dpus, seed)
+	mcfg.CheckInterval = compactEvery
+	return mcfg
+}
+
+// statsPayload is the /stats response shape.
+type statsPayload struct {
+	Serve  serve.Stats       `json:"serve"`
+	Writes *serve.WriteStats `json:"writes,omitempty"`
+	Index  *mutable.Stats    `json:"index,omitempty"`
 }
 
 // loadBase reads or generates the base vectors and resolves M.
@@ -169,15 +349,17 @@ func loadBase(basePath, synthetic string, n, m int, seed uint64) (*vecmath.Matri
 	}
 }
 
-// buildBackend trains, deploys and wraps the engine (or sharded cluster).
-func buildBackend(base *vecmath.Matrix, m, nlist, nprobe, k, dpus, hosts int, seed uint64) (serve.Backend, error) {
+// buildBackend trains and deploys the index. Single-host deployments go
+// through internal/mutable (updatable, epoch-compacted); multi-host
+// sharding stays read-only.
+func buildBackend(base *vecmath.Matrix, m, nlist, nprobe, k, dpus, hosts int, seed uint64, compactEvery time.Duration) (serve.Backend, *mutable.UpdatableIndex, error) {
 	ecfg := core.DefaultConfig()
 	ecfg.NProbe = nprobe
 	ecfg.K = k
 	ecfg.Seed = seed
 
 	if hosts > 1 {
-		log.Printf("deploying on %d hosts x %d DPUs...", hosts, dpus)
+		log.Printf("deploying on %d hosts x %d DPUs (read-only)...", hosts, dpus)
 		cl, err := multihost.Build(base, nil, multihost.Config{
 			Hosts:       hosts,
 			DPUsPerHost: dpus,
@@ -185,28 +367,25 @@ func buildBackend(base *vecmath.Matrix, m, nlist, nprobe, k, dpus, hosts int, se
 			Engine:      ecfg,
 		})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return serve.NewClusterBackend(cl, k), nil
+		return serve.NewClusterBackend(cl, k), nil, nil
 	}
 
 	log.Printf("training IVFPQ: IVF %d, M %d", nlist, m)
 	ix := ivfpq.Train(base, ivfpq.Params{NList: nlist, M: m, Seed: seed, TrainSub: 16384})
 	ix.Add(base, 0)
-	spec := pim.DefaultSpec()
-	spec.NumDIMMs = 1
-	spec.DPUsPerDIMM = dpus
-	sys := pim.NewSystem(spec)
 	// Bootstrap placement frequencies from a self-sample of the base set;
 	// a production deployment would feed a historical query log.
 	sample := vecmath.WrapMatrix(base.Data[:min(512, base.Rows)*base.Dim], min(512, base.Rows), base.Dim)
 	freqs := workload.ClusterFrequencies(ix.Coarse, sample, nprobe)
-	log.Printf("deploying on %d simulated DPUs...", dpus)
-	eng, err := core.Build(ix, sys, freqs, ecfg)
+
+	log.Printf("deploying updatable index on %d simulated DPUs...", dpus)
+	u, err := mutable.New(ix, freqs, mutableConfig(nprobe, k, dpus, seed, compactEvery))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return serve.NewEngineBackend(eng), nil
+	return u, u, nil
 }
 
 type searchRequest struct {
@@ -218,7 +397,18 @@ type searchResponse struct {
 	Distances []float32 `json:"distances"`
 }
 
+type writeRequest struct {
+	ID     int64     `json:"id"`
+	Vector []float32 `json:"vector,omitempty"`
+}
+
+// maxBodyBytes bounds request bodies: a few MB covers any legal vector
+// at any supported dimensionality, and keeps a single oversized POST
+// from allocating unbounded memory ahead of the dimension check.
+const maxBodyBytes = 4 << 20
+
 func handleSearch(srv *serve.Server, dim int, w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	var req searchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad JSON: " + err.Error()})
@@ -230,16 +420,7 @@ func handleSearch(srv *serve.Server, dim int, w http.ResponseWriter, r *http.Req
 		return
 	}
 	cands, err := srv.Search(r.Context(), req.Vector)
-	switch {
-	case errors.Is(err, serve.ErrOverloaded):
-		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
-		return
-	case errors.Is(err, serve.ErrDeadline), errors.Is(err, context.DeadlineExceeded):
-		writeJSON(w, http.StatusGatewayTimeout, map[string]string{"error": "deadline exceeded"})
-		return
-	case err != nil:
-		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+	if writeServeError(w, err) {
 		return
 	}
 	resp := searchResponse{IDs: make([]int64, len(cands)), Distances: make([]float32, len(cands))}
@@ -250,8 +431,56 @@ func handleSearch(srv *serve.Server, dim int, w http.ResponseWriter, r *http.Req
 	writeJSON(w, http.StatusOK, resp)
 }
 
+func handleWrite(writer *serve.WriteBatcher, dim int, upsert bool, w http.ResponseWriter, r *http.Request) {
+	if writer == nil {
+		writeJSON(w, http.StatusNotImplemented, map[string]string{
+			"error": "writes are only supported in single-host (mutable) mode"})
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	var req writeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad JSON: " + err.Error()})
+		return
+	}
+	var err error
+	if upsert {
+		if len(req.Vector) != dim {
+			writeJSON(w, http.StatusBadRequest, map[string]string{
+				"error": fmt.Sprintf("vector has %d dims, index has %d", len(req.Vector), dim)})
+			return
+		}
+		err = writer.Upsert(r.Context(), req.ID, req.Vector)
+	} else {
+		err = writer.Delete(r.Context(), req.ID)
+	}
+	if writeServeError(w, err) {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int64{"id": req.ID})
+}
+
+// writeServeError maps serving-layer errors onto HTTP statuses; it
+// reports whether a response was written.
+func writeServeError(w http.ResponseWriter, err error) bool {
+	switch {
+	case err == nil:
+		return false
+	case errors.Is(err, serve.ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+	case errors.Is(err, serve.ErrClosed):
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+	case errors.Is(err, serve.ErrDeadline), errors.Is(err, context.DeadlineExceeded):
+		writeJSON(w, http.StatusGatewayTimeout, map[string]string{"error": "deadline exceeded"})
+	default:
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+	}
+	return true
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // best-effort response write
 }

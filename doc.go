@@ -10,9 +10,16 @@
 //
 // Beyond the offline reproduction, internal/serve provides an online
 // query-serving layer — micro-batching, admission control, request
-// coalescing, and an LRU result cache over the engine — exposed as an
-// HTTP service by cmd/upanns-serve and measured by the harness' "serving"
-// experiment (QPS vs tail latency across batching policies).
+// coalescing, an LRU result cache, and a mirrored write batcher over the
+// engine — and internal/mutable makes the deployment updatable under
+// live traffic: online insert/delete staged in an LSM-style overlay,
+// epoch-snapshot serving with RCU-style publication, and background
+// compaction that re-places and redeploys the index when log, tombstone,
+// or access-drift pressure crosses a threshold. Both are exposed as an
+// HTTP service by cmd/upanns-serve (POST /search /upsert /delete) and
+// measured by the harness' "serving" and "updates" experiments (QPS vs
+// tail latency across batching policies; recall stability and read tail
+// under churn).
 //
 // See README.md for a tour and DESIGN.md for the system inventory.
 package repro

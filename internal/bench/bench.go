@@ -68,12 +68,24 @@ func QuickOptions() Options {
 	return o
 }
 
+// Artifact is a machine-readable experiment result: JSON-serializable
+// and self-checking. cmd/upanns-bench writes artifacts as BENCH_<id>.json
+// and the CI bench-smoke job fails on any reported violation.
+type Artifact interface {
+	// Violations returns the acceptance-shape regressions this run
+	// exhibits; empty means healthy.
+	Violations() []string
+}
+
 // Report is one experiment's output.
 type Report struct {
 	ID     string
 	Title  string
 	Tables []*metrics.Table
 	Notes  []string
+	// Artifact is the experiment's machine-readable payload (nil for
+	// table-only experiments).
+	Artifact Artifact
 }
 
 // String renders the report.
@@ -264,6 +276,7 @@ func All() []Experiment {
 		{"fig20", "Scalability vs DPU count", (*Context).Fig20},
 		{"recall", "Accuracy validation across backends", (*Context).RecallCheck},
 		{"serving", "Online serving: batching/caching vs QPS and p99", (*Context).Serving},
+		{"updates", "Streaming updates: recall and read tail under churn", (*Context).Updates},
 	}
 }
 

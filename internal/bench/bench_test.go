@@ -18,8 +18,8 @@ func tinyOptions() Options {
 
 func TestExperimentRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 18 {
-		t.Fatalf("registry holds %d experiments, want 18", len(all))
+	if len(all) != 19 {
+		t.Fatalf("registry holds %d experiments, want 19", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -37,7 +37,7 @@ func TestExperimentRegistry(t *testing.T) {
 	if _, ok := Find("nonsense"); ok {
 		t.Fatal("Find(nonsense) succeeded")
 	}
-	if len(IDs()) != 18 {
+	if len(IDs()) != 19 {
 		t.Fatal("IDs() count mismatch")
 	}
 }
@@ -119,32 +119,27 @@ func TestServingExperiment(t *testing.T) {
 		}
 	}
 
-	base, batched := points[0], points[1]
+	batched := points[1]
 	if batched.Policy.MaxBatch < 8 {
 		t.Fatalf("second policy batches %d < 8", batched.Policy.MaxBatch)
 	}
 	if batched.Stats.MeanBatchSize <= 1.5 {
 		t.Errorf("micro-batching never coalesced: mean batch %.2f", batched.Stats.MeanBatchSize)
 	}
-	if batched.QPS <= base.QPS {
-		t.Errorf("batch=%d QPS %.0f not above batch=1 QPS %.0f",
-			batched.Policy.MaxBatch, batched.QPS, base.QPS)
-	}
-	if batched.Stats.Latency.P99 > base.Stats.Latency.P99 {
-		t.Errorf("batch=%d p99 %.4fs worse than batch=1 p99 %.4fs",
-			batched.Policy.MaxBatch, batched.Stats.Latency.P99, base.Stats.Latency.P99)
+	// The acceptance shape (every batched policy beats batch-1 on QPS,
+	// the batching frontier equal-or-lower on p99, cache lifting p50)
+	// has one source of truth: ServingArtifact.Violations, the same
+	// check the CI bench-smoke gate runs.
+	if v := servingArtifact(points).Violations(); len(v) != 0 {
+		t.Errorf("serving artifact violations: %v", v)
 	}
 
+	// Violations assumes the sweep's last two policies are cache-off
+	// then cache-on; pin that structure here (the checks themselves live
+	// in Violations).
 	uncached, cached := points[len(points)-2], points[len(points)-1]
 	if cached.Policy.CacheSize == 0 || uncached.Policy.CacheSize != 0 {
 		t.Fatal("last two policies must be cache-off then cache-on")
-	}
-	if cached.Stats.HitRate() <= 0.1 {
-		t.Errorf("cache hit rate %.2f too low for Zipf load", cached.Stats.HitRate())
-	}
-	if cached.Stats.Latency.P50 >= uncached.Stats.Latency.P50 {
-		t.Errorf("cache did not reduce p50: %.6fs vs %.6fs",
-			cached.Stats.Latency.P50, uncached.Stats.Latency.P50)
 	}
 
 	rep := servingReport(points)

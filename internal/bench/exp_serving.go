@@ -57,9 +57,100 @@ func (c *Context) Serving() (*Report, error) {
 	return servingReport(points), nil
 }
 
+// ServingPointArtifact is one policy's machine-readable measurement.
+type ServingPointArtifact struct {
+	Name          string  `json:"name"`
+	MaxBatch      int     `json:"max_batch"`
+	CacheSize     int     `json:"cache_size"`
+	QPS           float64 `json:"qps"`
+	MeanBatchSize float64 `json:"mean_batch_size"`
+	HitRate       float64 `json:"cache_hit_rate"`
+	P50           float64 `json:"p50_seconds"`
+	P95           float64 `json:"p95_seconds"`
+	P99           float64 `json:"p99_seconds"`
+	Shed          uint64  `json:"shed"`
+	Expired       uint64  `json:"expired"`
+	BackendErrs   uint64  `json:"backend_errors"`
+}
+
+// ServingArtifact is the serving sweep's machine-readable result
+// (BENCH_serving.json); Violations makes it self-checking.
+type ServingArtifact struct {
+	Points []ServingPointArtifact `json:"points"`
+}
+
+// Violations returns acceptance-shape regressions: the sweep must be
+// lossless, every micro-batching policy must beat batch-1 dispatch on
+// QPS, the batching frontier (best batched p99) must be equal-or-lower
+// than batch-1's p99, and the cached policy must hit its cache and lift
+// p50 over the uncached one. The frontier form keeps the tail check
+// meaningful at smoke scale, where a single policy's p99 rides on a
+// handful of samples.
+func (a *ServingArtifact) Violations() []string {
+	var v []string
+	if len(a.Points) < 4 {
+		return append(v, "serving: sweep incomplete")
+	}
+	for _, p := range a.Points {
+		if p.Shed != 0 || p.Expired != 0 || p.BackendErrs != 0 {
+			v = append(v, fmt.Sprintf("serving[%s]: lossy run (shed=%d expired=%d errs=%d)",
+				p.Name, p.Shed, p.Expired, p.BackendErrs))
+		}
+	}
+	base := a.Points[0]
+	bestP99 := -1.0
+	for _, p := range a.Points[1:] {
+		if p.QPS <= base.QPS {
+			v = append(v, fmt.Sprintf("serving: batch=%d QPS %.0f not above batch=1 QPS %.0f",
+				p.MaxBatch, p.QPS, base.QPS))
+		}
+		if bestP99 < 0 || p.P99 < bestP99 {
+			bestP99 = p.P99
+		}
+	}
+	if bestP99 > base.P99 {
+		v = append(v, fmt.Sprintf("serving: best batched p99 %.6fs worse than batch=1 p99 %.6fs",
+			bestP99, base.P99))
+	}
+	uncached, cached := a.Points[len(a.Points)-2], a.Points[len(a.Points)-1]
+	if cached.HitRate <= 0.1 {
+		v = append(v, fmt.Sprintf("serving: cache hit rate %.2f too low for Zipf load", cached.HitRate))
+	}
+	if cached.P50 >= uncached.P50 {
+		v = append(v, fmt.Sprintf("serving: cache did not reduce p50 (%.6fs vs %.6fs)", cached.P50, uncached.P50))
+	}
+	return v
+}
+
+// servingArtifact flattens measured points into the artifact form.
+func servingArtifact(points []ServingPoint) *ServingArtifact {
+	a := &ServingArtifact{}
+	for _, pt := range points {
+		a.Points = append(a.Points, ServingPointArtifact{
+			Name:          pt.Policy.Name,
+			MaxBatch:      pt.Policy.MaxBatch,
+			CacheSize:     pt.Policy.CacheSize,
+			QPS:           pt.QPS,
+			MeanBatchSize: pt.Stats.MeanBatchSize,
+			HitRate:       pt.Stats.HitRate(),
+			P50:           pt.Stats.Latency.P50,
+			P95:           pt.Stats.Latency.P95,
+			P99:           pt.Stats.Latency.P99,
+			Shed:          pt.Stats.Shed,
+			Expired:       pt.Stats.Expired,
+			BackendErrs:   pt.Stats.BackendErrs,
+		})
+	}
+	return a
+}
+
 // servingReport renders measured serving points as the experiment report.
 func servingReport(points []ServingPoint) *Report {
-	rep := &Report{ID: "serving", Title: "Online serving: micro-batching and caching vs QPS and tail latency"}
+	rep := &Report{
+		ID:       "serving",
+		Title:    "Online serving: micro-batching and caching vs QPS and tail latency",
+		Artifact: servingArtifact(points),
+	}
 	t := metrics.NewTable(
 		fmt.Sprintf("Serving sweep (%s, %d closed-loop clients, Zipf query popularity)",
 			dataset.SIFT1B.Name, servingClients),

@@ -1,0 +1,10 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether the race detector instruments this build.
+// Wall-clock performance assertions (e.g. the updates experiment's read
+// p99 ratio) are skipped under instrumentation: the detector slows and
+// reschedules everything, so those ratios are checked only by the
+// uninstrumented CI bench-smoke job.
+const raceEnabled = true

@@ -86,3 +86,71 @@ func TestReadIndexRejectsTruncatedLists(t *testing.T) {
 		t.Fatal("no error for truncated list data")
 	}
 }
+
+// TestFoldedIndexRoundTrip serializes an index produced the way epoch
+// compaction produces one — CloneStructure plus AppendEncoded of
+// surviving base entries and staged log entries, with tombstoned rows
+// dropped (leaving arbitrary id gaps and some empty lists) — and checks
+// the stream round-trips with byte-identical search results.
+func TestFoldedIndexRoundTrip(t *testing.T) {
+	base, data := buildIndex(t, 77, 2000, 32, 8, 8)
+	m := base.PQ.M
+
+	// Fold: drop every third vector (tombstones), keep the rest, then
+	// append "log" entries re-encoded from fresh vectors under high ids.
+	folded := base.CloneStructure()
+	for c := 0; c < base.NList(); c++ {
+		l := &base.Lists[c]
+		for i := 0; i < l.Len(); i++ {
+			if l.IDs[i]%3 == 0 {
+				continue
+			}
+			folded.AppendEncoded(int32(c), l.IDs[i], l.Code(i, m))
+		}
+	}
+	inserts := testData(78, 100, 32)
+	code := make([]uint8, m)
+	for i := 0; i < inserts.Rows; i++ {
+		cl := folded.EncodeVector(code, inserts.Row(i))
+		folded.AppendEncoded(cl, int64(1_000_000+i), code)
+	}
+	wantTotal := int64(0)
+	for c := range folded.Lists {
+		wantTotal += int64(folded.Lists[c].Len())
+	}
+	if folded.NTotal != wantTotal {
+		t.Fatalf("NTotal %d != summed list lengths %d", folded.NTotal, wantTotal)
+	}
+
+	var buf bytes.Buffer
+	if _, err := folded.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NTotal != folded.NTotal || got.NList() != folded.NList() {
+		t.Fatalf("shape mismatch after round trip: %d/%d vs %d/%d",
+			got.NTotal, got.NList(), folded.NTotal, folded.NList())
+	}
+	for qi := 0; qi < 20; qi++ {
+		q := data.Row(qi)
+		a, _ := folded.SearchQuantized(q, 4, 10)
+		b, _ := got.SearchQuantized(q, 4, 10)
+		if len(a) != len(b) {
+			t.Fatalf("query %d: lengths differ", qi)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("query %d rank %d: %+v vs %+v", qi, i, a[i], b[i])
+			}
+		}
+		// No tombstoned id may survive the fold.
+		for _, cand := range a {
+			if cand.ID < 1_000_000 && cand.ID%3 == 0 {
+				t.Fatalf("query %d: tombstoned id %d resurfaced", qi, cand.ID)
+			}
+		}
+	}
+}

@@ -168,6 +168,53 @@ func (ix *Index) Add(data *vecmath.Matrix, baseID int64) {
 	}
 }
 
+// EncodeVector assigns vec to its nearest cluster and PQ-encodes the
+// residual into code (M bytes). It does not modify the index; the
+// streaming-update path (internal/mutable) uses it to encode single
+// inserts with the trained quantizers before staging them in append logs.
+// Batched callers should use EncodeVectorInto with a reused residual
+// scratch to avoid a per-vector allocation.
+func (ix *Index) EncodeVector(code []uint8, vec []float32) int32 {
+	return ix.EncodeVectorInto(code, make([]float32, ix.Dim), vec)
+}
+
+// EncodeVectorInto is EncodeVector with a caller-provided residual
+// scratch (len Dim), for hot paths that encode many vectors.
+func (ix *Index) EncodeVectorInto(code []uint8, resid, vec []float32) int32 {
+	if len(vec) != ix.Dim {
+		panic("ivfpq: EncodeVector dimension mismatch")
+	}
+	cl := ix.Coarse.Assign(vec)
+	ix.Coarse.Residual(resid, vec, cl)
+	ix.PQ.Encode(code, resid)
+	return cl
+}
+
+// AppendEncoded appends one already-encoded vector to a cluster's
+// inverted list. The compaction path uses it to fold staged log entries
+// into a fresh index without re-running assignment or encoding.
+func (ix *Index) AppendEncoded(cluster int32, id int64, code []uint8) {
+	l := &ix.Lists[cluster]
+	l.IDs = append(l.IDs, id)
+	l.Codes = append(l.Codes, code...)
+	ix.NTotal++
+}
+
+// CloneStructure returns a new, empty index sharing the trained (and
+// immutable) coarse quantizer, PQ codebooks and LUT quantization scale.
+// Epoch compaction folds the previous epoch's lists plus pending updates
+// into such a clone, so concurrent readers of the old epoch never observe
+// list mutation.
+func (ix *Index) CloneStructure() *Index {
+	return &Index{
+		Dim:    ix.Dim,
+		Coarse: ix.Coarse,
+		PQ:     ix.PQ,
+		Lists:  make([]List, len(ix.Lists)),
+		QScale: ix.QScale,
+	}
+}
+
 // NList returns the number of inverted lists.
 func (ix *Index) NList() int { return len(ix.Lists) }
 

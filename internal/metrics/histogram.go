@@ -115,6 +115,11 @@ func (h *Histogram) Mean() float64 {
 func (h *Histogram) Quantile(q float64) float64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	return h.quantileLocked(q)
+}
+
+// quantileLocked is Quantile's body; caller holds h.mu.
+func (h *Histogram) quantileLocked(q float64) float64 {
 	if h.n == 0 {
 		return 0
 	}
@@ -159,20 +164,22 @@ type Snapshot struct {
 }
 
 // Snapshot returns the count, mean, min/max and the standard serving
-// quantiles in one consistent view.
+// quantiles in one consistent view: every field is computed under a
+// single lock acquisition, so concurrent Observe calls cannot make the
+// summary internally inconsistent (e.g. a mean outside [min, max], or
+// quantiles over a different population than Count reports).
 func (h *Histogram) Snapshot() Snapshot {
-	s := Snapshot{
-		Count: h.Count(),
-		Mean:  h.Mean(),
-		P50:   h.Quantile(0.50),
-		P95:   h.Quantile(0.95),
-		P99:   h.Quantile(0.99),
-	}
 	h.mu.Lock()
-	if s.Count > 0 {
-		s.Min, s.Max = h.min, h.max
+	defer h.mu.Unlock()
+	s := Snapshot{Count: h.n}
+	if h.n == 0 {
+		return s
 	}
-	h.mu.Unlock()
+	s.Mean = h.sum / float64(h.n)
+	s.Min, s.Max = h.min, h.max
+	s.P50 = h.quantileLocked(0.50)
+	s.P95 = h.quantileLocked(0.95)
+	s.P99 = h.quantileLocked(0.99)
 	return s
 }
 

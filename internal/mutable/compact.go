@@ -1,0 +1,250 @@
+package mutable
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pim"
+)
+
+// This file implements epoch compaction: folding the write overlay into a
+// fresh immutable index, re-running placement under observed access
+// frequencies, deploying a new core.Engine on a fresh pim.System, and
+// publishing the result as the next epoch. The expensive work (fold +
+// deploy) runs without any lock; only the capture at the start and the
+// publication at the end take the overlay lock, so readers and writers
+// proceed against the old epoch for the whole rebuild.
+
+// foldCapture freezes the fold inputs: the epoch to fold, per-cluster log
+// lengths at capture time, and copies of the version/tombstone maps. Log
+// slice contents are append-only, so retaining slice headers bounded by
+// the captured lengths is race-free even while writers keep appending.
+type foldCapture struct {
+	snap    *snapshot
+	seq     uint64
+	logLens []int
+	logs    []clusterLog
+	tombs   map[int64]uint64
+	latest  map[int64]entryRef
+	freqs   []float64
+	trigger string
+}
+
+// capture decides whether compaction should run and, if so, freezes its
+// inputs. force bypasses the thresholds.
+func (u *UpdatableIndex) capture(force bool) *foldCapture {
+	u.mu.RLock()
+	defer u.mu.RUnlock()
+	snap := u.snap.Load()
+	freqs, nProbes := u.observedFreqs(snap)
+
+	trigger := ""
+	baseN := float64(snap.baseN)
+	if baseN < 1 {
+		baseN = 1
+	}
+	switch {
+	case force:
+		trigger = "forced"
+	case float64(u.logCount)/baseN >= u.cfg.MaxLogRatio:
+		trigger = "log-ratio"
+	case float64(len(u.tombs))/baseN >= u.cfg.MaxTombRatio:
+		trigger = "tombstone-ratio"
+	case nProbes >= u.cfg.MinDriftProbes && core.FreqDrift(snap.freqs, freqs) >= u.cfg.DriftThreshold:
+		trigger = "drift"
+	}
+	if trigger == "" {
+		return nil
+	}
+
+	c := &foldCapture{
+		snap:    snap,
+		seq:     u.seq,
+		logLens: make([]int, u.nlist),
+		logs:    make([]clusterLog, u.nlist),
+		tombs:   make(map[int64]uint64, len(u.tombs)),
+		latest:  make(map[int64]entryRef, len(u.latest)),
+		freqs:   freqs,
+		trigger: trigger,
+	}
+	for i := range u.logs {
+		n := len(u.logs[i].ids)
+		c.logLens[i] = n
+		c.logs[i] = clusterLog{
+			ids:   u.logs[i].ids[:n:n],
+			seqs:  u.logs[i].seqs[:n:n],
+			codes: u.logs[i].codes[: n*snap.ix.PQ.M : n*snap.ix.PQ.M],
+		}
+	}
+	for id, s := range u.tombs {
+		c.tombs[id] = s
+	}
+	for id, r := range u.latest {
+		c.latest[id] = r
+	}
+	return c
+}
+
+// observedFreqs converts the probe counters into placement frequencies
+// normalized to mean 1 with a small floor (mirroring
+// workload.ClusterFrequencies). With too few probes to be meaningful it
+// returns the epoch's own frequencies, leaving placement unchanged.
+// Caller holds at least mu.RLock.
+func (u *UpdatableIndex) observedFreqs(snap *snapshot) ([]float64, int) {
+	total := uint64(0)
+	counts := make([]float64, u.nlist)
+	for i := range u.acc {
+		v := u.acc[i].Load()
+		counts[i] = float64(v)
+		total += v
+	}
+	if total < uint64(u.cfg.MinDriftProbes) {
+		return append([]float64(nil), snap.freqs...), int(total)
+	}
+	mean := float64(total) / float64(u.nlist)
+	for i := range counts {
+		counts[i] /= mean
+		if counts[i] < 0.01 {
+			counts[i] = 0.01
+		}
+	}
+	return counts, int(total)
+}
+
+// Compact folds the overlay into the next epoch if a pressure threshold
+// is crossed (or force is set) and publishes it. It returns whether an
+// epoch was published. Only one compaction runs at a time; concurrent
+// calls serialize.
+func (u *UpdatableIndex) Compact(force bool) (bool, error) {
+	u.compactMu.Lock()
+	defer u.compactMu.Unlock()
+
+	fc := u.capture(force)
+	if fc == nil {
+		return false, nil
+	}
+	u.compacting.Store(true)
+	defer u.compacting.Store(false)
+	start := time.Now()
+
+	// ---- Fold (no locks): base entries that survived, then the live log
+	// versions, cluster by cluster. ----
+	m := fc.snap.ix.PQ.M
+	newIx := fc.snap.ix.CloneStructure()
+	folded := uint64(0)
+	for c := 0; c < u.nlist; c++ {
+		base := &fc.snap.ix.Lists[c]
+		for i := 0; i < base.Len(); i++ {
+			id := base.IDs[i]
+			if _, dead := fc.tombs[id]; dead {
+				continue
+			}
+			if _, shadowed := fc.latest[id]; shadowed {
+				continue
+			}
+			newIx.AppendEncoded(int32(c), id, base.Code(i, m))
+		}
+		lg := &fc.logs[c]
+		for i := 0; i < fc.logLens[c]; i++ {
+			id, s := lg.ids[i], lg.seqs[i]
+			if ref, ok := fc.latest[id]; !ok || ref.seq != s {
+				continue
+			}
+			if ts, ok := fc.tombs[id]; ok && ts > s {
+				continue
+			}
+			newIx.AppendEncoded(int32(c), id, lg.codes[i*m:(i+1)*m])
+			folded++
+		}
+	}
+
+	// ---- Deploy the next epoch on a fresh system (no locks; the old
+	// epoch keeps serving). ----
+	eng, err := core.Build(newIx, pim.NewSystem(u.cfg.Spec), fc.freqs, u.cfg.Engine)
+	if err != nil {
+		u.compactErrs.Add(1)
+		return false, fmt.Errorf("mutable: deploying epoch %d: %w", fc.snap.epoch+1, err)
+	}
+	next := &snapshot{
+		epoch: fc.snap.epoch + 1,
+		ix:    newIx,
+		eng:   eng,
+		freqs: fc.freqs,
+		baseN: newIx.NTotal,
+	}
+
+	// ---- Publish: swap the snapshot and retire the folded overlay in
+	// one critical section, so readers always see a consistent
+	// (epoch, overlay) pair. ----
+	u.mu.Lock()
+	u.snap.Store(next)
+	remaining := 0
+	for c := range u.logs {
+		lg := &u.logs[c]
+		n := fc.logLens[c]
+		keep := len(lg.ids) - n
+		if keep == 0 {
+			*lg = clusterLog{}
+			continue
+		}
+		// Copy the unfolded suffix into fresh arrays so the folded prefix
+		// becomes collectable.
+		*lg = clusterLog{
+			ids:   append([]int64(nil), lg.ids[n:]...),
+			seqs:  append([]uint64(nil), lg.seqs[n:]...),
+			codes: append([]uint8(nil), lg.codes[n*m:]...),
+		}
+		remaining += keep
+	}
+	u.logCount = remaining
+	latest := make(map[int64]entryRef, remaining)
+	for c := range u.logs {
+		lg := &u.logs[c]
+		for i, id := range lg.ids {
+			if ref, ok := latest[id]; !ok || lg.seqs[i] > ref.seq {
+				latest[id] = entryRef{cluster: int32(c), seq: lg.seqs[i]}
+			}
+		}
+	}
+	u.latest = latest
+	for id, s := range u.tombs {
+		if s <= fc.seq {
+			delete(u.tombs, id) // applied physically in this fold
+		}
+	}
+	for i := range u.acc {
+		u.acc[i].Store(0)
+	}
+	u.lastTrigger = fc.trigger
+	u.mu.Unlock()
+
+	ns := time.Since(start).Nanoseconds()
+	u.lastCompactNs.Store(ns)
+	if ns > u.maxCompactNs.Load() {
+		u.maxCompactNs.Store(ns)
+	}
+	u.totalCompactNs.Add(ns)
+	u.foldedEntries.Add(folded)
+	u.compactions.Add(1)
+	return true, nil
+}
+
+// compactor is the background loop: every CheckInterval it lets Compact
+// decide whether any pressure threshold is crossed.
+func (u *UpdatableIndex) compactor() {
+	defer u.wg.Done()
+	t := time.NewTicker(u.cfg.CheckInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-u.stopc:
+			return
+		case <-t.C:
+			// Threshold decisions and errors are recorded in the stats
+			// counters; the loop itself never stops on a failed epoch —
+			// the previous epoch keeps serving.
+			u.Compact(false) //nolint:errcheck
+		}
+	}
+}

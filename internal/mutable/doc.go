@@ -1,0 +1,37 @@
+// Package mutable makes the UpANNS deployment updatable under live
+// traffic: an UpdatableIndex accepts online Insert and Delete while
+// readers keep searching, without rebuild downtime.
+//
+// The paper evaluates a static, offline-built index; real corpora churn.
+// This package layers an LSM-style write overlay over the shared IVFPQ
+// index and republishes the PIM deployment in epochs:
+//
+//   - Writes land in a small mutable overlay: inserts are PQ-encoded with
+//     the trained quantizers into per-cluster append logs; deletes are
+//     sequence-numbered tombstones. Every write carries a monotonically
+//     increasing sequence number, so "latest version wins" is decided by
+//     comparing sequence numbers, never by mutating published data.
+//
+//   - Reads search the current epoch snapshot — an immutable IVFPQ index
+//     deployed on its own pim.System via core.Build — then merge in the
+//     overlay: log entries in the probed clusters are scanned with the
+//     same quantized-LUT arithmetic the DPU kernels use, tombstones
+//     filter dead ids, and newer log versions shadow their base copies.
+//     Inserts and deletes are therefore visible immediately, not at the
+//     next compaction.
+//
+//   - A background compactor watches three pressure signals — the pending
+//     log ratio, the tombstone ratio, and access-frequency drift
+//     (core.FreqDrift over per-cluster probe counters) — and when any
+//     crosses its threshold it folds the overlay into a fresh index
+//     (ivfpq.CloneStructure + surviving entries), re-runs Algorithm 1
+//     placement under the observed frequencies, deploys a new core.Engine
+//     on a fresh pim.System, and publishes it as the next epoch.
+//
+// Epoch publication is RCU-style: the snapshot lives in an
+// atomic.Pointer, readers validate their loaded snapshot against the
+// overlay under a read lock (publication takes the write lock), and
+// writers never block readers for the duration of a rebuild — the old
+// epoch keeps serving while the next one is built offline. See DESIGN.md
+// ("Layer 3.5 — mutability") for the full consistency argument.
+package mutable

@@ -1,0 +1,514 @@
+package mutable
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ivfpq"
+	"repro/internal/pim"
+	"repro/internal/pq"
+	"repro/internal/topk"
+	"repro/internal/vecmath"
+)
+
+// Config tunes the updatable index.
+type Config struct {
+	// Engine configures every epoch's core.Engine deployment; Engine.K
+	// bounds the k any Search may request.
+	Engine core.Config
+	// Spec is the PIM system shape each epoch is deployed on.
+	Spec pim.Spec
+
+	// MaxLogRatio triggers compaction when pending log entries exceed
+	// this fraction of the epoch's base size (default 0.15).
+	MaxLogRatio float64
+	// MaxTombRatio triggers compaction when tombstones exceed this
+	// fraction of the epoch's base size (default 0.08).
+	MaxTombRatio float64
+	// DriftThreshold triggers compaction (re-placement) when the
+	// total-variation distance between the epoch's placement frequencies
+	// and the observed access frequencies crosses it (default
+	// core.DefaultDriftThreshold).
+	DriftThreshold float64
+	// MinDriftProbes is the minimum number of observed cluster probes
+	// before drift is trusted (default 8 per cluster).
+	MinDriftProbes int
+
+	// CheckInterval is the background compactor's poll period (default
+	// 25ms). Zero or negative disables the background compactor; callers
+	// then drive Compact explicitly.
+	CheckInterval time.Duration
+}
+
+// DefaultConfig returns the streaming-update defaults described on each
+// field, over the engine's default operating point.
+func DefaultConfig() Config {
+	return Config{
+		Engine:         core.DefaultConfig(),
+		Spec:           pim.DefaultSpec(),
+		MaxLogRatio:    0.15,
+		MaxTombRatio:   0.08,
+		DriftThreshold: core.DefaultDriftThreshold,
+		CheckInterval:  25 * time.Millisecond,
+	}
+}
+
+// ServingConfig is the streaming-deployment policy shared by
+// cmd/upanns-serve and the updates benchmark, so the server and the
+// benchmark always measure the same deployment:
+//
+//   - Engine.K carries 2x slack over the serving k: tombstones filter
+//     candidates after the engine's top-K selection, and the slack keeps
+//     deletes from starving result sets between compactions;
+//   - CAE is off: re-mining co-occurrence on every epoch would dominate
+//     compaction cost, and the encoding is lossless so results are
+//     unchanged — the classic static-vs-churning index trade;
+//   - the PIM system is a single DIMM of the given DPU count.
+func ServingConfig(nprobe, k, dpus int, seed uint64) Config {
+	cfg := DefaultConfig()
+	cfg.Engine.NProbe = nprobe
+	cfg.Engine.K = 2 * k
+	cfg.Engine.Seed = seed
+	cfg.Engine.UseCAE = false
+	cfg.Spec.NumDIMMs = 1
+	cfg.Spec.DPUsPerDIMM = dpus
+	return cfg
+}
+
+func (c Config) withDefaults(nlist int) Config {
+	if c.MaxLogRatio <= 0 {
+		c.MaxLogRatio = 0.15
+	}
+	if c.MaxTombRatio <= 0 {
+		c.MaxTombRatio = 0.08
+	}
+	if c.DriftThreshold <= 0 {
+		c.DriftThreshold = core.DefaultDriftThreshold
+	}
+	if c.MinDriftProbes <= 0 {
+		c.MinDriftProbes = 8 * nlist
+	}
+	return c
+}
+
+// snapshot is one published epoch: an immutable index deployed on its own
+// PIM system. Readers load it through an atomic pointer and never observe
+// mutation; the engine mutex serializes SearchBatch, which reuses per-DPU
+// scratch and is not reentrant.
+type snapshot struct {
+	epoch uint64
+	ix    *ivfpq.Index
+	eng   *core.Engine
+	engMu sync.Mutex
+	freqs []float64 // placement frequencies this epoch was deployed with
+	baseN int64
+}
+
+// clusterLog is one cluster's append log: ids, write sequence numbers and
+// flattened M-byte PQ codes, parallel slices. Entries are append-only and
+// never mutated in place, so slice headers captured under the read lock
+// stay valid while writers keep appending.
+type clusterLog struct {
+	ids   []int64
+	seqs  []uint64
+	codes []uint8
+}
+
+// entryRef locates the latest log version of an id.
+type entryRef struct {
+	cluster int32
+	seq     uint64
+}
+
+// UpdatableIndex is a streaming-updatable UpANNS deployment: online
+// Insert/Delete into a write overlay, reads against the current epoch
+// snapshot merged with the overlay, and epoch compaction that folds the
+// overlay into a freshly placed deployment. Safe for concurrent use.
+type UpdatableIndex struct {
+	cfg   Config
+	dim   int
+	nlist int
+
+	snap atomic.Pointer[snapshot]
+
+	// mu guards the write overlay (seq, logs, latest, tombs, logCount)
+	// and orders overlay reads against epoch publication: publication
+	// holds the write lock, so a reader that validates its snapshot while
+	// holding the read lock sees an overlay consistent with that epoch.
+	mu       sync.RWMutex
+	seq      uint64
+	logs     []clusterLog
+	latest   map[int64]entryRef // id -> newest log version
+	tombs    map[int64]uint64   // id -> delete sequence number
+	logCount int
+
+	// acc counts cluster probes since the last epoch; the compactor turns
+	// them into placement frequencies and a drift measurement.
+	acc []atomic.Uint64
+
+	compactMu   sync.Mutex // one compaction at a time
+	lastTrigger string     // guarded by mu
+
+	stopc    chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	inserts, deletes         atomic.Uint64
+	compactions, compactErrs atomic.Uint64
+	foldedEntries            atomic.Uint64
+	lastCompactNs            atomic.Int64
+	maxCompactNs             atomic.Int64
+	totalCompactNs           atomic.Int64
+	compacting               atomic.Bool
+}
+
+// New deploys ix as epoch 0 and returns the updatable index over it.
+// freqs seeds Algorithm 1 placement (nil = uniform), exactly as
+// core.Build. The background compactor starts unless
+// cfg.CheckInterval <= 0. The caller must not mutate ix afterwards; the
+// index becomes the immutable base of epoch 0.
+func New(ix *ivfpq.Index, freqs []float64, cfg Config) (*UpdatableIndex, error) {
+	u, err := newIndex(ix, freqs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	u.startCompactor()
+	return u, nil
+}
+
+// newIndex builds the index without starting the background compactor, so
+// Read can restore persisted state before any concurrency begins.
+func newIndex(ix *ivfpq.Index, freqs []float64, cfg Config) (*UpdatableIndex, error) {
+	cfg = cfg.withDefaults(ix.NList())
+	if freqs == nil {
+		freqs = make([]float64, ix.NList())
+		for i := range freqs {
+			freqs[i] = 1
+		}
+	}
+	eng, err := core.Build(ix, pim.NewSystem(cfg.Spec), freqs, cfg.Engine)
+	if err != nil {
+		return nil, fmt.Errorf("mutable: deploying epoch 0: %w", err)
+	}
+	u := &UpdatableIndex{
+		cfg:    cfg,
+		dim:    ix.Dim,
+		nlist:  ix.NList(),
+		logs:   make([]clusterLog, ix.NList()),
+		latest: make(map[int64]entryRef),
+		tombs:  make(map[int64]uint64),
+		acc:    make([]atomic.Uint64, ix.NList()),
+		stopc:  make(chan struct{}),
+	}
+	u.snap.Store(&snapshot{ix: ix, eng: eng, freqs: freqs, baseN: ix.NTotal})
+	return u, nil
+}
+
+// startCompactor launches the background compactor if configured.
+func (u *UpdatableIndex) startCompactor() {
+	if u.cfg.CheckInterval > 0 {
+		u.wg.Add(1)
+		go u.compactor()
+	}
+}
+
+// Close stops the background compactor and waits for an in-flight
+// compaction to finish. Idempotent.
+func (u *UpdatableIndex) Close() {
+	u.stopOnce.Do(func() { close(u.stopc) })
+	u.wg.Wait()
+}
+
+// Dim returns the index dimensionality (serve.Backend).
+func (u *UpdatableIndex) Dim() int { return u.dim }
+
+// Epoch returns the current epoch number.
+func (u *UpdatableIndex) Epoch() uint64 { return u.snap.Load().epoch }
+
+// Insert stages one vector in the write overlay under id. It is an
+// upsert: a later Insert of the same id shadows every earlier version
+// (overlay or base) by sequence number. The vector is PQ-encoded here
+// with the trained quantizers; quantizers are shared by every epoch and
+// never retrained online.
+func (u *UpdatableIndex) Insert(id int64, vec []float32) error {
+	if len(vec) != u.dim {
+		return fmt.Errorf("mutable: insert has %d dims, index has %d", len(vec), u.dim)
+	}
+	ix := u.snap.Load().ix
+	m := ix.PQ.M
+	code := make([]uint8, m)
+	cl := ix.EncodeVector(code, vec)
+
+	u.mu.Lock()
+	u.stage(cl, id, code)
+	u.mu.Unlock()
+	u.inserts.Add(1)
+	return nil
+}
+
+// stage appends one encoded entry; caller holds mu.
+func (u *UpdatableIndex) stage(cl int32, id int64, code []uint8) {
+	u.seq++
+	lg := &u.logs[cl]
+	lg.ids = append(lg.ids, id)
+	lg.seqs = append(lg.seqs, u.seq)
+	lg.codes = append(lg.codes, code...)
+	u.latest[id] = entryRef{cluster: cl, seq: u.seq}
+	u.logCount++
+}
+
+// Upsert stages every row of vecs under the corresponding id, in row
+// order (later rows win ties on duplicate ids). It satisfies
+// serve.WriteBackend.
+func (u *UpdatableIndex) Upsert(ids []int64, vecs *vecmath.Matrix) error {
+	if vecs.Dim != u.dim {
+		return fmt.Errorf("mutable: upsert has %d dims, index has %d", vecs.Dim, u.dim)
+	}
+	if len(ids) != vecs.Rows {
+		return fmt.Errorf("mutable: %d ids for %d rows", len(ids), vecs.Rows)
+	}
+	ix := u.snap.Load().ix
+	m := ix.PQ.M
+	codes := make([]uint8, len(ids)*m)
+	clusters := make([]int32, len(ids))
+	resid := make([]float32, u.dim)
+	for i := range ids {
+		clusters[i] = ix.EncodeVectorInto(codes[i*m:(i+1)*m], resid, vecs.Row(i))
+	}
+	u.mu.Lock()
+	for i, id := range ids {
+		u.stage(clusters[i], id, codes[i*m:(i+1)*m])
+	}
+	u.mu.Unlock()
+	u.inserts.Add(uint64(len(ids)))
+	return nil
+}
+
+// Delete tombstones id: the id disappears from every subsequent Search
+// and is physically removed at the next compaction. Deleting an unknown
+// id is a no-op that still costs a tombstone until compaction.
+func (u *UpdatableIndex) Delete(id int64) {
+	u.mu.Lock()
+	u.seq++
+	u.tombs[id] = u.seq
+	u.mu.Unlock()
+	u.deletes.Add(1)
+}
+
+// Remove tombstones every id, in order. It satisfies serve.WriteBackend.
+func (u *UpdatableIndex) Remove(ids []int64) error {
+	u.mu.Lock()
+	for _, id := range ids {
+		u.seq++
+		u.tombs[id] = u.seq
+	}
+	u.mu.Unlock()
+	u.deletes.Add(uint64(len(ids)))
+	return nil
+}
+
+// Search answers one batch against the current epoch merged with the
+// write overlay: engine candidates are filtered through tombstones and
+// version shadowing, then the probed clusters' log entries are scanned
+// with the same fixed-scale quantized-LUT arithmetic the DPU kernels use,
+// so overlay and base distances are directly comparable. It satisfies
+// serve.Backend.
+//
+// Consistency: the engine is searched against a loaded snapshot, then the
+// snapshot is re-validated under the overlay read lock before the overlay
+// is merged. Epoch publication swaps the snapshot and truncates the
+// folded overlay atomically under the write lock, so a reader that passes
+// validation observes (epoch, overlay) as a consistent pair; if an epoch
+// swap raced the engine search, the search retries on the new epoch.
+func (u *UpdatableIndex) Search(queries *vecmath.Matrix, k int) ([][]topk.Candidate, error) {
+	if queries.Dim != u.dim {
+		return nil, fmt.Errorf("mutable: query dim %d != index dim %d", queries.Dim, u.dim)
+	}
+	if k <= 0 || k > u.cfg.Engine.K {
+		return nil, fmt.Errorf("mutable: k %d outside (0, %d]", k, u.cfg.Engine.K)
+	}
+
+	// Cluster filtering once per query: the coarse quantizer is shared by
+	// every epoch, so probes are epoch-independent. Probe counts feed the
+	// compactor's drift detector.
+	nq := queries.Rows
+	probes := make([][]int32, nq)
+	coarse := u.snap.Load().ix.Coarse
+	for qi := 0; qi < nq; qi++ {
+		probes[qi] = coarse.Probe(queries.Row(qi), u.cfg.Engine.NProbe)
+		for _, c := range probes[qi] {
+			u.acc[c].Add(1)
+		}
+	}
+
+	// Fast path: search the engine first, then validate that no epoch was
+	// published in between (publication holds the write lock, so holding
+	// the read lock freezes it). On validation failure the overlay
+	// entries folded into the new epoch are already truncated, so the
+	// merge would lose them — switch to the swap-proof slow path below
+	// instead of retrying: retries both risk livelock under back-to-back
+	// compactions and inflate the read tail with extra engine passes.
+	{
+		snap := u.snap.Load()
+		snap.engMu.Lock()
+		br, err := snap.eng.SearchBatch(queries)
+		snap.engMu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+
+		u.mu.RLock()
+		if u.snap.Load() == snap {
+			view := overlayView{tombs: u.tombs, latest: u.latest}
+			view.cands = u.scanOverlay(snap, queries, probes, k)
+			out := mergeResults(&view, br.Results, k)
+			u.mu.RUnlock()
+			return out, nil
+		}
+		u.mu.RUnlock()
+	}
+
+	// Slow path: capture a consistent (snapshot, overlay) view under the
+	// read lock — the overlay candidates are materialized and the filter
+	// maps copied — then search the captured epoch, which stays immutable
+	// no matter how many epochs are published meanwhile.
+	u.mu.RLock()
+	snap := u.snap.Load()
+	view := overlayView{
+		tombs:  make(map[int64]uint64, len(u.tombs)),
+		latest: make(map[int64]entryRef, len(u.latest)),
+	}
+	for id, s := range u.tombs {
+		view.tombs[id] = s
+	}
+	for id, r := range u.latest {
+		view.latest[id] = r
+	}
+	view.cands = u.scanOverlay(snap, queries, probes, k)
+	u.mu.RUnlock()
+
+	snap.engMu.Lock()
+	br, err := snap.eng.SearchBatch(queries)
+	snap.engMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return mergeResults(&view, br.Results, k), nil
+}
+
+// overlayView is a consistent cut of the overlay for one search: the
+// per-query live log candidates plus the maps that filter engine results.
+// On the fast path the maps alias the live overlay (the read lock is held
+// through the merge); on the slow path they are copies.
+type overlayView struct {
+	tombs  map[int64]uint64
+	latest map[int64]entryRef
+	cands  [][]topk.Candidate
+}
+
+// scanOverlay scores the probed clusters' live log entries for every
+// query with the index's fixed-scale quantized-LUT arithmetic (the exact
+// arithmetic the DPU kernels use, so overlay and engine distances are
+// directly comparable). Caller holds mu.RLock.
+func (u *UpdatableIndex) scanOverlay(snap *snapshot, queries *vecmath.Matrix, probes [][]int32, k int) [][]topk.Candidate {
+	m := snap.ix.PQ.M
+	out := make([][]topk.Candidate, queries.Rows)
+	resid := make([]float32, u.dim)
+	lut := make(pq.LUT, m*pq.CodebookSize)
+	for qi := range out {
+		heap := topk.NewHeap(k)
+		for _, cl := range probes[qi] {
+			lg := &u.logs[cl]
+			if len(lg.ids) == 0 {
+				continue
+			}
+			snap.ix.Coarse.Residual(resid, queries.Row(qi), cl)
+			snap.ix.PQ.BuildLUTInto(lut, resid)
+			ql := snap.ix.PQ.QuantizeWithScale(lut, snap.ix.QScale)
+			for i, id := range lg.ids {
+				s := lg.seqs[i]
+				if ref, ok := u.latest[id]; !ok || ref.seq != s {
+					continue // superseded by a later insert of the same id
+				}
+				if ts, ok := u.tombs[id]; ok && ts > s {
+					continue // deleted after this version was written
+				}
+				heap.Push(id, ql.ToFloat(ql.QDistance(lg.codes[i*m:(i+1)*m])))
+			}
+		}
+		out[qi] = heap.Sorted()
+	}
+	return out
+}
+
+// mergeResults folds engine candidates (filtered through the view's
+// tombstones and version shadowing) together with the overlay candidates.
+func mergeResults(view *overlayView, engine [][]topk.Candidate, k int) [][]topk.Candidate {
+	out := make([][]topk.Candidate, len(engine))
+	for qi := range engine {
+		heap := topk.NewHeap(k)
+		for _, c := range engine[qi] {
+			if _, dead := view.tombs[c.ID]; dead {
+				continue
+			}
+			if _, shadowed := view.latest[c.ID]; shadowed {
+				continue // a newer overlay version exists
+			}
+			heap.Push(c.ID, c.Dist)
+		}
+		for _, c := range view.cands[qi] {
+			heap.Push(c.ID, c.Dist)
+		}
+		out[qi] = heap.Sorted()
+	}
+	return out
+}
+
+// Stats is a point-in-time, JSON-serializable view of the updatable
+// index: the current epoch, overlay pressure, and the compaction-pause
+// profile.
+type Stats struct {
+	Epoch       uint64 `json:"epoch"`
+	BaseVectors int64  `json:"base_vectors"`
+	PendingLog  int    `json:"pending_log_entries"`
+	Tombstones  int    `json:"tombstones"`
+
+	Inserts uint64 `json:"inserts"`
+	Deletes uint64 `json:"deletes"`
+
+	Compactions     uint64  `json:"compactions"`
+	CompactErrors   uint64  `json:"compaction_errors"`
+	Compacting      bool    `json:"compacting"`
+	LastTrigger     string  `json:"last_compaction_trigger,omitempty"`
+	LastCompactSecs float64 `json:"last_compaction_seconds"`
+	MaxCompactSecs  float64 `json:"max_compaction_seconds"`
+	SumCompactSecs  float64 `json:"total_compaction_seconds"`
+	FoldedEntries   uint64  `json:"folded_entries"`
+}
+
+// Stats snapshots the index's counters.
+func (u *UpdatableIndex) Stats() Stats {
+	snap := u.snap.Load()
+	u.mu.RLock()
+	pending, tombs, trigger := u.logCount, len(u.tombs), u.lastTrigger
+	u.mu.RUnlock()
+	return Stats{
+		Epoch:           snap.epoch,
+		BaseVectors:     snap.baseN,
+		PendingLog:      pending,
+		Tombstones:      tombs,
+		Inserts:         u.inserts.Load(),
+		Deletes:         u.deletes.Load(),
+		Compactions:     u.compactions.Load(),
+		CompactErrors:   u.compactErrs.Load(),
+		Compacting:      u.compacting.Load(),
+		LastTrigger:     trigger,
+		LastCompactSecs: float64(u.lastCompactNs.Load()) / 1e9,
+		MaxCompactSecs:  float64(u.maxCompactNs.Load()) / 1e9,
+		SumCompactSecs:  float64(u.totalCompactNs.Load()) / 1e9,
+		FoldedEntries:   u.foldedEntries.Load(),
+	}
+}

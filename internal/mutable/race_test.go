@@ -1,0 +1,211 @@
+package mutable_test
+
+// Epoch-swap race coverage: these tests exist to run under -race (CI runs
+// the whole suite with it) and to pin the consistency contract — readers
+// always observe a consistent (epoch, overlay) pair, acknowledged writes
+// are never lost across a swap, and a returned Delete is never un-done by
+// a concurrent compaction.
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/mutable"
+	"repro/internal/vecmath"
+)
+
+// startSwapper force-publishes epochs in a loop until stop is closed.
+func startSwapper(t *testing.T, u *mutable.UpdatableIndex, stop chan struct{}) *sync.WaitGroup {
+	t.Helper()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if _, err := u.Compact(true); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+	return &wg
+}
+
+// TestSearchDuringSwap hammers Search while epochs are force-published
+// concurrently: every search must succeed, return full result sets, and
+// always contain a known-live sentinel vector.
+func TestSearchDuringSwap(t *testing.T) {
+	base := gaussMatrix(1000, testDim, 11)
+	u := buildUpdatable(t, base, 0)
+
+	sentinel := gaussMatrix(1, testDim, 400).Row(0)
+	const sentinelID = int64(900_000)
+	if err := u.Insert(sentinelID, sentinel); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var churnWG sync.WaitGroup
+	churnWG.Add(1)
+	var swaps atomic.Uint64
+	go func() {
+		defer churnWG.Done()
+		churn := gaussMatrix(64, testDim, 401)
+		next := int64(910_000)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// Keep the overlay non-empty so every swap truncates logs.
+			for i := 0; i < churn.Rows; i++ {
+				if err := u.Insert(next, churn.Row(i)); err != nil {
+					t.Error(err)
+					return
+				}
+				next++
+			}
+			if _, err := u.Compact(true); err != nil {
+				t.Error(err)
+				return
+			}
+			swaps.Add(1)
+		}
+	}()
+
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			q := vecmath.WrapMatrix(sentinel, 1, testDim)
+			for i := 0; i < 100; i++ {
+				res, err := u.Search(q, testK)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if len(res[0]) != testK {
+					t.Errorf("reader %d: %d results, want %d", r, len(res[0]), testK)
+					return
+				}
+				if !hasID(res[0], sentinelID) {
+					t.Errorf("reader %d: sentinel lost during swap", r)
+					return
+				}
+			}
+		}(r)
+	}
+	readers.Wait()
+	close(stop)
+	churnWG.Wait()
+	if swaps.Load() == 0 {
+		t.Fatal("no epoch swap overlapped the readers; race window untested")
+	}
+}
+
+// TestInsertDuringCompaction inserts concurrently with forced
+// compactions; afterwards every acknowledged insert must be findable —
+// whether it was folded into an epoch or still lives in the overlay.
+func TestInsertDuringCompaction(t *testing.T) {
+	base := gaussMatrix(1000, testDim, 12)
+	u := buildUpdatable(t, base, 0)
+
+	stop := make(chan struct{})
+	swapWG := startSwapper(t, u, stop)
+
+	const writers = 4
+	const perWriter = 100
+	vecs := gaussMatrix(writers*perWriter, testDim, 500)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				row := w*perWriter + i
+				if err := u.Insert(int64(100_000+row), vecs.Row(row)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	swapWG.Wait()
+
+	if u.Stats().Compactions == 0 {
+		t.Fatal("no compaction overlapped the writers")
+	}
+	for row := 0; row < writers*perWriter; row++ {
+		id := int64(100_000 + row)
+		if !hasID(searchOne(t, u, vecs.Row(row)), id) {
+			t.Fatalf("insert %d lost across concurrent compactions", id)
+		}
+	}
+}
+
+// TestDeleteThenSearchSameKey checks read-your-delete under concurrent
+// compaction: once Delete returns, the id must never appear again, even
+// while epochs swap underneath the readers.
+func TestDeleteThenSearchSameKey(t *testing.T) {
+	base := gaussMatrix(1000, testDim, 13)
+	u := buildUpdatable(t, base, 0)
+
+	stop := make(chan struct{})
+	swapWG := startSwapper(t, u, stop)
+
+	const keys = 6
+	var wg sync.WaitGroup
+	for w := 0; w < keys; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Each worker owns one key and cycles insert -> verify ->
+			// delete -> verify-absent against its own vector.
+			id := int64(700_000 + w)
+			vec := gaussMatrix(1, testDim, uint64(600+w)).Row(0)
+			q := vecmath.WrapMatrix(vec, 1, testDim)
+			for i := 0; i < 15; i++ {
+				if err := u.Insert(id, vec); err != nil {
+					t.Error(err)
+					return
+				}
+				res, err := u.Search(q, testK)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !hasID(res[0], id) {
+					t.Errorf("key %d: insert not visible (round %d)", id, i)
+					return
+				}
+				u.Delete(id)
+				res, err = u.Search(q, testK)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if hasID(res[0], id) {
+					t.Errorf("key %d: visible after delete (round %d)", id, i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	swapWG.Wait()
+
+	if u.Stats().Compactions == 0 {
+		t.Fatal("no compaction overlapped the delete/search cycles")
+	}
+}

@@ -1,0 +1,100 @@
+package serve
+
+import "time"
+
+// microBatcher owns the batch-formation machinery shared by the read
+// path (Server) and the write path (WriteBatcher): a bounded admission
+// queue drained by a single scheduler goroutine into batches that
+// dispatch when maxBatch items are collected or linger elapses since the
+// batch opened — whichever comes first — plus the shutdown drain pass
+// that flushes everything still queued. Keeping one implementation means
+// the policy cannot diverge between the two paths.
+type microBatcher[T any] struct {
+	maxBatch int
+	linger   time.Duration
+	queue    chan T
+	work     chan []T
+	stopc    chan struct{}
+}
+
+func newMicroBatcher[T any](maxBatch int, linger time.Duration, queueDepth, workDepth int) *microBatcher[T] {
+	return &microBatcher[T]{
+		maxBatch: maxBatch,
+		linger:   linger,
+		queue:    make(chan T, queueDepth),
+		work:     make(chan []T, workDepth),
+		stopc:    make(chan struct{}),
+	}
+}
+
+// run drains the admission queue into micro-batches until stopc closes,
+// then flushes the remaining queue and closes the work channel. Run it
+// on a dedicated goroutine; admission must already be fenced (see
+// Server.Close) before stopc closes so the queue can only shrink during
+// the drain.
+func (b *microBatcher[T]) run() {
+	defer close(b.work)
+	for {
+		select {
+		case first := <-b.queue:
+			b.work <- b.fill(first)
+		case <-b.stopc:
+			b.drain()
+			return
+		}
+	}
+}
+
+// fill grows a batch opened by first until full, linger expiry, or
+// shutdown.
+func (b *microBatcher[T]) fill(first T) []T {
+	batch := []T{first}
+	if b.maxBatch <= 1 {
+		return batch
+	}
+	if b.linger == 0 {
+		// Greedy: take whatever is already queued, never wait.
+		for len(batch) < b.maxBatch {
+			select {
+			case r := <-b.queue:
+				batch = append(batch, r)
+			default:
+				return batch
+			}
+		}
+		return batch
+	}
+	timer := time.NewTimer(b.linger)
+	defer timer.Stop()
+	for len(batch) < b.maxBatch {
+		select {
+		case r := <-b.queue:
+			batch = append(batch, r)
+		case <-timer.C:
+			return batch
+		case <-b.stopc:
+			return batch
+		}
+	}
+	return batch
+}
+
+// drain flushes everything still queued at shutdown into final batches.
+func (b *microBatcher[T]) drain() {
+	batch := make([]T, 0, b.maxBatch)
+	for {
+		select {
+		case r := <-b.queue:
+			batch = append(batch, r)
+			if len(batch) == b.maxBatch {
+				b.work <- batch
+				batch = make([]T, 0, b.maxBatch)
+			}
+		default:
+			if len(batch) > 0 {
+				b.work <- batch
+			}
+			return
+		}
+	}
+}

@@ -21,6 +21,11 @@ type lruCache struct {
 	cap     int
 	order   *list.List // front = most recently used
 	entries map[string]*list.Element
+	// gen counts flushes. A worker records the generation before it
+	// dispatches a batch and stores results only if no flush intervened,
+	// so a result computed before a write can never repopulate the cache
+	// after that write's invalidation.
+	gen uint64
 }
 
 // vecKeyer quantizes query vectors into identity strings. The same keys
@@ -75,13 +80,25 @@ func (c *lruCache) get(key string) ([]topk.Candidate, bool) {
 	return out, true
 }
 
-// put stores a copy of cands under key, evicting the least recently used
-// entry when full.
-func (c *lruCache) put(key string, cands []topk.Candidate) {
+// generation returns the current flush generation; pair with putAt.
+func (c *lruCache) generation() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gen
+}
+
+// putAt stores a copy of cands under key — evicting the least recently
+// used entry when full — unless the cache was flushed since gen was
+// observed (the results predate an invalidating write and must not
+// resurface).
+func (c *lruCache) putAt(key string, cands []topk.Candidate, gen uint64) {
 	stored := make([]topk.Candidate, len(cands))
 	copy(stored, cands)
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.gen != gen {
+		return
+	}
 	if el, ok := c.entries[key]; ok {
 		el.Value.(*cacheEntry).cands = stored
 		c.order.MoveToFront(el)
@@ -100,4 +117,15 @@ func (c *lruCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()
+}
+
+// flush drops every entry and advances the generation, so in-flight
+// batches dispatched before the flush cannot store their (now stale)
+// results.
+func (c *lruCache) flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.order.Init()
+	clear(c.entries)
+	c.gen++
 }

@@ -29,12 +29,10 @@ type reply struct {
 // admission control and result caching. Create with NewServer, shut down
 // with Close.
 type Server struct {
-	cfg   Config
-	dim   int
-	queue chan *request
-	work  chan []*request
-	stopc chan struct{}
-	wg    sync.WaitGroup // batcher + workers
+	cfg Config
+	dim int
+	mb  *microBatcher[*request]
+	wg  sync.WaitGroup // batcher + workers
 
 	mu     sync.RWMutex // guards closed against in-flight enqueues
 	closed bool
@@ -63,15 +61,16 @@ func NewServer(cfg Config, backends ...Backend) (*Server, error) {
 	s := &Server{
 		cfg:   cfg,
 		dim:   dim,
-		queue: make(chan *request, cfg.QueueDepth),
-		work:  make(chan []*request, len(backends)),
-		stopc: make(chan struct{}),
+		mb:    newMicroBatcher[*request](cfg.MaxBatch, cfg.MaxLinger, cfg.QueueDepth, len(backends)),
 		keyer: &vecKeyer{quantum: cfg.CacheQuantum},
 		cache: newLRUCache(cfg.CacheSize),
 		lat:   metrics.NewLatencyHistogram(),
 	}
 	s.wg.Add(1 + len(backends))
-	go s.batcher()
+	go func() {
+		defer s.wg.Done()
+		s.mb.run()
+	}()
 	for _, b := range backends {
 		go s.worker(b, dim)
 	}
@@ -80,6 +79,17 @@ func NewServer(cfg Config, backends ...Backend) (*Server, error) {
 
 // Config returns the server's effective (default-filled) configuration.
 func (s *Server) Config() Config { return s.cfg }
+
+// InvalidateCache drops every cached result. Call it after the backend's
+// contents change (the write batcher's OnApplied hook does this when the
+// serving layer fronts an updatable index), so cached answers can never
+// outlive the data they were computed from.
+func (s *Server) InvalidateCache() {
+	if s.cache != nil {
+		s.cache.flush()
+		s.ctr.cacheFlushes.Add(1)
+	}
+}
 
 // Search answers one query with the k nearest neighbors (k = Config.K).
 // The vector must match the backend dimensionality. Search blocks until
@@ -91,7 +101,7 @@ func (s *Server) Search(ctx context.Context, vec []float32) ([]topk.Candidate, e
 		return nil, fmt.Errorf("serve: query has %d dims, backend has %d", len(vec), s.dim)
 	}
 	now := time.Now()
-	r := &request{vec: vec, key: s.keyer.key(vec), submit: now, reply: make(chan reply, 1)}
+	r := &request{key: s.keyer.key(vec), submit: now, reply: make(chan reply, 1)}
 	s.ctr.requests.Add(1)
 
 	if s.cache != nil {
@@ -101,6 +111,11 @@ func (s *Server) Search(ctx context.Context, vec []float32) ([]topk.Candidate, e
 			return cands, nil
 		}
 	}
+	// Copy the vector only once the request is headed for the queue: a
+	// worker can still be reading it after this caller timed out and
+	// reclaimed its buffer, and the cache stores results under the key
+	// computed from the original contents.
+	r.vec = append([]float32(nil), vec...)
 
 	r.deadline = now.Add(s.cfg.DefaultTimeout)
 	if d, ok := ctx.Deadline(); ok && d.Before(r.deadline) {
@@ -115,7 +130,7 @@ func (s *Server) Search(ctx context.Context, vec []float32) ([]topk.Candidate, e
 		return nil, ErrClosed
 	}
 	select {
-	case s.queue <- r:
+	case s.mb.queue <- r:
 		s.ctr.accepted.Add(1)
 		s.mu.RUnlock()
 	default:
@@ -161,89 +176,19 @@ func (s *Server) Close() {
 	}
 	s.closed = true
 	s.mu.Unlock()
-	close(s.stopc)
+	// Admission is fenced above (no Search can enqueue anymore), so the
+	// batcher's drain pass sees a queue that can only shrink.
+	close(s.mb.stopc)
 	s.wg.Wait()
 }
 
-// batcher drains the admission queue into micro-batches: a batch opens on
-// its first request and dispatches when MaxBatch is reached or MaxLinger
-// elapses, whichever comes first.
-func (s *Server) batcher() {
-	defer s.wg.Done()
-	defer close(s.work)
-	for {
-		select {
-		case first := <-s.queue:
-			s.work <- s.fill(first)
-		case <-s.stopc:
-			s.drain()
-			return
-		}
-	}
-}
-
-// fill grows a batch opened by first until full, linger expiry, or
-// shutdown.
-func (s *Server) fill(first *request) []*request {
-	batch := []*request{first}
-	if s.cfg.MaxBatch <= 1 {
-		return batch
-	}
-	if s.cfg.MaxLinger == 0 {
-		// Greedy: take whatever is already queued, never wait.
-		for len(batch) < s.cfg.MaxBatch {
-			select {
-			case r := <-s.queue:
-				batch = append(batch, r)
-			default:
-				return batch
-			}
-		}
-		return batch
-	}
-	timer := time.NewTimer(s.cfg.MaxLinger)
-	defer timer.Stop()
-	for len(batch) < s.cfg.MaxBatch {
-		select {
-		case r := <-s.queue:
-			batch = append(batch, r)
-		case <-timer.C:
-			return batch
-		case <-s.stopc:
-			return batch
-		}
-	}
-	return batch
-}
-
-// drain flushes everything still queued at shutdown into final batches.
-// Admission is already closed (Close holds the write lock before stopc is
-// closed), so the queue can only shrink here.
-func (s *Server) drain() {
-	batch := make([]*request, 0, s.cfg.MaxBatch)
-	for {
-		select {
-		case r := <-s.queue:
-			batch = append(batch, r)
-			if len(batch) == s.cfg.MaxBatch {
-				s.work <- batch
-				batch = make([]*request, 0, s.cfg.MaxBatch)
-			}
-		default:
-			if len(batch) > 0 {
-				s.work <- batch
-			}
-			return
-		}
-	}
-}
-
 // worker owns one backend and executes dispatched batches until the work
-// channel closes.
+// channel closes. Batch formation itself lives in microBatcher (shared
+// with the write path).
 func (s *Server) worker(b Backend, dim int) {
 	defer s.wg.Done()
 	queries := vecmath.NewMatrix(s.cfg.MaxBatch, dim)
-	for batch := range s.work {
+	for batch := range s.mb.work {
 		s.runBatch(b, batch, queries)
 	}
 }
@@ -288,6 +233,12 @@ func (s *Server) runBatch(b Backend, batch []*request, scratch *vecmath.Matrix) 
 	for i, r := range distinct {
 		copy(m.Row(i), r.vec)
 	}
+	// Record the cache generation before dispatching: results computed
+	// before an invalidating write must not repopulate the cache after it.
+	var cacheGen uint64
+	if s.cache != nil {
+		cacheGen = s.cache.generation()
+	}
 	res, err := b.Search(m, s.cfg.K)
 	if err != nil {
 		s.ctr.backendErrs.Add(uint64(len(live)))
@@ -300,7 +251,7 @@ func (s *Server) runBatch(b Backend, batch []*request, scratch *vecmath.Matrix) 
 	s.ctr.batchedQ.Add(uint64(len(distinct)))
 	if s.cache != nil {
 		for i, r := range distinct {
-			s.cache.put(r.key, res[i])
+			s.cache.putAt(r.key, res[i], cacheGen)
 		}
 	}
 	delivered := make([]bool, len(distinct))

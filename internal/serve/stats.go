@@ -8,16 +8,17 @@ import (
 
 // counters is the server's internal atomic counter block.
 type counters struct {
-	requests    atomic.Uint64 // Search calls that passed validation
-	accepted    atomic.Uint64 // admitted to the queue
-	completed   atomic.Uint64 // answers delivered to callers in time
-	cacheHits   atomic.Uint64 // answered from the LRU
-	shed        atomic.Uint64 // rejected: queue full
-	expired     atomic.Uint64 // deadline passed before an answer
-	backendErrs atomic.Uint64 // backend returned an error
-	batches     atomic.Uint64 // backend dispatches
-	batchedQ    atomic.Uint64 // distinct queries across all dispatches
-	coalesced   atomic.Uint64 // duplicates answered by a batch-mate's row
+	requests     atomic.Uint64 // Search calls that passed validation
+	accepted     atomic.Uint64 // admitted to the queue
+	completed    atomic.Uint64 // answers delivered to callers in time
+	cacheHits    atomic.Uint64 // answered from the LRU
+	shed         atomic.Uint64 // rejected: queue full
+	expired      atomic.Uint64 // deadline passed before an answer
+	backendErrs  atomic.Uint64 // backend returned an error
+	batches      atomic.Uint64 // backend dispatches
+	batchedQ     atomic.Uint64 // distinct queries across all dispatches
+	coalesced    atomic.Uint64 // duplicates answered by a batch-mate's row
+	cacheFlushes atomic.Uint64 // InvalidateCache calls (write invalidations)
 }
 
 // Stats is a point-in-time, JSON-serializable view of the server.
@@ -35,8 +36,9 @@ type Stats struct {
 	Coalesced     uint64  `json:"coalesced"`
 	MeanBatchSize float64 `json:"mean_batch_size"`
 
-	QueueDepth int `json:"queue_depth"`
-	CacheLen   int `json:"cache_entries"`
+	QueueDepth   int    `json:"queue_depth"`
+	CacheLen     int    `json:"cache_entries"`
+	CacheFlushes uint64 `json:"cache_flushes"`
 
 	// Latency covers every successful reply (cache hits included),
 	// admission to response, in seconds.
@@ -55,18 +57,19 @@ func (s Stats) HitRate() float64 {
 // Stats snapshots the server's counters and latency histogram.
 func (s *Server) Stats() Stats {
 	st := Stats{
-		Requests:    s.ctr.requests.Load(),
-		Accepted:    s.ctr.accepted.Load(),
-		Completed:   s.ctr.completed.Load(),
-		CacheHits:   s.ctr.cacheHits.Load(),
-		Shed:        s.ctr.shed.Load(),
-		Expired:     s.ctr.expired.Load(),
-		BackendErrs: s.ctr.backendErrs.Load(),
-		Batches:     s.ctr.batches.Load(),
-		BatchedQ:    s.ctr.batchedQ.Load(),
-		Coalesced:   s.ctr.coalesced.Load(),
-		QueueDepth:  len(s.queue),
-		Latency:     s.lat.Snapshot(),
+		Requests:     s.ctr.requests.Load(),
+		Accepted:     s.ctr.accepted.Load(),
+		Completed:    s.ctr.completed.Load(),
+		CacheHits:    s.ctr.cacheHits.Load(),
+		Shed:         s.ctr.shed.Load(),
+		Expired:      s.ctr.expired.Load(),
+		BackendErrs:  s.ctr.backendErrs.Load(),
+		Batches:      s.ctr.batches.Load(),
+		BatchedQ:     s.ctr.batchedQ.Load(),
+		Coalesced:    s.ctr.coalesced.Load(),
+		QueueDepth:   len(s.mb.queue),
+		CacheFlushes: s.ctr.cacheFlushes.Load(),
+		Latency:      s.lat.Snapshot(),
 	}
 	if st.Batches > 0 {
 		st.MeanBatchSize = float64(st.BatchedQ) / float64(st.Batches)

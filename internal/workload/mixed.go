@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"repro/internal/vecmath"
+	"repro/internal/xrand"
+)
+
+// Mixed read/write traffic for the streaming-update path: a MixedStream
+// interleaves Zipf-skewed searches with upserts of new documents and
+// deletes of existing ones, modelling a churning corpus in front of
+// internal/mutable. Like QueryStream, a stream is deterministic for a
+// seed and NOT safe for concurrent use; give each client its own stream.
+
+// OpKind discriminates mixed-stream operations.
+type OpKind uint8
+
+const (
+	// OpSearch is a read: Vec is the query (aliases the pool).
+	OpSearch OpKind = iota
+	// OpUpsert is a write of Vec under ID (a fresh, never-used id).
+	OpUpsert
+	// OpDelete removes ID (an id previously live in this stream's view).
+	OpDelete
+)
+
+// Op is one operation drawn from a MixedStream.
+type Op struct {
+	Kind OpKind
+	ID   int64
+	Vec  []float32
+}
+
+// MixedConfig shapes the operation mix.
+type MixedConfig struct {
+	// WriteFraction is the probability an op is a write (0..1).
+	WriteFraction float64
+	// DeleteShare is the fraction of writes that are deletes (0..1);
+	// the rest are upserts of new documents.
+	DeleteShare float64
+	// QuerySkew is the Zipf exponent for query popularity (0 = uniform;
+	// ~1 matches the paper's access-skew regime).
+	QuerySkew float64
+}
+
+// MixedStream draws a mixed operation stream. Upserts take consecutive
+// rows of the insert pool (wrapping around) under fresh ids; deletes
+// target ids the stream itself considers live — initially seeded with the
+// base ids, extended by its own upserts — so delete targets always exist
+// unless another writer raced them, which the updatable index treats as a
+// no-op anyway.
+type MixedStream struct {
+	cfg     MixedConfig
+	queries *QueryStream
+	inserts *vecmath.Matrix
+	nextRow int
+	nextID  int64
+	live    []int64
+	rng     *xrand.RNG
+}
+
+// NewMixedStream builds a stream: queryPool feeds searches, insertPool
+// feeds upserted vectors, liveIDs seeds the delete-eligible set (it is
+// copied), and ids from nextID upward are assigned to upserts.
+func NewMixedStream(cfg MixedConfig, queryPool, insertPool *vecmath.Matrix, liveIDs []int64, nextID int64, seed uint64) *MixedStream {
+	if cfg.WriteFraction > 0 && (insertPool == nil || insertPool.Rows == 0) {
+		panic("workload: NewMixedStream needs an insert pool when WriteFraction > 0")
+	}
+	return &MixedStream{
+		cfg:     cfg,
+		queries: NewQueryStream(queryPool, cfg.QuerySkew, seed),
+		inserts: insertPool,
+		nextID:  nextID,
+		live:    append([]int64(nil), liveIDs...),
+		rng:     xrand.New(seed ^ 0xa5a5a5a5deadbeef),
+	}
+}
+
+// Next draws the next operation. Upsert vectors alias the insert pool;
+// callers must not modify them.
+func (s *MixedStream) Next() Op {
+	if s.rng.Float64() < s.cfg.WriteFraction {
+		if s.rng.Float64() < s.cfg.DeleteShare && len(s.live) > 0 {
+			i := s.rng.Intn(len(s.live))
+			id := s.live[i]
+			s.live[i] = s.live[len(s.live)-1]
+			s.live = s.live[:len(s.live)-1]
+			return Op{Kind: OpDelete, ID: id}
+		}
+		vec := s.inserts.Row(s.nextRow % s.inserts.Rows)
+		s.nextRow++
+		id := s.nextID
+		s.nextID++
+		s.live = append(s.live, id)
+		return Op{Kind: OpUpsert, ID: id, Vec: vec}
+	}
+	return Op{Kind: OpSearch, Vec: s.queries.Next()}
+}
+
+// Live returns the stream's current view of live ids (base minus its
+// deletes plus its upserts). The slice is owned by the stream.
+func (s *MixedStream) Live() []int64 { return s.live }

@@ -1,0 +1,86 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/vecmath"
+)
+
+func TestMixedStreamComposition(t *testing.T) {
+	qp := vecmath.NewMatrix(32, 4)
+	ip := vecmath.NewMatrix(64, 4)
+	base := []int64{0, 1, 2, 3, 4, 5, 6, 7}
+	s := NewMixedStream(MixedConfig{WriteFraction: 0.3, DeleteShare: 0.33, QuerySkew: 1},
+		qp, ip, base, 100, 42)
+
+	const n = 5000
+	var reads, ups, dels int
+	seenIDs := map[int64]bool{}
+	deleted := map[int64]bool{}
+	for i := 0; i < n; i++ {
+		op := s.Next()
+		switch op.Kind {
+		case OpSearch:
+			reads++
+			if len(op.Vec) != 4 {
+				t.Fatal("search op without query vector")
+			}
+		case OpUpsert:
+			ups++
+			if op.ID < 100 {
+				t.Fatalf("upsert reused id %d below nextID", op.ID)
+			}
+			if seenIDs[op.ID] {
+				t.Fatalf("upsert id %d issued twice", op.ID)
+			}
+			seenIDs[op.ID] = true
+			if len(op.Vec) != 4 {
+				t.Fatal("upsert op without vector")
+			}
+		case OpDelete:
+			dels++
+			if deleted[op.ID] {
+				t.Fatalf("id %d deleted twice", op.ID)
+			}
+			deleted[op.ID] = true
+		}
+	}
+	// The mix must roughly follow the configured fractions.
+	writeFrac := float64(ups+dels) / float64(n)
+	if writeFrac < 0.25 || writeFrac > 0.35 {
+		t.Errorf("write fraction %.3f, want ~0.30", writeFrac)
+	}
+	delShare := float64(dels) / float64(ups+dels)
+	if delShare < 0.23 || delShare > 0.43 {
+		t.Errorf("delete share %.3f, want ~0.33", delShare)
+	}
+	// Live view: base + upserts - deletes.
+	if got, want := len(s.Live()), len(base)+ups-dels; got != want {
+		t.Errorf("live ids %d, want %d", got, want)
+	}
+}
+
+func TestMixedStreamDeterminism(t *testing.T) {
+	qp := vecmath.NewMatrix(16, 4)
+	ip := vecmath.NewMatrix(16, 4)
+	mk := func() *MixedStream {
+		return NewMixedStream(MixedConfig{WriteFraction: 0.5, DeleteShare: 0.5}, qp, ip, []int64{1, 2, 3}, 50, 7)
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 500; i++ {
+		oa, ob := a.Next(), b.Next()
+		if oa.Kind != ob.Kind || oa.ID != ob.ID {
+			t.Fatalf("streams diverged at op %d: %+v vs %+v", i, oa, ob)
+		}
+	}
+}
+
+func TestMixedStreamReadOnly(t *testing.T) {
+	qp := vecmath.NewMatrix(8, 4)
+	s := NewMixedStream(MixedConfig{WriteFraction: 0}, qp, nil, nil, 0, 3)
+	for i := 0; i < 100; i++ {
+		if op := s.Next(); op.Kind != OpSearch {
+			t.Fatal("read-only stream produced a write")
+		}
+	}
+}
