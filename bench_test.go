@@ -71,3 +71,5 @@ func BenchmarkFig19TimeBreakdown(b *testing.B)       { runExperiment(b, "fig19")
 func BenchmarkFig20DPUScalability(b *testing.B)      { runExperiment(b, "fig20") }
 func BenchmarkRecallValidation(b *testing.B)         { runExperiment(b, "recall") }
 func BenchmarkServingQPSCurve(b *testing.B)          { runExperiment(b, "serving") }
+func BenchmarkUpdatesChurn(b *testing.B)             { runExperiment(b, "updates") }
+func BenchmarkClusterScatterGather(b *testing.B)     { runExperiment(b, "cluster") }

@@ -1,0 +1,144 @@
+// Command upanns-router is the scatter-gather front of a sharded UpANNS
+// cluster: it fans each query out to every live upanns-serve shard,
+// merges the per-shard top-k lists in the float domain, and routes
+// upserts/deletes to the owning shard by stable ID hashing (so each
+// shard's mutable overlay and compaction keep working untouched).
+//
+// Start three shards and a router over them:
+//
+//	upanns-serve -synthetic sift -n 20000 -addr :8081 -shard-id s0 &
+//	upanns-serve -synthetic sift -n 20000 -addr :8082 -shard-id s1 &
+//	upanns-serve -synthetic sift -n 20000 -addr :8083 -shard-id s2 &
+//	upanns-router -shards http://127.0.0.1:8081,http://127.0.0.1:8082,http://127.0.0.1:8083 -addr :8080
+//
+// The router speaks the same wire protocol as a single shard (POST
+// /search /upsert /delete; see internal/serve/http.go), so clients need
+// no changes when a deployment grows from one host to many. GET /stats
+// aggregates the router's per-shard view (health, breaker state, hedge
+// counts, latency quantiles) with every live shard's own /stats payload;
+// GET /healthz is 200 while the router serves and at least one shard is
+// healthy.
+//
+// Failure handling: a background prober polls every shard's /healthz and
+// excludes failed or draining shards from the fanout until they recover;
+// consecutive shard errors open a per-shard circuit breaker that retries
+// with a single half-open probe per cooldown; shard requests unanswered
+// past the shard's observed latency quantile are hedged with a duplicate.
+// Queries keep answering as long as one shard is alive — shard loss
+// degrades recall, not availability. Writes cannot fail over (ownership
+// is by hash); a write whose owner is down returns 503 for the client to
+// retry after rejoin.
+//
+// On SIGINT/SIGTERM the router drains: new requests shed with 503 and
+// /healthz flips to 503 while in-flight fanouts finish; a second signal
+// forces exit. The shard list order defines ID ownership — every router
+// over one cluster must pass the same -shards order.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "upanns-router:", err)
+	os.Exit(1)
+}
+
+func main() {
+	var (
+		shards = flag.String("shards", "", "comma-separated shard base URLs, e.g. http://127.0.0.1:8081,http://127.0.0.1:8082 (order defines ID ownership)")
+		addr   = flag.String("addr", ":8080", "HTTP listen address")
+		k      = flag.Int("k", 10, "merged neighbors returned per query (shards must serve k >= this)")
+
+		searchTimeout = flag.Duration("search-timeout", 5*time.Second, "whole-fanout budget per query")
+		writeTimeout  = flag.Duration("write-timeout", 5*time.Second, "budget per routed write")
+
+		hedgeQuantile = flag.Float64("hedge-quantile", 0.95, "per-shard latency quantile after which a straggling request is hedged (negative disables)")
+		hedgeSamples  = flag.Int("hedge-min-samples", 64, "shard responses required before hedging activates")
+		hedgeFloor    = flag.Duration("hedge-min-delay", time.Millisecond, "minimum hedge trigger delay")
+
+		healthEvery   = flag.Duration("health-interval", 500*time.Millisecond, "shard health probe period (negative disables probing)")
+		healthTimeout = flag.Duration("health-timeout", time.Second, "per-probe timeout")
+
+		breakFails    = flag.Int("breaker-failures", 3, "consecutive shard failures that open its circuit breaker")
+		breakCooldown = flag.Duration("breaker-cooldown", 2*time.Second, "open-breaker wait before the half-open probe")
+
+		noOwnership = flag.Bool("no-ownership-filter", false, "disable authoritative-owner merging (for shards not populated by hash routing)")
+
+		drainDeadline = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget for in-flight HTTP requests")
+	)
+	flag.Parse()
+
+	var urls []string
+	for _, u := range strings.Split(*shards, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	if len(urls) == 0 {
+		fail(fmt.Errorf("provide -shards (comma-separated shard base URLs)"))
+	}
+
+	r, err := cluster.New(urls, cluster.Config{
+		K:                 *k,
+		SearchTimeout:     *searchTimeout,
+		WriteTimeout:      *writeTimeout,
+		HedgeQuantile:     *hedgeQuantile,
+		HedgeMinSamples:   *hedgeSamples,
+		HedgeMinDelay:     *hedgeFloor,
+		HealthInterval:    *healthEvery,
+		HealthTimeout:     *healthTimeout,
+		BreakerThreshold:  *breakFails,
+		BreakerCooldown:   *breakCooldown,
+		NoOwnershipFilter: *noOwnership,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: cluster.NewHandler(r)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-ctx.Done()
+		// First signal: drain. Re-arm so a second signal forces exit.
+		stop()
+		force := make(chan os.Signal, 1)
+		signal.Notify(force, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-force
+			log.Println("second signal: forcing exit")
+			os.Exit(1)
+		}()
+		log.Println("shutting down: admission stopped, draining in-flight fanouts...")
+		r.StartDraining()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainDeadline)
+		defer cancel()
+		hs.Shutdown(shutdownCtx) //nolint:errcheck // drain is best-effort under its deadline
+	}()
+
+	log.Printf("routing over %d shards (%d healthy) on %s: POST /search /upsert /delete, GET /stats /healthz",
+		r.NumShards(), r.HealthyShards(), *addr)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fail(err)
+	}
+	<-drained
+	r.Close()
+	st := r.Stats()
+	log.Printf("final stats: %d searches (%d degraded, %d failed), %d writes, fanout %s",
+		st.Searches, st.Degraded, st.NoShards+st.AllFailed, st.Writes, st.Latency)
+}

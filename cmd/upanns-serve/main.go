@@ -1,9 +1,10 @@
 // Command upanns-serve exposes an UpANNS deployment as an HTTP service:
-// the online counterpart of the one-shot upanns-search. Concurrent
-// single-query requests are coalesced into micro-batches by the
-// internal/serve scheduler before they reach the simulated PIM system, so
-// the DPU-side batching economics the paper measures (Fig. 16) carry
-// through to an interactive serving path.
+// the online counterpart of the one-shot upanns-search, and the shard
+// process of a distributed deployment fronted by upanns-router.
+// Concurrent single-query requests are coalesced into micro-batches by
+// the internal/serve scheduler before they reach the simulated PIM
+// system, so the DPU-side batching economics the paper measures (Fig. 16)
+// carry through to an interactive serving path.
 //
 // In single-host mode the index is deployed through internal/mutable, so
 // the corpus is updatable while serving: POST /upsert and /delete stage
@@ -17,24 +18,29 @@
 //	upanns-serve -base /tmp/sift.base.fvecs -addr :8080
 //	upanns-serve -synthetic sift -n 50000 -addr :8080
 //
-// Endpoints:
+// Endpoints (wire types in internal/serve/http.go):
 //
 //	POST /search  {"vector": [...]}            -> {"ids": [...], "distances": [...]}
 //	POST /upsert  {"id": 7, "vector": [...]}   -> {"id": 7}
 //	POST /delete  {"id": 7}                    -> {"id": 7}
-//	GET  /stats                                -> serving + write + index epoch counters (JSON)
+//	GET  /stats                                -> shard id + serving/write/index counters (JSON)
 //	GET  /healthz                              -> 200 while serving; 503 while draining
 //
 // Under overload the server sheds with 503; requests that miss their
 // deadline return 504. On SIGINT/SIGTERM the server drains gracefully:
-// admission stops (new requests get 503), in-flight batches and queued
-// writes flush, a pending compaction finishes, then the process exits. A
-// second signal forces immediate exit.
+// admission stops (new requests get 503, /healthz flips to 503 so a
+// router or load balancer stops routing here), in-flight batches and
+// queued writes flush, a pending compaction finishes, then the process
+// exits. A second signal forces immediate exit.
+//
+// As a cluster shard, set -shard-id so the router's aggregated /stats
+// reports this shard under the identity the operator deployed it with
+// (the router discovers the id from /healthz; operators should check it
+// matches the intended -shards slot, since ID ownership is positional).
 package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -42,7 +48,6 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -75,6 +80,7 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "random seed")
 
 		addr     = flag.String("addr", ":8080", "HTTP listen address")
+		shardID  = flag.String("shard-id", "", "shard identity reported on /stats and /healthz (set by upanns-router deployments)")
 		maxBatch = flag.Int("max-batch", 32, "micro-batch size cap")
 		linger   = flag.Duration("linger", 200*time.Microsecond, "max wait to fill a micro-batch")
 		queue    = flag.Int("queue", 1024, "admission queue depth")
@@ -139,60 +145,13 @@ func main() {
 		}, updatable)
 	}
 
-	// draining flips when shutdown starts: the handlers shed new work
-	// with 503 while in-flight requests ride out the grace period.
-	var draining atomic.Bool
-	shedIfDraining := func(w http.ResponseWriter) bool {
-		if draining.Load() {
-			w.Header().Set("Retry-After", "1")
-			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "server draining"})
-			return true
-		}
-		return false
+	hcfg := serve.HandlerConfig{ShardID: *shardID, Writer: writer}
+	if updatable != nil {
+		hcfg.IndexStats = func() any { return updatable.Stats() }
 	}
+	handler := serve.NewHandler(srv, hcfg)
 
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /search", func(w http.ResponseWriter, r *http.Request) {
-		if shedIfDraining(w) {
-			return
-		}
-		handleSearch(srv, backend.Dim(), w, r)
-	})
-	mux.HandleFunc("POST /upsert", func(w http.ResponseWriter, r *http.Request) {
-		if shedIfDraining(w) {
-			return
-		}
-		handleWrite(writer, backend.Dim(), true, w, r)
-	})
-	mux.HandleFunc("POST /delete", func(w http.ResponseWriter, r *http.Request) {
-		if shedIfDraining(w) {
-			return
-		}
-		handleWrite(writer, backend.Dim(), false, w, r)
-	})
-	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		st := statsPayload{Serve: srv.Stats()}
-		if writer != nil {
-			ws := writer.Stats()
-			st.Writes = &ws
-		}
-		if updatable != nil {
-			is := updatable.Stats()
-			st.Index = &is
-		}
-		writeJSON(w, http.StatusOK, st)
-	})
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		if draining.Load() {
-			w.WriteHeader(http.StatusServiceUnavailable)
-			fmt.Fprintln(w, "draining")
-			return
-		}
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
-	})
-
-	hs := &http.Server{Addr: *addr, Handler: mux}
+	hs := &http.Server{Addr: *addr, Handler: handler}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	drained := make(chan struct{})
@@ -210,7 +169,7 @@ func main() {
 			os.Exit(1)
 		}()
 		log.Println("shutting down: admission stopped, draining in-flight work...")
-		draining.Store(true)
+		handler.StartDraining()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainDeadline)
 		defer cancel()
 		hs.Shutdown(shutdownCtx) //nolint:errcheck // drain is best-effort under its deadline
@@ -224,7 +183,11 @@ func main() {
 	} else if base != nil {
 		nvec = int64(base.Rows)
 	}
-	log.Printf("serving %d vectors (dim %d) on %s [%s]: POST /search /upsert /delete, GET /stats", nvec, backend.Dim(), *addr, mode)
+	tag := ""
+	if *shardID != "" {
+		tag = fmt.Sprintf(" [shard %s]", *shardID)
+	}
+	log.Printf("serving %d vectors (dim %d) on %s [%s]%s: POST /search /upsert /delete, GET /stats", nvec, backend.Dim(), *addr, mode, tag)
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fail(err)
 	}
@@ -299,13 +262,6 @@ func mutableConfig(nprobe, k, dpus int, seed uint64, compactEvery time.Duration)
 	mcfg := mutable.ServingConfig(nprobe, k, dpus, seed)
 	mcfg.CheckInterval = compactEvery
 	return mcfg
-}
-
-// statsPayload is the /stats response shape.
-type statsPayload struct {
-	Serve  serve.Stats       `json:"serve"`
-	Writes *serve.WriteStats `json:"writes,omitempty"`
-	Index  *mutable.Stats    `json:"index,omitempty"`
 }
 
 // loadBase reads or generates the base vectors and resolves M.
@@ -386,101 +342,4 @@ func buildBackend(base *vecmath.Matrix, m, nlist, nprobe, k, dpus, hosts int, se
 		return nil, nil, err
 	}
 	return u, u, nil
-}
-
-type searchRequest struct {
-	Vector []float32 `json:"vector"`
-}
-
-type searchResponse struct {
-	IDs       []int64   `json:"ids"`
-	Distances []float32 `json:"distances"`
-}
-
-type writeRequest struct {
-	ID     int64     `json:"id"`
-	Vector []float32 `json:"vector,omitempty"`
-}
-
-// maxBodyBytes bounds request bodies: a few MB covers any legal vector
-// at any supported dimensionality, and keeps a single oversized POST
-// from allocating unbounded memory ahead of the dimension check.
-const maxBodyBytes = 4 << 20
-
-func handleSearch(srv *serve.Server, dim int, w http.ResponseWriter, r *http.Request) {
-	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
-	var req searchRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad JSON: " + err.Error()})
-		return
-	}
-	if len(req.Vector) != dim {
-		writeJSON(w, http.StatusBadRequest, map[string]string{
-			"error": fmt.Sprintf("vector has %d dims, index has %d", len(req.Vector), dim)})
-		return
-	}
-	cands, err := srv.Search(r.Context(), req.Vector)
-	if writeServeError(w, err) {
-		return
-	}
-	resp := searchResponse{IDs: make([]int64, len(cands)), Distances: make([]float32, len(cands))}
-	for i, c := range cands {
-		resp.IDs[i] = c.ID
-		resp.Distances[i] = c.Dist
-	}
-	writeJSON(w, http.StatusOK, resp)
-}
-
-func handleWrite(writer *serve.WriteBatcher, dim int, upsert bool, w http.ResponseWriter, r *http.Request) {
-	if writer == nil {
-		writeJSON(w, http.StatusNotImplemented, map[string]string{
-			"error": "writes are only supported in single-host (mutable) mode"})
-		return
-	}
-	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
-	var req writeRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad JSON: " + err.Error()})
-		return
-	}
-	var err error
-	if upsert {
-		if len(req.Vector) != dim {
-			writeJSON(w, http.StatusBadRequest, map[string]string{
-				"error": fmt.Sprintf("vector has %d dims, index has %d", len(req.Vector), dim)})
-			return
-		}
-		err = writer.Upsert(r.Context(), req.ID, req.Vector)
-	} else {
-		err = writer.Delete(r.Context(), req.ID)
-	}
-	if writeServeError(w, err) {
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]int64{"id": req.ID})
-}
-
-// writeServeError maps serving-layer errors onto HTTP statuses; it
-// reports whether a response was written.
-func writeServeError(w http.ResponseWriter, err error) bool {
-	switch {
-	case err == nil:
-		return false
-	case errors.Is(err, serve.ErrOverloaded):
-		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
-	case errors.Is(err, serve.ErrClosed):
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
-	case errors.Is(err, serve.ErrDeadline), errors.Is(err, context.DeadlineExceeded):
-		writeJSON(w, http.StatusGatewayTimeout, map[string]string{"error": "deadline exceeded"})
-	default:
-		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
-	}
-	return true
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v) //nolint:errcheck // best-effort response write
 }

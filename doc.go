@@ -1,25 +1,60 @@
 // Package repro is a from-scratch Go reproduction of "UpANNS: Enhancing
 // Billion-Scale ANNS Efficiency with Real-World PIM Architecture"
-// (SC '25). The library lives under internal/: the UpANNS engine in
-// internal/core, the UPMEM PIM simulator in internal/pim, the shared
-// IVFPQ index in internal/ivfpq, and the roofline-modelled Faiss-CPU/GPU
-// comparators in internal/baseline. The benchmark harness in
-// internal/bench regenerates every table and figure of the paper's
-// evaluation; the root-level benchmarks in bench_test.go expose one
-// testing.B target per artifact.
+// (SC '25), grown into a production-shaped serving system. The library
+// lives under internal/, layered bottom-up:
 //
-// Beyond the offline reproduction, internal/serve provides an online
-// query-serving layer — micro-batching, admission control, request
-// coalescing, an LRU result cache, and a mirrored write batcher over the
-// engine — and internal/mutable makes the deployment updatable under
-// live traffic: online insert/delete staged in an LSM-style overlay,
-// epoch-snapshot serving with RCU-style publication, and background
-// compaction that re-places and redeploys the index when log, tombstone,
-// or access-drift pressure crosses a threshold. Both are exposed as an
-// HTTP service by cmd/upanns-serve (POST /search /upsert /delete) and
-// measured by the harness' "serving" and "updates" experiments (QPS vs
-// tail latency across batching policies; recall stability and read tail
-// under churn).
+//   - substrate: internal/vecmath (float32 matrices and distance
+//     kernels), internal/xrand (seeded RNG — every experiment replays
+//     bit-for-bit), internal/dataset (synthetic SIFT/DEEP/SPACEV-like
+//     generators, fvecs/bvecs/ivecs codecs, exact ground truth);
 //
-// See README.md for a tour and DESIGN.md for the system inventory.
+//   - index: internal/ivfpq with internal/kmeans, internal/pq and
+//     internal/ivf (the shared IVFPQ index and its serialization),
+//     internal/topk (bounded heaps and the pruned merge of Opt 4),
+//     internal/hnsw (graph comparator);
+//
+//   - simulated hardware: internal/pim (the UPMEM system model — DPUs,
+//     MRAM/WRAM, tasklets, cycle model, transfer rules) and
+//     internal/archmodel (CPU/GPU roofline comparators);
+//
+//   - engine: internal/core (WRAM planning, MRAM cluster images, the DPU
+//     kernel, batched search with modelled stage timing), with
+//     internal/placement (Algorithms 1 and 2), internal/cooc (Opt 3),
+//     internal/baseline (Faiss-CPU/GPU and PIM-naive comparators), and
+//     internal/multihost (the paper's Section 5.5 in-process sketch);
+//
+//   - mutability: internal/mutable — online insert/delete staged in an
+//     LSM-style overlay, epoch-snapshot serving with RCU-style
+//     publication, background compaction re-placing and redeploying the
+//     index under log/tombstone/drift pressure, durable state;
+//
+//   - serving: internal/serve — micro-batching, admission control,
+//     request coalescing, an LRU result cache, a mirrored write batcher,
+//     and the shard HTTP surface (wire types + handler) every serving
+//     binary shares; internal/workload (Poisson arrivals, Zipfian query
+//     streams, mixed churn) and internal/metrics (tables, streaming
+//     latency histograms) support it;
+//
+//   - distribution: internal/cluster — a scatter-gather router over live
+//     shard processes: float-domain top-k merging with an
+//     authoritative-owner filter, write routing by stable ID hash,
+//     health probing with exclusion and rejoin, per-shard circuit
+//     breaking, hedged requests past a shard's observed latency
+//     quantile, and in-process shard fleets for demos and drills;
+//
+//   - harness: internal/bench regenerates every table and figure of the
+//     paper's evaluation plus the serving, updates, and cluster sweeps,
+//     each with self-checking machine-readable artifacts; the root-level
+//     benchmarks in bench_test.go expose one testing.B target per
+//     artifact.
+//
+// Entry points: cmd/upanns-datagen (dataset files), cmd/upanns-search
+// (one-shot search), cmd/upanns-bench (experiments at configurable
+// scale, with the -check regression gate), cmd/upanns-serve (one HTTP
+// serving process — mutable single host or shard), and cmd/upanns-router
+// (the distributed scatter-gather front). Walkthroughs live under
+// examples/.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// architecture diagram, and OPERATIONS.md for the deployment runbook.
 package repro

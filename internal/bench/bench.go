@@ -277,6 +277,7 @@ func All() []Experiment {
 		{"recall", "Accuracy validation across backends", (*Context).RecallCheck},
 		{"serving", "Online serving: batching/caching vs QPS and p99", (*Context).Serving},
 		{"updates", "Streaming updates: recall and read tail under churn", (*Context).Updates},
+		{"cluster", "Distributed sharded serving: recall parity and shard-loss behavior", (*Context).Cluster},
 	}
 }
 

@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestClusterExperiment asserts the distributed tier's acceptance shape:
+// the scatter-gather router over hash-partitioned live shards matches
+// single-host recall within 1%, answers every query at every shard
+// count, and — with one shard killed mid-run — keeps serving with zero
+// client-visible errors at recall degraded by about the lost corpus
+// fraction.
+func TestClusterExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive in -short mode")
+	}
+	ctx := NewContext(tinyOptions())
+	art, err := ctx.ClusterRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(art.Points) != 3 {
+		t.Fatalf("measured %d shard-count points, want 3", len(art.Points))
+	}
+	if art.RecallSingle <= 0.1 {
+		t.Fatalf("single-host recall %.4f implausibly low; harness misconfigured", art.RecallSingle)
+	}
+	for _, p := range art.Points {
+		if p.Queries == 0 || p.QPS <= 0 {
+			t.Errorf("%d shards: empty measurement (%d queries, %.1f QPS)", p.Shards, p.Queries, p.QPS)
+		}
+	}
+
+	// The artifact is self-checking; the CI bench-smoke job fails on the
+	// same violations.
+	if v := art.Violations(); len(v) != 0 {
+		t.Fatalf("acceptance violations:\n  %s", strings.Join(v, "\n  "))
+	}
+
+	// Explicit restatement of the headline criteria.
+	last := art.Points[len(art.Points)-1]
+	if last.Recall < art.RecallSingle-0.01 {
+		t.Errorf("3-shard recall %.4f more than 1%% below single-host %.4f", last.Recall, art.RecallSingle)
+	}
+	if art.KillErrors != 0 {
+		t.Errorf("kill drill surfaced %d client errors", art.KillErrors)
+	}
+	if art.KillDegraded == 0 {
+		t.Error("kill drill: no degraded fanouts recorded")
+	}
+	if art.KillPostRecall >= art.KillPreRecall {
+		t.Logf("note: post-kill recall %.4f did not drop below pre-kill %.4f (tiny corpus)",
+			art.KillPostRecall, art.KillPreRecall)
+	}
+
+	// The artifact must serialize (the CI job uploads it as JSON).
+	raw, err := json.Marshal(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"recall_single_host", "kill_recall_after", "p99_seconds"} {
+		if !strings.Contains(string(raw), key) {
+			t.Errorf("artifact JSON missing %q", key)
+		}
+	}
+
+	rep := clusterReport(art)
+	if rep.Artifact == nil || len(rep.Tables) == 0 {
+		t.Fatal("cluster report malformed")
+	}
+	if !strings.Contains(rep.String(), "cluster") {
+		t.Fatal("cluster report render missing id")
+	}
+}

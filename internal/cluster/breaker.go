@@ -1,0 +1,102 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker states. The zero value of breaker is a closed breaker.
+const (
+	breakerClosed   = "closed"
+	breakerOpen     = "open"
+	breakerHalfOpen = "half-open"
+)
+
+// breaker is a per-shard circuit breaker. BreakerThreshold consecutive
+// failures open it; while open, the shard is excluded from fanouts (its
+// queries would only wait out timeouts and stretch the tail). After
+// BreakerCooldown a single half-open probe is admitted: success closes
+// the breaker (the shard rejoins), failure re-opens it for another
+// cooldown. A flapping shard therefore costs at most one probe per
+// cooldown instead of one timeout per query.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+
+	failures int // consecutive failures since the last success
+	state    string
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, state: breakerClosed}
+}
+
+// Allow reports whether a request may be sent through the breaker now.
+// In the half-open state only one probe is admitted at a time; a true
+// return from half-open claims that probe slot, so callers must follow
+// every Allow with the request and its Success/Failure report.
+func (b *breaker) Allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if now.Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Success reports a completed request; it closes the breaker and clears
+// the consecutive-failure count.
+func (b *breaker) Success() {
+	b.mu.Lock()
+	b.failures = 0
+	b.state = breakerClosed
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// Cancel reports a request that finished without a shard-attributable
+// outcome (the fanout's own context was canceled or timed out): the
+// consecutive-failure count and state are left alone, but a claimed
+// half-open probe slot is released so the next request can probe.
+func (b *breaker) Cancel() {
+	b.mu.Lock()
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// Failure reports a failed request. The threshold-th consecutive failure
+// (or any half-open probe failure) opens the breaker.
+func (b *breaker) Failure(now time.Time) {
+	b.mu.Lock()
+	b.failures++
+	if b.state == breakerHalfOpen || b.failures >= b.threshold {
+		b.state = breakerOpen
+		b.openedAt = now
+	}
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// State returns the breaker state name for stats ("closed", "open",
+// "half-open").
+func (b *breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

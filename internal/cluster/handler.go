@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// Handler is the router HTTP surface, speaking the same wire types as
+// the shards (internal/serve/http.go) so clients cannot tell a router
+// from a single shard:
+//
+//	POST /search  {"vector": [...]}           -> {"ids": [...], "distances": [...]}
+//	POST /upsert  {"id": N, "vector": [...]}  -> {"id": N}   (routed to the owning shard)
+//	POST /delete  {"id": N}                   -> {"id": N}   (routed to the owning shard)
+//	GET  /stats                               -> AggregatedStats (router + per-shard payloads)
+//	GET  /healthz                             -> 200 while serving and >= 1 shard healthy; 503 otherwise
+//
+// Degraded fanouts still answer 200 — shard loss shows up in recall and
+// /stats, not in errors. Create with NewHandler; flip the router's
+// StartDraining when shutdown begins.
+type Handler struct {
+	r   *Router
+	mux *http.ServeMux
+	// statsTimeout bounds the per-shard /stats collection on GET /stats.
+	statsTimeout time.Duration
+}
+
+// NewHandler returns the HTTP surface over r.
+func NewHandler(r *Router) *Handler {
+	h := &Handler{r: r, mux: http.NewServeMux(), statsTimeout: 2 * time.Second}
+	h.mux.HandleFunc("POST /search", h.handleSearch)
+	h.mux.HandleFunc("POST /upsert", func(w http.ResponseWriter, req *http.Request) { h.handleWrite(true, w, req) })
+	h.mux.HandleFunc("POST /delete", func(w http.ResponseWriter, req *http.Request) { h.handleWrite(false, w, req) })
+	h.mux.HandleFunc("GET /stats", h.handleStats)
+	h.mux.HandleFunc("GET /healthz", h.handleHealthz)
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+// shedIfDraining rejects the request with 503 during drain; it reports
+// whether a response was written.
+func (h *Handler) shedIfDraining(w http.ResponseWriter) bool {
+	if h.r.Draining() {
+		serve.ShedDraining(w, "router")
+		return true
+	}
+	return false
+}
+
+func (h *Handler) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if h.shedIfDraining(w) {
+		return
+	}
+	var req serve.SearchRequest
+	if !serve.DecodeRequest(w, r, &req) {
+		return
+	}
+	if dim := h.r.Dim(); dim > 0 && len(req.Vector) != dim {
+		serve.WriteJSON(w, http.StatusBadRequest, serve.ErrorResponse{
+			Error: fmt.Sprintf("vector has %d dims, cluster has %d", len(req.Vector), dim)})
+		return
+	}
+	cands, err := h.r.Search(r.Context(), req.Vector)
+	if h.writeRouterError(w, err) {
+		return
+	}
+	serve.WriteJSON(w, http.StatusOK, serve.NewSearchResponse(cands))
+}
+
+func (h *Handler) handleWrite(upsert bool, w http.ResponseWriter, r *http.Request) {
+	if h.shedIfDraining(w) {
+		return
+	}
+	var req serve.WriteRequest
+	if !serve.DecodeRequest(w, r, &req) {
+		return
+	}
+	if upsert {
+		if dim := h.r.Dim(); dim > 0 && len(req.Vector) != dim {
+			serve.WriteJSON(w, http.StatusBadRequest, serve.ErrorResponse{
+				Error: fmt.Sprintf("vector has %d dims, cluster has %d", len(req.Vector), dim)})
+			return
+		}
+		if h.writeRouterError(w, h.r.Upsert(r.Context(), req.ID, req.Vector)) {
+			return
+		}
+	} else {
+		if h.writeRouterError(w, h.r.Delete(r.Context(), req.ID)) {
+			return
+		}
+	}
+	serve.WriteJSON(w, http.StatusOK, map[string]int64{"id": req.ID})
+}
+
+func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
+	serve.WriteJSON(w, http.StatusOK, h.r.AggregatedStats(r.Context(), h.statsTimeout))
+}
+
+func (h *Handler) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	healthy := h.r.HealthyShards()
+	payload := map[string]any{
+		"status":         "ok",
+		"shards":         h.r.NumShards(),
+		"healthy_shards": healthy,
+	}
+	switch {
+	case h.r.Draining():
+		payload["status"] = "draining"
+		serve.WriteJSON(w, http.StatusServiceUnavailable, payload)
+	case healthy == 0:
+		payload["status"] = "no healthy shards"
+		serve.WriteJSON(w, http.StatusServiceUnavailable, payload)
+	default:
+		serve.WriteJSON(w, http.StatusOK, payload)
+	}
+}
+
+// writeRouterError maps router errors onto HTTP statuses; it reports
+// whether a response was written. A shard-side 4xx (e.g. a dimension
+// mismatch the router could not pre-validate) or 501 (a read-only shard
+// rejecting writes — a deployment property, not a gateway failure)
+// passes through with its original status.
+func (h *Handler) writeRouterError(w http.ResponseWriter, err error) bool {
+	var se *shardError
+	switch {
+	case err == nil:
+		return false
+	case errors.Is(err, ErrNoShards), errors.Is(err, ErrShardDown):
+		w.Header().Set("Retry-After", "1")
+		serve.WriteJSON(w, http.StatusServiceUnavailable, serve.ErrorResponse{Error: err.Error()})
+	case errors.Is(err, ErrClosed):
+		serve.WriteJSON(w, http.StatusServiceUnavailable, serve.ErrorResponse{Error: err.Error()})
+	case errors.Is(err, context.DeadlineExceeded):
+		serve.WriteJSON(w, http.StatusGatewayTimeout, serve.ErrorResponse{Error: "deadline exceeded"})
+	case errors.As(err, &se) && (se.Status < 500 || se.Status == http.StatusNotImplemented):
+		serve.WriteJSON(w, se.Status, serve.ErrorResponse{Error: err.Error()})
+	default:
+		serve.WriteJSON(w, http.StatusBadGateway, serve.ErrorResponse{Error: err.Error()})
+	}
+	return true
+}

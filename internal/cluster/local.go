@@ -1,0 +1,208 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/ivfpq"
+	"repro/internal/mutable"
+	"repro/internal/serve"
+	"repro/internal/vecmath"
+)
+
+// This file boots a real shard fleet inside one process: each shard is a
+// full mutable UpANNS deployment (its own trained index, simulated PIM
+// system, micro-batching server and write batcher) behind the actual
+// shard HTTP surface on a loopback listener. examples/cluster, the bench
+// "cluster" experiment, and kill/rejoin drills use it to exercise the
+// router against live shards without spawning processes.
+
+// LocalOptions sizes an in-process shard fleet.
+type LocalOptions struct {
+	Shards   int    // shard count (default 3)
+	NList    int    // IVF clusters per shard (default 32)
+	M        int    // PQ subquantizers (default dim/8, min 1)
+	KSub     int    // PQ centroids per subspace (0 = package default)
+	TrainSub int    // per-shard training subsample (default 8192)
+	NProbe   int    // clusters probed per query (default 8)
+	K        int    // neighbors served per shard query (default 10)
+	DPUs     int    // simulated DPUs per shard (default 16)
+	Seed     uint64 // base seed; each shard derives its own
+	// CacheSize is each shard's LRU result cache (default 0, disabled:
+	// recall experiments must hit the engine, and the router's hedge
+	// histograms should see engine latency, not cache hits).
+	CacheSize int
+	// RequestTimeout is each shard's per-request serving deadline
+	// (default 30s — far above the engine's real latency, so a loaded CI
+	// machine cannot turn a slow batch into a 504 and silently degrade a
+	// recall measurement).
+	RequestTimeout time.Duration
+}
+
+func (o LocalOptions) withDefaults(dim int) LocalOptions {
+	if o.Shards <= 0 {
+		o.Shards = 3
+	}
+	if o.NList <= 0 {
+		o.NList = 32
+	}
+	if o.M <= 0 {
+		o.M = dim / 8
+		if o.M == 0 {
+			o.M = 1
+		}
+	}
+	if o.TrainSub <= 0 {
+		o.TrainSub = 8192
+	}
+	if o.NProbe <= 0 {
+		o.NProbe = 8
+	}
+	if o.K <= 0 {
+		o.K = 10
+	}
+	if o.DPUs <= 0 {
+		o.DPUs = 16
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 30 * time.Second
+	}
+	return o
+}
+
+// LocalShard is one in-process shard: a mutable UpANNS deployment behind
+// the shard HTTP surface (internal/serve.Handler) on a loopback listener.
+type LocalShard struct {
+	ID  string
+	URL string
+	// OwnedIDs are the global ids this shard indexed at boot (its
+	// Owner-hash partition of the corpus).
+	OwnedIDs []int64
+
+	Index   *mutable.UpdatableIndex
+	Server  *serve.Server
+	Writer  *serve.WriteBatcher
+	Handler *serve.Handler
+
+	hs     *http.Server
+	killed bool
+}
+
+// Kill abruptly stops the shard's HTTP server — listener closed, active
+// connections dropped — simulating a crash. The in-memory deployment is
+// left for Close; a killed shard never rejoins (its port is gone).
+func (s *LocalShard) Kill() {
+	if !s.killed {
+		s.killed = true
+		s.hs.Close() //nolint:errcheck // crash semantics: drop everything
+	}
+}
+
+// Close shuts the shard down: HTTP first, then the serving layers in
+// dependency order. Safe after Kill and idempotent.
+func (s *LocalShard) Close() {
+	s.Kill()
+	s.Writer.Close()
+	s.Server.Close()
+	s.Index.Close()
+}
+
+// StartLocalShards hash-partitions base over o.Shards shards by Owner
+// (row index = global id, the same hash the router routes writes with),
+// trains and deploys a mutable index per shard, and serves each behind
+// the shard HTTP surface on 127.0.0.1. Callers own the returned shards
+// and must Close each.
+func StartLocalShards(base *vecmath.Matrix, o LocalOptions) ([]*LocalShard, error) {
+	o = o.withDefaults(base.Dim)
+
+	// Partition the corpus exactly as the router partitions writes.
+	partIDs := make([][]int64, o.Shards)
+	partRows := make([][]int, o.Shards)
+	for i := 0; i < base.Rows; i++ {
+		sh := Owner(int64(i), o.Shards)
+		partIDs[sh] = append(partIDs[sh], int64(i))
+		partRows[sh] = append(partRows[sh], i)
+	}
+
+	shards := make([]*LocalShard, 0, o.Shards)
+	fail := func(err error) ([]*LocalShard, error) {
+		for _, s := range shards {
+			s.Close()
+		}
+		return nil, err
+	}
+	for sh := 0; sh < o.Shards; sh++ {
+		if len(partIDs[sh]) == 0 {
+			return fail(fmt.Errorf("cluster: shard %d owns no vectors (%d rows over %d shards)", sh, base.Rows, o.Shards))
+		}
+		part := vecmath.NewMatrix(len(partRows[sh]), base.Dim)
+		for ri, row := range partRows[sh] {
+			part.SetRow(ri, base.Row(row))
+		}
+		ix := ivfpq.Train(part, ivfpq.Params{
+			NList: o.NList, M: o.M, KSub: o.KSub,
+			Seed: o.Seed + uint64(sh)*1013, TrainSub: o.TrainSub,
+		})
+		ix.AddWithIDs(part, partIDs[sh])
+
+		mcfg := mutable.ServingConfig(o.NProbe, o.K, o.DPUs, o.Seed+uint64(sh)*2027)
+		u, err := mutable.New(ix, nil, mcfg)
+		if err != nil {
+			return fail(fmt.Errorf("cluster: shard %d deploy: %w", sh, err))
+		}
+		srv, err := serve.NewServer(serve.Config{
+			K: o.K, CacheSize: o.CacheSize, DefaultTimeout: o.RequestTimeout,
+		}, u)
+		if err != nil {
+			u.Close()
+			return fail(fmt.Errorf("cluster: shard %d server: %w", sh, err))
+		}
+		writer := serve.NewWriteBatcher(serve.WriteConfig{
+			OnApplied:      srv.InvalidateCache,
+			DefaultTimeout: o.RequestTimeout,
+		}, u)
+		id := fmt.Sprintf("s%d", sh)
+		handler := serve.NewHandler(srv, serve.HandlerConfig{
+			ShardID:    id,
+			Writer:     writer,
+			IndexStats: func() any { return u.Stats() },
+		})
+
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			writer.Close()
+			srv.Close()
+			u.Close()
+			return fail(fmt.Errorf("cluster: shard %d listen: %w", sh, err))
+		}
+		hs := &http.Server{Handler: handler}
+		go hs.Serve(ln) //nolint:errcheck // exits on Kill/Close
+
+		shards = append(shards, &LocalShard{
+			ID:       id,
+			URL:      "http://" + ln.Addr().String(),
+			OwnedIDs: partIDs[sh],
+			Index:    u,
+			Server:   srv,
+			Writer:   writer,
+			Handler:  handler,
+			hs:       hs,
+		})
+	}
+	return shards, nil
+}
+
+// ShardURLs returns the shards' base URLs in shard order (the order that
+// defines ID ownership for a Router over them).
+func ShardURLs(shards []*LocalShard) []string {
+	urls := make([]string, len(shards))
+	for i, s := range shards {
+		urls[i] = s.URL
+	}
+	return urls
+}

@@ -1,0 +1,424 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/topk"
+)
+
+// Errors returned by Router.Search and the write methods.
+var (
+	// ErrNoShards reports a query that found no shard available: every
+	// shard is unhealthy, breaker-open, or the router has none.
+	ErrNoShards = errors.New("cluster: no healthy shards")
+	// ErrAllShardsFailed reports a fanout in which every available shard
+	// errored.
+	ErrAllShardsFailed = errors.New("cluster: all shards failed")
+	// ErrShardDown reports a write whose owning shard is unavailable.
+	// Writes are routed by ID hash and cannot fail over — applying them
+	// elsewhere would corrupt ownership — so the caller must retry after
+	// the owner rejoins.
+	ErrShardDown = errors.New("cluster: owning shard unavailable")
+	// ErrClosed reports use of a closed router.
+	ErrClosed = errors.New("cluster: router closed")
+)
+
+// Config tunes the router. The zero value of every field selects the
+// default documented on it.
+type Config struct {
+	// K is the merged result size per query (default 10). Shards return
+	// their own configured k per request; deploy shards with k >= K.
+	K int
+
+	// SearchTimeout bounds one whole fanout (default 5s).
+	SearchTimeout time.Duration
+	// WriteTimeout bounds one routed write (default 5s).
+	WriteTimeout time.Duration
+
+	// HedgeQuantile is the per-shard latency quantile after which an
+	// unanswered shard request is hedged with a duplicate (default 0.95;
+	// negative disables hedging).
+	HedgeQuantile float64
+	// HedgeMinSamples is how many responses must warm a shard's histogram
+	// before hedging activates there (default 64).
+	HedgeMinSamples int
+	// HedgeMinDelay floors the hedge trigger (default 1ms) so microsecond
+	// quantiles cannot double traffic for nothing.
+	HedgeMinDelay time.Duration
+
+	// HealthInterval is the health prober's poll period (default 500ms;
+	// negative disables the prober and leaves every shard trusted).
+	HealthInterval time.Duration
+	// HealthTimeout bounds one health probe (default 1s).
+	HealthTimeout time.Duration
+
+	// BreakerThreshold is the consecutive-failure count that opens a
+	// shard's circuit breaker (default 3).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker waits before admitting
+	// its half-open probe (default 2s).
+	BreakerCooldown time.Duration
+
+	// NoOwnershipFilter disables authoritative-owner merging. By default
+	// a candidate reported by a shard that does not own its ID is dropped
+	// while the owner is alive (stale-shard protection); disable only for
+	// deployments whose shards were not populated by Owner routing (e.g.
+	// contiguously pre-sharded corpora).
+	NoOwnershipFilter bool
+
+	// Client is the HTTP client used for every shard call (default: a
+	// dedicated client with sane connection pooling). Timeouts come from
+	// the request contexts, not the client.
+	Client *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.K <= 0 {
+		c.K = 10
+	}
+	if c.SearchTimeout <= 0 {
+		c.SearchTimeout = 5 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 5 * time.Second
+	}
+	if c.HedgeQuantile == 0 {
+		c.HedgeQuantile = 0.95
+	}
+	if c.HedgeMinSamples <= 0 {
+		c.HedgeMinSamples = 64
+	}
+	if c.HedgeMinDelay <= 0 {
+		c.HedgeMinDelay = time.Millisecond
+	}
+	if c.HealthInterval == 0 {
+		c.HealthInterval = 500 * time.Millisecond
+	}
+	if c.HealthTimeout <= 0 {
+		c.HealthTimeout = time.Second
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 2 * time.Second
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost: 32,
+			IdleConnTimeout:     90 * time.Second,
+		}}
+	}
+	return c
+}
+
+// routerCounters is the router's atomic counter block; see RouterStats.
+type routerCounters struct {
+	searches   atomic.Uint64 // fanouts attempted
+	answered   atomic.Uint64 // fanouts that returned results
+	degraded   atomic.Uint64 // answered with at least one shard missing
+	noShards   atomic.Uint64 // failed: no shard available
+	allFailed  atomic.Uint64 // failed: every available shard errored
+	staleDrops atomic.Uint64 // candidates dropped by the ownership filter
+	writes     atomic.Uint64 // writes routed
+	writeErrs  atomic.Uint64 // writes failed (owner down or shard error)
+}
+
+// Router fans queries out to a fixed set of shard processes and merges
+// their answers; writes route to the owning shard by stable ID hashing.
+// Create with New, shut down with Close. All methods are safe for
+// concurrent use.
+type Router struct {
+	cfg    Config
+	shards []*shard
+	ctr    routerCounters
+	lat    *metrics.Histogram // end-to-end fanout latency, seconds
+
+	draining atomic.Bool
+	closed   atomic.Bool
+	stopc    chan struct{}
+	wg       sync.WaitGroup
+}
+
+// New returns a router over the given shard base URLs (scheme://host:port,
+// no trailing slash needed). The shard order defines shard indexes for ID
+// ownership, so every router over one cluster must list the shards in the
+// same order. New probes each shard once synchronously (marking
+// unreachable shards unhealthy, to be rejoined by the background prober)
+// and then starts the prober.
+func New(urls []string, cfg Config) (*Router, error) {
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("cluster: New needs at least one shard URL")
+	}
+	cfg = cfg.withDefaults()
+	r := &Router{
+		cfg:   cfg,
+		lat:   metrics.NewLatencyHistogram(),
+		stopc: make(chan struct{}),
+	}
+	for i, u := range urls {
+		r.shards = append(r.shards, &shard{
+			index: i,
+			url:   strings.TrimRight(u, "/"),
+			hc:    cfg.Client,
+			br:    newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+			lat:   metrics.NewLatencyHistogram(),
+		})
+	}
+	r.probeAll()
+	if cfg.HealthInterval > 0 {
+		r.wg.Add(1)
+		go r.healthLoop()
+	} else if cfg.HealthInterval < 0 {
+		// Prober disabled: the boot probe above only harvested shard
+		// identity/dim. With nothing to ever rejoin a shard, a shard that
+		// was merely slow to bind at boot would be excluded forever, so
+		// every shard is trusted and the breakers alone gate traffic —
+		// exactly what the HealthInterval doc promises.
+		for _, s := range r.shards {
+			s.healthy.Store(true)
+		}
+	}
+	return r, nil
+}
+
+// NumShards returns the cluster size (alive or not).
+func (r *Router) NumShards() int { return len(r.shards) }
+
+// HealthyShards returns how many shards the prober currently considers
+// alive.
+func (r *Router) HealthyShards() int {
+	n := 0
+	for _, s := range r.shards {
+		if s.healthy.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// Close stops the health prober. It does not touch the shards — they are
+// separate processes with their own lifecycles.
+func (r *Router) Close() {
+	if r.closed.CompareAndSwap(false, true) {
+		close(r.stopc)
+		r.wg.Wait()
+	}
+}
+
+// StartDraining flips the router into drain mode: its HTTP handler sheds
+// new requests and /healthz reports 503. Direct Search/write calls still
+// work, so in-flight work can finish. Idempotent.
+func (r *Router) StartDraining() { r.draining.Store(true) }
+
+// Draining reports whether StartDraining has been called.
+func (r *Router) Draining() bool { return r.draining.Load() }
+
+// healthLoop probes every shard's /healthz at HealthInterval, excluding
+// failed shards from the fanout and rejoining recovered ones.
+func (r *Router) healthLoop() {
+	defer r.wg.Done()
+	t := time.NewTicker(r.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stopc:
+			return
+		case <-t.C:
+			r.probeAll()
+		}
+	}
+}
+
+// probeAll runs one concurrent health pass over every shard.
+func (r *Router) probeAll() {
+	var wg sync.WaitGroup
+	for _, s := range r.shards {
+		wg.Add(1)
+		go func(s *shard) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), r.cfg.HealthTimeout)
+			defer cancel()
+			s.healthy.Store(s.probeHealth(ctx))
+		}(s)
+	}
+	wg.Wait()
+}
+
+// Dim returns the query dimensionality discovered from the shards (0
+// until any shard has answered a health probe).
+func (r *Router) Dim() int {
+	for _, s := range r.shards {
+		if _, d := s.identity(); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+// Search fans vec out to every available shard, hedges stragglers, and
+// merges the per-shard top-k into the global top-K. A query succeeds as
+// long as at least one shard answers: lost shards cost their fraction of
+// the corpus (degraded recall), not availability. The returned
+// candidates are ascending by distance.
+func (r *Router) Search(ctx context.Context, vec []float32) ([]topk.Candidate, error) {
+	if r.closed.Load() {
+		return nil, ErrClosed
+	}
+	r.ctr.searches.Add(1)
+	start := time.Now()
+
+	targets := make([]*shard, 0, len(r.shards))
+	for _, s := range r.shards {
+		if s.available(start) {
+			targets = append(targets, s)
+		}
+	}
+	if len(targets) == 0 {
+		r.ctr.noShards.Add(1)
+		return nil, ErrNoShards
+	}
+
+	ctx, cancel := context.WithTimeout(ctx, r.cfg.SearchTimeout)
+	defer cancel()
+
+	type shardOut struct {
+		shard *shard
+		cands []topk.Candidate
+		err   error
+	}
+	outs := make([]shardOut, len(targets))
+	var wg sync.WaitGroup
+	for i, s := range targets {
+		wg.Add(1)
+		go func(i int, s *shard) {
+			defer wg.Done()
+			s.ctr.requests.Add(1)
+			delay := s.hedgeDelay(r.cfg.HedgeQuantile, r.cfg.HedgeMinSamples, r.cfg.HedgeMinDelay)
+			if s.br.State() == breakerHalfOpen {
+				// This request is the breaker's single recovery probe;
+				// hedging would send the recovering shard two in-flight
+				// requests — the load the half-open state exists to avoid.
+				delay = 0
+			}
+			cands, err := s.hedgedSearch(ctx, vec, delay)
+			if err != nil {
+				s.ctr.errors.Add(1)
+				r.reportOutcome(s, ctx, err)
+				outs[i] = shardOut{shard: s, err: err}
+				return
+			}
+			s.br.Success()
+			outs[i] = shardOut{shard: s, cands: cands}
+		}(i, s)
+	}
+	wg.Wait()
+
+	hits := make([]ShardHits, 0, len(outs))
+	responded := make([]bool, len(r.shards))
+	var firstErr error
+	for _, o := range outs {
+		if o.err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("shard %d (%s): %w", o.shard.index, o.shard.url, o.err)
+			}
+			continue
+		}
+		responded[o.shard.index] = true
+		hits = append(hits, ShardHits{Shard: o.shard.index, Cands: o.cands})
+	}
+	if len(hits) == 0 {
+		r.ctr.allFailed.Add(1)
+		return nil, fmt.Errorf("%w: %w", ErrAllShardsFailed, firstErr)
+	}
+	if len(hits) < len(r.shards) {
+		r.ctr.degraded.Add(1)
+	}
+
+	var owns func(id int64, sh int) bool
+	if !r.cfg.NoOwnershipFilter {
+		n := len(r.shards)
+		owns = func(id int64, sh int) bool {
+			o := Owner(id, n)
+			if o == sh {
+				return true
+			}
+			// A non-owner's report survives only when the owner is not
+			// part of this gather — best-effort availability over
+			// authority. When the owner did answer, its view (which has
+			// seen every write of this id, including deletes) wins, so a
+			// stale copy cannot resurface a tombstoned id.
+			if !responded[o] {
+				return true
+			}
+			r.ctr.staleDrops.Add(1)
+			return false
+		}
+	}
+	merged := Merge(r.cfg.K, hits, owns)
+	r.ctr.answered.Add(1)
+	r.lat.Observe(time.Since(start).Seconds())
+	return merged, nil
+}
+
+// Upsert routes an insert-or-replace of id to its owning shard.
+func (r *Router) Upsert(ctx context.Context, id int64, vec []float32) error {
+	return r.routeWrite(ctx, true, id, vec)
+}
+
+// Delete routes a delete of id to its owning shard.
+func (r *Router) Delete(ctx context.Context, id int64) error {
+	return r.routeWrite(ctx, false, id, nil)
+}
+
+func (r *Router) routeWrite(ctx context.Context, upsert bool, id int64, vec []float32) error {
+	if r.closed.Load() {
+		return ErrClosed
+	}
+	r.ctr.writes.Add(1)
+	s := r.shards[Owner(id, len(r.shards))]
+	now := time.Now()
+	if !s.available(now) {
+		r.ctr.writeErrs.Add(1)
+		return fmt.Errorf("%w: shard %d (%s) owns id %d", ErrShardDown, s.index, s.url, id)
+	}
+	ctx, cancel := context.WithTimeout(ctx, r.cfg.WriteTimeout)
+	defer cancel()
+	s.ctr.writes.Add(1)
+	if err := s.write(ctx, upsert, id, vec); err != nil {
+		s.ctr.writeErrs.Add(1)
+		r.ctr.writeErrs.Add(1)
+		r.reportOutcome(s, ctx, err)
+		return fmt.Errorf("shard %d (%s): %w", s.index, s.url, err)
+	}
+	s.br.Success()
+	return nil
+}
+
+// reportOutcome attributes a request error to the shard's breaker. A
+// request that died with its own fanout/write context (client gone, or
+// the whole-operation timeout expired) is not evidence against the
+// shard — counting it would let a burst of client disconnects, or one
+// slow shard expiring the shared fanout deadline, open every breaker at
+// once. Such errors release a claimed half-open probe slot and nothing
+// else; a shard that genuinely hangs is excluded by the health prober
+// instead. Shard 4xx replies mean the shard is healthy and the request
+// was wrong, so they count as success.
+func (r *Router) reportOutcome(s *shard, ctx context.Context, err error) {
+	switch {
+	case ctx.Err() != nil && !isShardStatusError(err):
+		s.br.Cancel()
+	case isShardFailure(err):
+		s.br.Failure(time.Now())
+	default:
+		s.br.Success()
+	}
+}

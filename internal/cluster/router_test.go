@@ -1,0 +1,620 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/topk"
+	"repro/internal/vecmath"
+)
+
+// fakeShard is a scriptable shard process speaking the serve wire
+// protocol: fixed candidates per search, settable delay, failure and
+// drain modes, and a record of routed writes.
+type fakeShard struct {
+	id    string
+	dim   int
+	cands []topk.Candidate
+
+	delay    atomic.Int64 // per-search sleep, nanoseconds
+	slowN    atomic.Int64 // how many upcoming searches sleep for delay
+	failing  atomic.Bool  // 500 every search
+	draining atomic.Bool  // healthz 503
+
+	mu       sync.Mutex
+	writes   []serve.WriteRequest
+	searches int
+
+	srv *httptest.Server
+}
+
+func newFakeShard(id string, dim int, cands []topk.Candidate) *fakeShard {
+	f := &fakeShard{id: id, dim: dim, cands: cands}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /search", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		f.searches++
+		f.mu.Unlock()
+		if f.slowN.Add(-1) >= 0 {
+			select {
+			case <-time.After(time.Duration(f.delay.Load())):
+			case <-r.Context().Done():
+				return
+			}
+		}
+		if f.failing.Load() {
+			serve.WriteJSON(w, http.StatusInternalServerError, serve.ErrorResponse{Error: "injected failure"})
+			return
+		}
+		var req serve.SearchRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			serve.WriteJSON(w, http.StatusBadRequest, serve.ErrorResponse{Error: err.Error()})
+			return
+		}
+		if len(req.Vector) != f.dim {
+			serve.WriteJSON(w, http.StatusBadRequest, serve.ErrorResponse{
+				Error: fmt.Sprintf("vector has %d dims, index has %d", len(req.Vector), f.dim)})
+			return
+		}
+		resp := serve.SearchResponse{}
+		for _, c := range f.cands {
+			resp.IDs = append(resp.IDs, c.ID)
+			resp.Distances = append(resp.Distances, c.Dist)
+		}
+		serve.WriteJSON(w, http.StatusOK, resp)
+	})
+	write := func(w http.ResponseWriter, r *http.Request) {
+		var req serve.WriteRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			serve.WriteJSON(w, http.StatusBadRequest, serve.ErrorResponse{Error: err.Error()})
+			return
+		}
+		f.mu.Lock()
+		f.writes = append(f.writes, req)
+		f.mu.Unlock()
+		serve.WriteJSON(w, http.StatusOK, map[string]int64{"id": req.ID})
+	}
+	mux.HandleFunc("POST /upsert", write)
+	mux.HandleFunc("POST /delete", write)
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		serve.WriteJSON(w, http.StatusOK, serve.StatsPayload{ShardID: f.id})
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if f.draining.Load() {
+			serve.WriteJSON(w, http.StatusServiceUnavailable, serve.HealthPayload{Status: "draining", ShardID: f.id, Dim: f.dim})
+			return
+		}
+		serve.WriteJSON(w, http.StatusOK, serve.HealthPayload{Status: "ok", ShardID: f.id, Dim: f.dim})
+	})
+	f.srv = httptest.NewServer(mux)
+	return f
+}
+
+func (f *fakeShard) url() string { return f.srv.URL }
+
+func (f *fakeShard) writeLog() []serve.WriteRequest {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]serve.WriteRequest(nil), f.writes...)
+}
+
+// fastConfig keeps router timeouts tight so failure tests stay quick.
+// The manual-probe variants disable the background prober; tests call
+// probeAll themselves for deterministic health transitions.
+func fastConfig() Config {
+	return Config{
+		K:                3,
+		SearchTimeout:    2 * time.Second,
+		HedgeQuantile:    -1, // off unless a test opts in
+		HealthInterval:   -1, // manual probing
+		BreakerThreshold: 2,
+		BreakerCooldown:  50 * time.Millisecond,
+	}
+}
+
+func mustRouter(t *testing.T, cfg Config, shards ...*fakeShard) *Router {
+	t.Helper()
+	urls := make([]string, len(shards))
+	for i, s := range shards {
+		urls[i] = s.url()
+	}
+	r, err := New(urls, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	return r
+}
+
+func TestRouterScatterGatherMerge(t *testing.T) {
+	a := newFakeShard("s0", 4, []topk.Candidate{{ID: 10, Dist: 0.1}, {ID: 30, Dist: 0.3}})
+	b := newFakeShard("s1", 4, []topk.Candidate{{ID: 20, Dist: 0.2}, {ID: 40, Dist: 0.4}})
+	defer a.srv.Close()
+	defer b.srv.Close()
+	cfg := fastConfig()
+	cfg.NoOwnershipFilter = true
+	r := mustRouter(t, cfg, a, b)
+
+	got, err := r.Search(context.Background(), make([]float32, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertCands(t, got, []topk.Candidate{{ID: 10, Dist: 0.1}, {ID: 20, Dist: 0.2}, {ID: 30, Dist: 0.3}})
+	if r.Dim() != 4 {
+		t.Fatalf("Dim() = %d, want 4 (discovered from /healthz)", r.Dim())
+	}
+	st := r.Stats()
+	if st.Answered != 1 || st.Degraded != 0 || st.HealthyShards != 2 {
+		t.Fatalf("stats = %+v, want 1 answered, 0 degraded, 2 healthy", st)
+	}
+	if st.Shards[0].ID != "s0" || st.Shards[1].ID != "s1" {
+		t.Fatalf("discovered shard ids = %q, %q", st.Shards[0].ID, st.Shards[1].ID)
+	}
+}
+
+func TestRouterOwnershipFilterDropsStaleHit(t *testing.T) {
+	// Find an id owned by shard 0 and plant it on shard 1 only — a stale
+	// copy that survived a delete on its owner. The fanout must drop it.
+	n := 2
+	var stale int64
+	for stale = 0; Owner(stale, n) != 0; stale++ {
+	}
+	var owned int64
+	for owned = 0; Owner(owned, n) != 1; owned++ {
+	}
+	a := newFakeShard("s0", 4, nil) // owner reports nothing: id was deleted
+	b := newFakeShard("s1", 4, []topk.Candidate{{ID: stale, Dist: 0.01}, {ID: owned, Dist: 0.5}})
+	defer a.srv.Close()
+	defer b.srv.Close()
+	r := mustRouter(t, fastConfig(), a, b)
+
+	got, err := r.Search(context.Background(), make([]float32, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertCands(t, got, []topk.Candidate{{ID: owned, Dist: 0.5}})
+	if st := r.Stats(); st.StaleDrops == 0 {
+		t.Fatal("expected StaleDrops > 0")
+	}
+}
+
+func TestRouterDegradedServingAfterShardDeath(t *testing.T) {
+	a := newFakeShard("s0", 4, []topk.Candidate{{ID: 1, Dist: 0.1}})
+	b := newFakeShard("s1", 4, []topk.Candidate{{ID: 2, Dist: 0.2}})
+	defer a.srv.Close()
+	cfg := fastConfig()
+	cfg.NoOwnershipFilter = true
+	r := mustRouter(t, cfg, a, b)
+
+	// Kill shard 1 mid-run: queries must keep answering from shard 0
+	// with no client-visible error.
+	b.srv.Close()
+	for i := 0; i < 3; i++ {
+		got, err := r.Search(context.Background(), make([]float32, 4))
+		if err != nil {
+			t.Fatalf("search %d after shard death: %v", i, err)
+		}
+		assertCands(t, got, []topk.Candidate{{ID: 1, Dist: 0.1}})
+	}
+	st := r.Stats()
+	if st.Degraded == 0 {
+		t.Fatal("expected degraded fanouts after shard death")
+	}
+	// The dead shard's breaker opens after BreakerThreshold failures, so
+	// later fanouts stop paying its connection errors.
+	if st.Shards[1].Breaker != breakerOpen {
+		t.Fatalf("dead shard breaker = %s, want open", st.Shards[1].Breaker)
+	}
+	// The health prober also notices.
+	r.probeAll()
+	if r.HealthyShards() != 1 {
+		t.Fatalf("HealthyShards = %d after probe, want 1", r.HealthyShards())
+	}
+}
+
+func TestRouterAllShardsDown(t *testing.T) {
+	a := newFakeShard("s0", 4, nil)
+	r := mustRouter(t, fastConfig(), a)
+	a.srv.Close()
+	r.probeAll()
+	if _, err := r.Search(context.Background(), make([]float32, 4)); err == nil {
+		t.Fatal("expected an error with every shard down")
+	}
+	if st := r.Stats(); st.NoShards == 0 && st.AllFailed == 0 {
+		t.Fatalf("stats = %+v, want a no-shard or all-failed count", st)
+	}
+}
+
+func TestRouterWriteRoutingByOwner(t *testing.T) {
+	shards := []*fakeShard{
+		newFakeShard("s0", 4, nil),
+		newFakeShard("s1", 4, nil),
+		newFakeShard("s2", 4, nil),
+	}
+	for _, s := range shards {
+		defer s.srv.Close()
+	}
+	r := mustRouter(t, fastConfig(), shards...)
+
+	vec := make([]float32, 4)
+	for id := int64(0); id < 30; id++ {
+		if err := r.Upsert(context.Background(), id, vec); err != nil {
+			t.Fatalf("upsert %d: %v", id, err)
+		}
+		if err := r.Delete(context.Background(), id); err != nil {
+			t.Fatalf("delete %d: %v", id, err)
+		}
+	}
+	for si, s := range shards {
+		for _, wr := range s.writeLog() {
+			if Owner(wr.ID, 3) != si {
+				t.Fatalf("id %d landed on shard %d, owner is %d", wr.ID, si, Owner(wr.ID, 3))
+			}
+		}
+	}
+}
+
+func TestRouterWriteOwnerDownFailsFast(t *testing.T) {
+	a := newFakeShard("s0", 4, nil)
+	b := newFakeShard("s1", 4, nil)
+	defer a.srv.Close()
+	r := mustRouter(t, fastConfig(), a, b)
+
+	var ownedByDead int64
+	for ownedByDead = 0; Owner(ownedByDead, 2) != 1; ownedByDead++ {
+	}
+	b.srv.Close()
+	r.probeAll()
+	err := r.Upsert(context.Background(), ownedByDead, make([]float32, 4))
+	if err == nil {
+		t.Fatal("expected ErrShardDown for a write owned by a dead shard")
+	}
+	// Writes must not fail over to a non-owner.
+	if got := a.writeLog(); len(got) != 0 {
+		t.Fatalf("non-owner shard received writes: %v", got)
+	}
+}
+
+func TestRouterBreakerRecovery(t *testing.T) {
+	a := newFakeShard("s0", 4, []topk.Candidate{{ID: 1, Dist: 0.1}})
+	defer a.srv.Close()
+	cfg := fastConfig()
+	cfg.NoOwnershipFilter = true
+	r := mustRouter(t, cfg, a)
+
+	a.failing.Store(true)
+	for i := 0; i < cfg.BreakerThreshold; i++ {
+		if _, err := r.Search(context.Background(), make([]float32, 4)); err == nil {
+			t.Fatal("expected failure while shard is failing")
+		}
+	}
+	if st := r.Stats(); st.Shards[0].Breaker != breakerOpen {
+		t.Fatalf("breaker = %s after %d failures, want open", st.Shards[0].Breaker, cfg.BreakerThreshold)
+	}
+	// While open (inside the cooldown) the shard is not even tried.
+	if _, err := r.Search(context.Background(), make([]float32, 4)); err == nil {
+		t.Fatal("expected ErrNoShards while the only shard's breaker is open")
+	}
+
+	// Recover the shard; after the cooldown, the half-open probe closes
+	// the breaker and traffic resumes.
+	a.failing.Store(false)
+	time.Sleep(cfg.BreakerCooldown + 20*time.Millisecond)
+	got, err := r.Search(context.Background(), make([]float32, 4))
+	if err != nil {
+		t.Fatalf("search after recovery: %v", err)
+	}
+	assertCands(t, got, []topk.Candidate{{ID: 1, Dist: 0.1}})
+	if st := r.Stats(); st.Shards[0].Breaker != breakerClosed {
+		t.Fatalf("breaker = %s after recovery, want closed", st.Shards[0].Breaker)
+	}
+}
+
+func TestRouterHealthExclusionAndRejoin(t *testing.T) {
+	a := newFakeShard("s0", 4, []topk.Candidate{{ID: 1, Dist: 0.1}})
+	b := newFakeShard("s1", 4, []topk.Candidate{{ID: 2, Dist: 0.2}})
+	defer a.srv.Close()
+	defer b.srv.Close()
+	cfg := fastConfig()
+	cfg.NoOwnershipFilter = true
+	r := mustRouter(t, cfg, a, b)
+
+	// Shard 1 starts draining: the prober must exclude it without any
+	// query paying for the discovery.
+	b.draining.Store(true)
+	r.probeAll()
+	if r.HealthyShards() != 1 {
+		t.Fatalf("HealthyShards = %d with one draining shard, want 1", r.HealthyShards())
+	}
+	got, err := r.Search(context.Background(), make([]float32, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertCands(t, got, []topk.Candidate{{ID: 1, Dist: 0.1}})
+
+	// Drain cancelled (e.g. rollback): the shard rejoins on the next probe.
+	b.draining.Store(false)
+	r.probeAll()
+	if r.HealthyShards() != 2 {
+		t.Fatalf("HealthyShards = %d after rejoin, want 2", r.HealthyShards())
+	}
+	got, err = r.Search(context.Background(), make([]float32, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertCands(t, got, []topk.Candidate{{ID: 1, Dist: 0.1}, {ID: 2, Dist: 0.2}})
+}
+
+func TestRouterHedgingCutsStragglerWait(t *testing.T) {
+	a := newFakeShard("s0", 4, []topk.Candidate{{ID: 1, Dist: 0.1}})
+	defer a.srv.Close()
+	cfg := fastConfig()
+	cfg.NoOwnershipFilter = true
+	cfg.HedgeQuantile = 0.95
+	cfg.HedgeMinSamples = 4
+	cfg.HedgeMinDelay = 5 * time.Millisecond
+	r := mustRouter(t, cfg, a)
+
+	// Warm the latency histogram with fast responses.
+	for i := 0; i < 8; i++ {
+		if _, err := r.Search(context.Background(), make([]float32, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Make exactly the next request (the primary) a 300ms straggler: the
+	// hedge launched after the warmed quantile stays fast and must win.
+	a.delay.Store(int64(300 * time.Millisecond))
+	a.slowN.Store(1)
+	start := time.Now()
+	got, err := r.Search(context.Background(), make([]float32, 4))
+	if err != nil {
+		t.Fatalf("hedged search: %v", err)
+	}
+	assertCands(t, got, []topk.Candidate{{ID: 1, Dist: 0.1}})
+	if e := time.Since(start); e >= 300*time.Millisecond {
+		t.Errorf("hedged search took %s, straggler wait not cut", e)
+	}
+	st := r.Stats()
+	if st.Shards[0].Hedges == 0 || st.Shards[0].HedgeWins == 0 {
+		t.Fatalf("hedges = %d, wins = %d; want both > 0", st.Shards[0].Hedges, st.Shards[0].HedgeWins)
+	}
+}
+
+func TestRouterHandlerEndToEnd(t *testing.T) {
+	a := newFakeShard("s0", 4, []topk.Candidate{{ID: 1, Dist: 0.1}})
+	b := newFakeShard("s1", 4, []topk.Candidate{{ID: 2, Dist: 0.2}})
+	defer a.srv.Close()
+	defer b.srv.Close()
+	cfg := fastConfig()
+	cfg.NoOwnershipFilter = true
+	r := mustRouter(t, cfg, a, b)
+	front := httptest.NewServer(NewHandler(r))
+	defer front.Close()
+
+	// Search through the router's HTTP face.
+	body := `{"vector":[0,0,0,0]}`
+	resp, err := http.Post(front.URL+"/search", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr serve.SearchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(sr.IDs) != 2 || sr.IDs[0] != 1 || sr.IDs[1] != 2 {
+		t.Fatalf("status %d, response %+v", resp.StatusCode, sr)
+	}
+
+	// Dimension mismatch is caught at the router using the discovered dim.
+	resp, err = http.Post(front.URL+"/search", "application/json", strings.NewReader(`{"vector":[1,2]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("dim mismatch status = %d, want 400", resp.StatusCode)
+	}
+
+	// Aggregated stats include the router view and both shard payloads.
+	resp, err = http.Get(front.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var agg AggregatedStats
+	if err := json.NewDecoder(resp.Body).Decode(&agg); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(agg.Shards) != 2 || agg.Shards[0] == nil || agg.Shards[1] == nil {
+		t.Fatalf("aggregated stats missing shard payloads: %+v", agg)
+	}
+	if agg.Router.Searches == 0 {
+		t.Fatal("aggregated stats missing router counters")
+	}
+
+	// Healthz is 200 while shards are healthy.
+	resp, err = http.Get(front.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d, want 200", resp.StatusCode)
+	}
+
+	// Drain: requests shed with 503, healthz flips.
+	r.StartDraining()
+	resp, err = http.Post(front.URL+"/search", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("search while draining = %d, want 503", resp.StatusCode)
+	}
+	resp, err = http.Get(front.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining = %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestRouterOverRealShardHandlers pins wire compatibility between the
+// router and the actual shard HTTP surface (internal/serve.Handler), not
+// just the test fakes: two real serve.Servers over FuncBackends, fronted
+// by real handlers, queried through the router.
+func TestRouterOverRealShardHandlers(t *testing.T) {
+	mkShard := func(id string, base int64) (*httptest.Server, func()) {
+		backend := &serve.FuncBackend{D: 4, Fn: func(q *vecmath.Matrix, k int) ([][]topk.Candidate, error) {
+			out := make([][]topk.Candidate, q.Rows)
+			for i := range out {
+				out[i] = []topk.Candidate{{ID: base, Dist: float32(base)}, {ID: base + 1, Dist: float32(base + 1)}}
+			}
+			return out, nil
+		}}
+		srv, err := serve.NewServer(serve.Config{K: 2, MaxBatch: 4, CacheSize: 0}, backend)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs := httptest.NewServer(serve.NewHandler(srv, serve.HandlerConfig{ShardID: id}))
+		return hs, func() { hs.Close(); srv.Close() }
+	}
+	s0, stop0 := mkShard("s0", 10)
+	defer stop0()
+	s1, stop1 := mkShard("s1", 20)
+	defer stop1()
+
+	cfg := fastConfig()
+	cfg.K = 3
+	cfg.NoOwnershipFilter = true
+	r, err := New([]string{s0.URL, s1.URL}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	got, err := r.Search(context.Background(), make([]float32, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertCands(t, got, []topk.Candidate{{ID: 10, Dist: 10}, {ID: 11, Dist: 11}, {ID: 20, Dist: 20}})
+	st := r.Stats()
+	if st.Shards[0].ID != "s0" || st.Shards[1].ID != "s1" {
+		t.Fatalf("discovered ids = %q, %q; want s0, s1", st.Shards[0].ID, st.Shards[1].ID)
+	}
+	if r.Dim() != 4 {
+		t.Fatalf("Dim() = %d, want 4", r.Dim())
+	}
+}
+
+func TestRouterClientCancelDoesNotTripBreaker(t *testing.T) {
+	// A burst of client disconnects (or fanout timeouts) must not open
+	// the breaker of a healthy shard: the error belongs to the caller's
+	// context, not the shard.
+	a := newFakeShard("s0", 4, []topk.Candidate{{ID: 1, Dist: 0.1}})
+	defer a.srv.Close()
+	cfg := fastConfig()
+	cfg.NoOwnershipFilter = true
+	r := mustRouter(t, cfg, a)
+
+	a.delay.Store(int64(300 * time.Millisecond))
+	a.slowN.Store(100)
+	for i := 0; i < cfg.BreakerThreshold+2; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Millisecond)
+		if _, err := r.Search(ctx, make([]float32, 4)); err == nil {
+			t.Fatal("expected a deadline error while the shard is slow")
+		}
+		cancel()
+	}
+	if st := r.Stats(); st.Shards[0].Breaker != breakerClosed {
+		t.Fatalf("breaker = %s after client-side cancels, want closed", st.Shards[0].Breaker)
+	}
+	// The shard keeps serving the moment clients stop giving up early.
+	a.slowN.Store(0)
+	got, err := r.Search(context.Background(), make([]float32, 4))
+	if err != nil {
+		t.Fatalf("search after cancels: %v", err)
+	}
+	assertCands(t, got, []topk.Candidate{{ID: 1, Dist: 0.1}})
+}
+
+func TestRouterProberDisabledTrustsLateShard(t *testing.T) {
+	// With the prober disabled, a shard that was unreachable when the
+	// router booted must still be trusted once it comes up — there is
+	// nothing else that would ever rejoin it.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	cfg := fastConfig()
+	cfg.NoOwnershipFilter = true
+	r, err := New([]string{"http://" + addr}, cfg) // shard not up yet
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	a := newFakeShard("s0", 4, []topk.Candidate{{ID: 1, Dist: 0.1}})
+	defer a.srv.Close()
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	late := &http.Server{Handler: a.srv.Config.Handler}
+	go late.Serve(ln2) //nolint:errcheck // closed by the test
+	defer late.Close()
+
+	got, err := r.Search(context.Background(), make([]float32, 4))
+	if err != nil {
+		t.Fatalf("search against late-binding shard: %v", err)
+	}
+	assertCands(t, got, []topk.Candidate{{ID: 1, Dist: 0.1}})
+}
+
+func TestRouterReadOnlyShard501KeepsBreakerClosed(t *testing.T) {
+	// A read-only shard answers writes with 501: that is its deployed
+	// behavior, not a failure, and must not cost it its place in the
+	// search fanout.
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /upsert", func(w http.ResponseWriter, r *http.Request) {
+		serve.WriteJSON(w, http.StatusNotImplemented, serve.ErrorResponse{Error: "read-only"})
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		serve.WriteJSON(w, http.StatusOK, serve.HealthPayload{Status: "ok", ShardID: "ro", Dim: 4})
+	})
+	ro := httptest.NewServer(mux)
+	defer ro.Close()
+
+	cfg := fastConfig()
+	r, err := New([]string{ro.URL}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	var id int64 // any id: a single shard owns everything
+	for i := 0; i < cfg.BreakerThreshold+1; i++ {
+		if err := r.Upsert(context.Background(), id, make([]float32, 4)); err == nil {
+			t.Fatal("expected a 501 error from the read-only shard")
+		}
+	}
+	if st := r.Stats(); st.Shards[0].Breaker != breakerClosed {
+		t.Fatalf("breaker = %s after repeated 501 writes, want closed", st.Shards[0].Breaker)
+	}
+}

@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// ShardStats is the router's local view of one shard.
+type ShardStats struct {
+	Index   int    `json:"index"`
+	URL     string `json:"url"`
+	ID      string `json:"shard_id,omitempty"` // discovered on /healthz
+	Healthy bool   `json:"healthy"`
+	Breaker string `json:"breaker"` // closed | open | half-open
+
+	Requests  uint64 `json:"requests"`
+	Errors    uint64 `json:"errors"`
+	Hedges    uint64 `json:"hedges"`
+	HedgeWins uint64 `json:"hedge_wins"`
+	Writes    uint64 `json:"writes"`
+	WriteErrs uint64 `json:"write_errors"`
+
+	// Latency covers this shard's successful search replies as observed
+	// by the router (network included), in seconds; its quantiles drive
+	// the hedge trigger.
+	Latency metrics.Snapshot `json:"latency_seconds"`
+}
+
+// RouterStats is a point-in-time, JSON-serializable view of the router.
+type RouterStats struct {
+	Shards        []ShardStats `json:"shards"`
+	HealthyShards int          `json:"healthy_shards"`
+	Draining      bool         `json:"draining"`
+
+	Searches   uint64 `json:"searches"`
+	Answered   uint64 `json:"answered"`
+	Degraded   uint64 `json:"degraded"`
+	NoShards   uint64 `json:"no_shard_errors"`
+	AllFailed  uint64 `json:"all_shards_failed"`
+	StaleDrops uint64 `json:"stale_drops"`
+	Writes     uint64 `json:"writes"`
+	WriteErrs  uint64 `json:"write_errors"`
+
+	// Latency covers every answered fanout, admission to merged reply,
+	// in seconds.
+	Latency metrics.Snapshot `json:"latency_seconds"`
+}
+
+// Stats snapshots the router's counters and histograms. It is local —
+// no shard round trips; AggregatedStats adds the remote payloads.
+func (r *Router) Stats() RouterStats {
+	st := RouterStats{
+		Draining:   r.draining.Load(),
+		Searches:   r.ctr.searches.Load(),
+		Answered:   r.ctr.answered.Load(),
+		Degraded:   r.ctr.degraded.Load(),
+		NoShards:   r.ctr.noShards.Load(),
+		AllFailed:  r.ctr.allFailed.Load(),
+		StaleDrops: r.ctr.staleDrops.Load(),
+		Writes:     r.ctr.writes.Load(),
+		WriteErrs:  r.ctr.writeErrs.Load(),
+		Latency:    r.lat.Snapshot(),
+	}
+	for _, s := range r.shards {
+		id, _ := s.identity()
+		ss := ShardStats{
+			Index:     s.index,
+			URL:       s.url,
+			ID:        id,
+			Healthy:   s.healthy.Load(),
+			Breaker:   s.br.State(),
+			Requests:  s.ctr.requests.Load(),
+			Errors:    s.ctr.errors.Load(),
+			Hedges:    s.ctr.hedges.Load(),
+			HedgeWins: s.ctr.hedgeWins.Load(),
+			Writes:    s.ctr.writes.Load(),
+			WriteErrs: s.ctr.writeErrs.Load(),
+			Latency:   s.lat.Snapshot(),
+		}
+		if ss.Healthy {
+			st.HealthyShards++
+		}
+		st.Shards = append(st.Shards, ss)
+	}
+	return st
+}
+
+// AggregatedStats is the router /stats payload: the router's own view
+// plus each live shard's /stats fetched in parallel (nil for shards that
+// did not answer within the timeout).
+type AggregatedStats struct {
+	Router RouterStats       `json:"router"`
+	Shards []json.RawMessage `json:"shard_stats"`
+}
+
+// AggregatedStats snapshots the router and fetches every shard's /stats
+// concurrently, bounding the whole collection by timeout.
+func (r *Router) AggregatedStats(ctx context.Context, timeout time.Duration) AggregatedStats {
+	agg := AggregatedStats{
+		Router: r.Stats(),
+		Shards: make([]json.RawMessage, len(r.shards)),
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	var wg sync.WaitGroup
+	for i, s := range r.shards {
+		if !s.healthy.Load() {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, s *shard) {
+			defer wg.Done()
+			if raw, err := s.fetchStats(ctx); err == nil {
+				agg.Shards[i] = raw
+			}
+		}(i, s)
+	}
+	wg.Wait()
+	return agg
+}

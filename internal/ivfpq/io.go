@@ -30,6 +30,7 @@ type countingWriter struct {
 	n int64
 }
 
+// Write forwards to the wrapped writer, counting bytes.
 func (cw *countingWriter) Write(p []byte) (int, error) {
 	n, err := cw.w.Write(p)
 	cw.n += int64(n)

@@ -168,6 +168,49 @@ func (ix *Index) Add(data *vecmath.Matrix, baseID int64) {
 	}
 }
 
+// AddWithIDs encodes and inserts the rows of data under the parallel
+// explicit ids (len(ids) must equal data.Rows). It is Add for
+// non-contiguous id spaces: hash-partitioned cluster shards index their
+// subset of a global id space with it, so every shard reports globally
+// meaningful ids and the scatter-gather merge needs no translation.
+func (ix *Index) AddWithIDs(data *vecmath.Matrix, ids []int64) {
+	if data.Dim != ix.Dim {
+		panic("ivfpq: AddWithIDs dimension mismatch")
+	}
+	if len(ids) != data.Rows {
+		panic("ivfpq: AddWithIDs ids/rows mismatch")
+	}
+	m := ix.PQ.M
+	assign := make([]int32, data.Rows)
+	codes := make([]uint8, data.Rows*m)
+
+	workers := runtime.GOMAXPROCS(0)
+	chunk := (data.Rows + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > data.Rows {
+			hi = data.Rows
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			resid := make([]float32, ix.Dim)
+			for i := lo; i < hi; i++ {
+				assign[i] = ix.EncodeVectorInto(codes[i*m:(i+1)*m], resid, data.Row(i))
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+
+	for i := 0; i < data.Rows; i++ {
+		ix.AppendEncoded(assign[i], ids[i], codes[i*m:(i+1)*m])
+	}
+}
+
 // EncodeVector assigns vec to its nearest cluster and PQ-encodes the
 // residual into code (M bytes). It does not modify the index; the
 // streaming-update path (internal/mutable) uses it to encode single

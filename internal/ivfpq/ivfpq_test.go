@@ -201,3 +201,54 @@ func BenchmarkSearch(b *testing.B) {
 		ix.Search(data.Row(i%data.Rows), 8, 10)
 	}
 }
+
+func TestAddWithIDsMatchesAdd(t *testing.T) {
+	data := testData(3, 1500, 16)
+	p := Params{NList: 8, M: 4, Seed: 3}
+	viaAdd := Train(data, p)
+	viaAdd.Add(data, 100)
+	viaIDs := Train(data, p)
+	ids := make([]int64, data.Rows)
+	for i := range ids {
+		ids[i] = 100 + int64(i)
+	}
+	viaIDs.AddWithIDs(data, ids)
+
+	if viaIDs.NTotal != viaAdd.NTotal {
+		t.Fatalf("NTotal = %d, want %d", viaIDs.NTotal, viaAdd.NTotal)
+	}
+	for li := range viaAdd.Lists {
+		a, b := viaAdd.Lists[li], viaIDs.Lists[li]
+		if len(a.IDs) != len(b.IDs) {
+			t.Fatalf("list %d: %d vs %d ids", li, len(a.IDs), len(b.IDs))
+		}
+		for j := range a.IDs {
+			if a.IDs[j] != b.IDs[j] {
+				t.Fatalf("list %d id %d: %d vs %d", li, j, a.IDs[j], b.IDs[j])
+			}
+		}
+	}
+}
+
+func TestAddWithIDsSparseIDSpace(t *testing.T) {
+	// A hash-partitioned shard indexes a scattered subset of the global
+	// id space; searches must report the explicit ids.
+	data := testData(5, 900, 16)
+	ix := Train(data, Params{NList: 8, M: 4, Seed: 5})
+	ids := make([]int64, data.Rows)
+	idSet := make(map[int64]bool, data.Rows)
+	for i := range ids {
+		ids[i] = int64(i)*3 + 7 // sparse, non-contiguous
+		idSet[ids[i]] = true
+	}
+	ix.AddWithIDs(data, ids)
+	res, _ := ix.Search(data.Row(0), 4, 5)
+	if len(res) == 0 {
+		t.Fatal("no results")
+	}
+	for _, c := range res {
+		if !idSet[c.ID] {
+			t.Fatalf("result id %d was never added", c.ID)
+		}
+	}
+}

@@ -1,0 +1,264 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+
+	"repro/internal/topk"
+)
+
+// This file is the shard HTTP surface: the wire types and handler that
+// expose a Server (and optionally a WriteBatcher) over HTTP. It is shared
+// by cmd/upanns-serve (one shard process) and booted in-process by the
+// cluster example and benchmark, and its wire types are what the
+// internal/cluster router speaks when it fans queries out to shards.
+
+// SearchRequest is the POST /search body.
+type SearchRequest struct {
+	Vector []float32 `json:"vector"`
+}
+
+// SearchResponse is the POST /search reply: parallel id/distance slices,
+// ascending distance.
+type SearchResponse struct {
+	IDs       []int64   `json:"ids"`
+	Distances []float32 `json:"distances"`
+}
+
+// NewSearchResponse converts result candidates into the wire reply. The
+// shard handler and the cluster router share it so the response encoding
+// is defined once.
+func NewSearchResponse(cands []topk.Candidate) SearchResponse {
+	resp := SearchResponse{IDs: make([]int64, len(cands)), Distances: make([]float32, len(cands))}
+	for i, c := range cands {
+		resp.IDs[i] = c.ID
+		resp.Distances[i] = c.Dist
+	}
+	return resp
+}
+
+// ShedDraining writes the drain-mode 503 reply (with Retry-After); scope
+// names the draining component in the error text ("server", "router").
+func ShedDraining(w http.ResponseWriter, scope string) {
+	w.Header().Set("Retry-After", "1")
+	WriteJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: scope + " draining"})
+}
+
+// WriteRequest is the POST /upsert and POST /delete body (Vector is
+// ignored for deletes).
+type WriteRequest struct {
+	ID     int64     `json:"id"`
+	Vector []float32 `json:"vector,omitempty"`
+}
+
+// ErrorResponse is the body of every non-2xx reply.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// StatsPayload is the GET /stats response shape: the serving counters,
+// plus write-batcher and index-epoch counters when the deployment has
+// them, tagged with the shard's identity so a cluster router can tell
+// shards apart in aggregated views.
+type StatsPayload struct {
+	ShardID string      `json:"shard_id,omitempty"`
+	Serve   Stats       `json:"serve"`
+	Writes  *WriteStats `json:"writes,omitempty"`
+	Index   any         `json:"index,omitempty"`
+}
+
+// HealthPayload is the GET /healthz response body. The status code is the
+// contract (200 serving, 503 draining); the body carries the shard
+// identity and dimensionality for the cluster router's health prober,
+// which validates query vectors against Dim before fanning out.
+type HealthPayload struct {
+	Status  string `json:"status"`
+	ShardID string `json:"shard_id,omitempty"`
+	Dim     int    `json:"dim,omitempty"`
+}
+
+// HandlerConfig configures the shard HTTP surface.
+type HandlerConfig struct {
+	// ShardID tags /stats and /healthz so a router (or operator) can tell
+	// shards apart. Empty is fine for a standalone single-host server.
+	ShardID string
+	// Writer enables POST /upsert and /delete; nil serves them as 501.
+	Writer *WriteBatcher
+	// IndexStats, when non-nil, is called per /stats request to produce
+	// the payload's "index" section (e.g. mutable.UpdatableIndex.Stats).
+	IndexStats func() any
+}
+
+// Handler is the shard HTTP API over one serving deployment:
+//
+//	POST /search  SearchRequest        -> SearchResponse
+//	POST /upsert  WriteRequest         -> {"id": N}
+//	POST /delete  WriteRequest         -> {"id": N}
+//	GET  /stats                        -> StatsPayload
+//	GET  /healthz                      -> HealthPayload (200 serving, 503 draining)
+//
+// Overload maps to 503 + Retry-After, missed deadlines to 504. Create
+// with NewHandler; flip StartDraining when shutdown begins so admission
+// stops (new requests shed with 503, /healthz turns 503) while in-flight
+// requests ride out the drain grace period.
+type Handler struct {
+	srv      *Server
+	cfg      HandlerConfig
+	mux      *http.ServeMux
+	draining atomic.Bool
+}
+
+// NewHandler returns the shard HTTP surface over srv.
+func NewHandler(srv *Server, cfg HandlerConfig) *Handler {
+	h := &Handler{srv: srv, cfg: cfg, mux: http.NewServeMux()}
+	h.mux.HandleFunc("POST /search", h.handleSearch)
+	h.mux.HandleFunc("POST /upsert", func(w http.ResponseWriter, r *http.Request) { h.handleWrite(true, w, r) })
+	h.mux.HandleFunc("POST /delete", func(w http.ResponseWriter, r *http.Request) { h.handleWrite(false, w, r) })
+	h.mux.HandleFunc("GET /stats", h.handleStats)
+	h.mux.HandleFunc("GET /healthz", h.handleHealthz)
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+// StartDraining flips the handler into drain mode: /search /upsert
+// /delete shed new work with 503 and /healthz reports 503, which is the
+// readiness signal a cluster router (or load balancer) uses to stop
+// sending traffic before the process exits. It does not cancel in-flight
+// requests and is idempotent.
+func (h *Handler) StartDraining() { h.draining.Store(true) }
+
+// Draining reports whether StartDraining has been called.
+func (h *Handler) Draining() bool { return h.draining.Load() }
+
+// shedIfDraining rejects the request with 503 during drain; it reports
+// whether a response was written.
+func (h *Handler) shedIfDraining(w http.ResponseWriter) bool {
+	if h.draining.Load() {
+		ShedDraining(w, "server")
+		return true
+	}
+	return false
+}
+
+// MaxBodyBytes bounds request bodies on every serving surface (shard and
+// router alike): a few MB covers any legal vector at any supported
+// dimensionality, and keeps a single oversized POST from allocating
+// unbounded memory ahead of the dimension check.
+const MaxBodyBytes = 4 << 20
+
+// DecodeRequest applies the body bound and decodes the JSON request body
+// into v, answering 400 itself on failure; it reports whether decoding
+// succeeded. The shard handler and the cluster router share it so the
+// wire contract (body cap, error shape) is defined once.
+func DecodeRequest(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		WriteJSON(w, http.StatusBadRequest, ErrorResponse{Error: "bad JSON: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+func (h *Handler) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if h.shedIfDraining(w) {
+		return
+	}
+	var req SearchRequest
+	if !DecodeRequest(w, r, &req) {
+		return
+	}
+	if len(req.Vector) != h.srv.dim {
+		WriteJSON(w, http.StatusBadRequest, ErrorResponse{
+			Error: fmt.Sprintf("vector has %d dims, index has %d", len(req.Vector), h.srv.dim)})
+		return
+	}
+	cands, err := h.srv.Search(r.Context(), req.Vector)
+	if h.writeServeError(w, err) {
+		return
+	}
+	WriteJSON(w, http.StatusOK, NewSearchResponse(cands))
+}
+
+func (h *Handler) handleWrite(upsert bool, w http.ResponseWriter, r *http.Request) {
+	if h.shedIfDraining(w) {
+		return
+	}
+	if h.cfg.Writer == nil {
+		WriteJSON(w, http.StatusNotImplemented, ErrorResponse{
+			Error: "writes are only supported in single-host (mutable) mode"})
+		return
+	}
+	var req WriteRequest
+	if !DecodeRequest(w, r, &req) {
+		return
+	}
+	var err error
+	if upsert {
+		if len(req.Vector) != h.srv.dim {
+			WriteJSON(w, http.StatusBadRequest, ErrorResponse{
+				Error: fmt.Sprintf("vector has %d dims, index has %d", len(req.Vector), h.srv.dim)})
+			return
+		}
+		err = h.cfg.Writer.Upsert(r.Context(), req.ID, req.Vector)
+	} else {
+		err = h.cfg.Writer.Delete(r.Context(), req.ID)
+	}
+	if h.writeServeError(w, err) {
+		return
+	}
+	WriteJSON(w, http.StatusOK, map[string]int64{"id": req.ID})
+}
+
+func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := StatsPayload{ShardID: h.cfg.ShardID, Serve: h.srv.Stats()}
+	if h.cfg.Writer != nil {
+		ws := h.cfg.Writer.Stats()
+		st.Writes = &ws
+	}
+	if h.cfg.IndexStats != nil {
+		st.Index = h.cfg.IndexStats()
+	}
+	WriteJSON(w, http.StatusOK, st)
+}
+
+func (h *Handler) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if h.draining.Load() {
+		WriteJSON(w, http.StatusServiceUnavailable, HealthPayload{Status: "draining", ShardID: h.cfg.ShardID, Dim: h.srv.dim})
+		return
+	}
+	WriteJSON(w, http.StatusOK, HealthPayload{Status: "ok", ShardID: h.cfg.ShardID, Dim: h.srv.dim})
+}
+
+// writeServeError maps serving-layer errors onto HTTP statuses; it
+// reports whether a response was written.
+func (h *Handler) writeServeError(w http.ResponseWriter, err error) bool {
+	switch {
+	case err == nil:
+		return false
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		WriteJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: err.Error()})
+	case errors.Is(err, ErrClosed):
+		WriteJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: err.Error()})
+	case errors.Is(err, ErrDeadline), errors.Is(err, context.DeadlineExceeded):
+		WriteJSON(w, http.StatusGatewayTimeout, ErrorResponse{Error: "deadline exceeded"})
+	default:
+		WriteJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
+	}
+	return true
+}
+
+// WriteJSON writes v as a JSON response with the given status.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // best-effort response write
+}

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Check that intra-repo markdown links resolve.
+
+Scans every tracked .md file for [text](target) links and fails if a
+relative target (after stripping any #anchor) does not exist on disk.
+External links (http/https/mailto) and pure anchors are ignored. The CI
+docs job runs this so documentation cannot silently point at files that
+were moved or renamed.
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def tracked_markdown():
+    out = subprocess.run(
+        ["git", "ls-files", "*.md", "**/*.md"],
+        capture_output=True, text=True, check=True,
+    ).stdout
+    return sorted(set(filter(None, out.splitlines())))
+
+
+def check(path):
+    errors = []
+    with open(path, encoding="utf-8") as fh:
+        in_fence = False
+        for lineno, line in enumerate(fh, 1):
+            # Links inside fenced code blocks are shell/code, not docs.
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for target in LINK.findall(line):
+                if target.startswith(SKIP_PREFIXES):
+                    continue
+                rel = target.split("#", 1)[0]
+                if not rel:
+                    continue
+                resolved = os.path.normpath(os.path.join(os.path.dirname(path), rel))
+                if not os.path.exists(resolved):
+                    errors.append(f"{path}:{lineno}: broken link -> {target}")
+    return errors
+
+
+def main():
+    files = tracked_markdown()
+    if not files:
+        print("no markdown files tracked?", file=sys.stderr)
+        return 1
+    errors = []
+    for f in files:
+        errors.extend(check(f))
+    if errors:
+        print("broken intra-repo markdown links:", file=sys.stderr)
+        for e in errors:
+            print("  " + e, file=sys.stderr)
+        return 1
+    print(f"markdown links OK ({len(files)} files checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
