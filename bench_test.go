@@ -73,3 +73,4 @@ func BenchmarkRecallValidation(b *testing.B)         { runExperiment(b, "recall"
 func BenchmarkServingQPSCurve(b *testing.B)          { runExperiment(b, "serving") }
 func BenchmarkUpdatesChurn(b *testing.B)             { runExperiment(b, "updates") }
 func BenchmarkClusterScatterGather(b *testing.B)     { runExperiment(b, "cluster") }
+func BenchmarkFilteredSelectivity(b *testing.B)      { runExperiment(b, "filtered") }

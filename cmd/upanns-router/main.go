@@ -61,6 +61,7 @@ func main() {
 		shards = flag.String("shards", "", "comma-separated shard base URLs, e.g. http://127.0.0.1:8081,http://127.0.0.1:8082 (order defines ID ownership)")
 		addr   = flag.String("addr", ":8080", "HTTP listen address")
 		k      = flag.Int("k", 10, "merged neighbors returned per query (shards must serve k >= this)")
+		maxK   = flag.Int("max-k", 0, "largest per-request k override accepted (0 = unbounded at the router; set to the shards' -max-k so oversized requests get one 400 instead of a fanout of shard 400s)")
 
 		searchTimeout = flag.Duration("search-timeout", 5*time.Second, "whole-fanout budget per query")
 		writeTimeout  = flag.Duration("write-timeout", 5*time.Second, "budget per routed write")
@@ -93,6 +94,7 @@ func main() {
 
 	r, err := cluster.New(urls, cluster.Config{
 		K:                 *k,
+		MaxK:              *maxK,
 		SearchTimeout:     *searchTimeout,
 		WriteTimeout:      *writeTimeout,
 		HedgeQuantile:     *hedgeQuantile,

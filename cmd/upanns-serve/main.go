@@ -18,12 +18,20 @@
 //	upanns-serve -base /tmp/sift.base.fvecs -addr :8080
 //	upanns-serve -synthetic sift -n 50000 -addr :8080
 //
+// With -schema, vectors carry typed attribute tags and searches may be
+// constrained by predicates (internal/filter): upserts take an "attrs"
+// object, /search takes a "filter" expression, and the
+// selectivity-adaptive executor chooses between pre- and post-filtering
+// per query:
+//
+//	upanns-serve -synthetic sift -n 50000 -schema "tenant:int,lang:string" -addr :8080
+//
 // Endpoints (wire types in internal/serve/http.go):
 //
-//	POST /search  {"vector": [...]}            -> {"ids": [...], "distances": [...]}
-//	POST /upsert  {"id": 7, "vector": [...]}   -> {"id": 7}
+//	POST /search  {"vector": [...], "k": 5, "filter": "tenant = 42"}  -> {"ids": [...], "distances": [...]}
+//	POST /upsert  {"id": 7, "vector": [...], "attrs": {"tenant": 42}} -> {"id": 7}
 //	POST /delete  {"id": 7}                    -> {"id": 7}
-//	GET  /stats                                -> shard id + serving/write/index counters (JSON)
+//	GET  /stats                                -> shard id + serving/write/index/filter counters (JSON)
 //	GET  /healthz                              -> 200 while serving; 503 while draining
 //
 // Under overload the server sheds with 503; requests that miss their
@@ -53,6 +61,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/filter"
 	"repro/internal/ivfpq"
 	"repro/internal/multihost"
 	"repro/internal/mutable"
@@ -65,6 +74,11 @@ func fail(err error) {
 	fmt.Fprintln(os.Stderr, "upanns-serve:", err)
 	os.Exit(1)
 }
+
+// attrSchema is the -schema flag parsed once in main; mutableConfig
+// deploys every (single-host) index with it so a state restore and a
+// cold build agree on whether filtering is enabled.
+var attrSchema *filter.Schema
 
 func main() {
 	var (
@@ -87,6 +101,9 @@ func main() {
 		timeout  = flag.Duration("timeout", time.Second, "per-request deadline")
 		cache    = flag.Int("cache", 4096, "LRU result-cache entries (0 disables)")
 
+		schemaSpec = flag.String("schema", "", `attribute schema enabling filtered search, e.g. "tenant:int,lang:string" (single-host mode); upserts may then carry "attrs" and searches a "filter" predicate`)
+		maxK       = flag.Int("max-k", 0, "largest per-request k override accepted on /search (0 = -k)")
+
 		writeBatch    = flag.Int("write-batch", 64, "write micro-batch size cap")
 		writeLinger   = flag.Duration("write-linger", time.Millisecond, "max wait to fill a write batch")
 		compactEvery  = flag.Duration("compact-interval", 25*time.Millisecond, "compaction pressure poll period (0 disables the background compactor)")
@@ -99,6 +116,17 @@ func main() {
 		// operator asked for: only single-host (mutable) mode persists.
 		fail(fmt.Errorf("-state requires single-host mode (-hosts 1); multi-host sharding is read-only"))
 	}
+	var schema *filter.Schema
+	if *schemaSpec != "" {
+		if *hosts > 1 {
+			fail(fmt.Errorf("-schema requires single-host mode (-hosts 1); the filter executor lives in the mutable deployment"))
+		}
+		var err error
+		if schema, err = filter.ParseSchema(*schemaSpec); err != nil {
+			fail(err)
+		}
+	}
+	attrSchema = schema
 
 	var backend serve.Backend
 	var updatable *mutable.UpdatableIndex
@@ -123,6 +151,7 @@ func main() {
 
 	srv, err := serve.NewServer(serve.Config{
 		K:              *k,
+		MaxK:           *maxK,
 		MaxBatch:       *maxBatch,
 		MaxLinger:      *linger,
 		QueueDepth:     *queue,
@@ -148,6 +177,9 @@ func main() {
 	hcfg := serve.HandlerConfig{ShardID: *shardID, Writer: writer}
 	if updatable != nil {
 		hcfg.IndexStats = func() any { return updatable.Stats() }
+		if schema != nil {
+			hcfg.FilterStats = updatable.FilterStats
+		}
 	}
 	handler := serve.NewHandler(srv, hcfg)
 
@@ -179,6 +211,9 @@ func main() {
 	nvec := int64(0)
 	if updatable != nil {
 		mode = "mutable (upsert/delete enabled)"
+		if schema != nil {
+			mode = "mutable + filtered (schema " + schema.Spec() + ")"
+		}
 		nvec = updatable.Stats().BaseVectors
 	} else if base != nil {
 		nvec = int64(base.Rows)
@@ -261,6 +296,7 @@ func saveState(path string, u *mutable.UpdatableIndex) error {
 func mutableConfig(nprobe, k, dpus int, seed uint64, compactEvery time.Duration) mutable.Config {
 	mcfg := mutable.ServingConfig(nprobe, k, dpus, seed)
 	mcfg.CheckInterval = compactEvery
+	mcfg.Schema = attrSchema
 	return mcfg
 }
 

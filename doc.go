@@ -42,11 +42,20 @@
 //     breaking, hedged requests past a shard's observed latency
 //     quantile, and in-process shard fleets for demos and drills;
 //
+//   - filtered search: internal/filter — a per-index attribute store
+//     (typed int64/string tags as compressed bitmap posting lists), a
+//     predicate language (equality, IN, integer ranges, AND/OR) with a
+//     parser and canonicalized identities, selectivity estimation from
+//     posting cardinalities, and the adaptive pre/post-filter planner;
+//     the allow-bitmap pushes down into the ivfpq scan kernels and the
+//     mutable overlay, predicates ride the /search wire through router
+//     and shards, and planning counters aggregate on /stats;
+//
 //   - harness: internal/bench regenerates every table and figure of the
-//     paper's evaluation plus the serving, updates, and cluster sweeps,
-//     each with self-checking machine-readable artifacts; the root-level
-//     benchmarks in bench_test.go expose one testing.B target per
-//     artifact.
+//     paper's evaluation plus the serving, updates, cluster, and
+//     filtered sweeps, each with self-checking machine-readable
+//     artifacts; the root-level benchmarks in bench_test.go expose one
+//     testing.B target per artifact.
 //
 // Entry points: cmd/upanns-datagen (dataset files), cmd/upanns-search
 // (one-shot search), cmd/upanns-bench (experiments at configurable

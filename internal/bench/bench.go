@@ -278,6 +278,7 @@ func All() []Experiment {
 		{"serving", "Online serving: batching/caching vs QPS and p99", (*Context).Serving},
 		{"updates", "Streaming updates: recall and read tail under churn", (*Context).Updates},
 		{"cluster", "Distributed sharded serving: recall parity and shard-loss behavior", (*Context).Cluster},
+		{"filtered", "Filtered search: recall and tail latency vs selectivity", (*Context).Filtered},
 	}
 }
 

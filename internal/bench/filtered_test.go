@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/filter"
+)
+
+// TestFilteredExperiment asserts the filter subsystem's acceptance
+// shape: every returned candidate satisfies its predicate, the adaptive
+// executor tracks the better of pre/post-filtering at both selectivity
+// extremes, and filtered recall at >= 10% selectivity stays within 2% of
+// unfiltered recall.
+func TestFilteredExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive in -short mode")
+	}
+	ctx := NewContext(tinyOptions())
+	art, err := ctx.FilteredRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(art.Bands) != len(filteredFractions) {
+		t.Fatalf("measured %d bands, want %d", len(art.Bands), len(filteredFractions))
+	}
+	if art.UnfilteredRecall <= 0.1 {
+		t.Fatalf("unfiltered recall %.4f implausibly low; harness misconfigured", art.UnfilteredRecall)
+	}
+	for _, b := range art.Bands {
+		if b.Members == 0 {
+			t.Fatalf("band %g%%: no matching vectors", 100*b.Fraction)
+		}
+		for _, m := range []FilteredModeArtifact{b.Pre, b.Post, b.Adaptive} {
+			if m.Recall < 0 || m.Recall > 1 {
+				t.Fatalf("band %g%% %s: recall %.4f out of range", 100*b.Fraction, m.Mode, m.Recall)
+			}
+		}
+	}
+	// The planner must have split decisions: low bands pre, high bands
+	// post (forced passes count under ForcedMode and both strategies).
+	if art.Stats == nil || art.Stats.PreDecisions == 0 || art.Stats.PostDecisions == 0 {
+		t.Fatalf("planner stats %+v: expected both pre and post decisions across the sweep", art.Stats)
+	}
+
+	// The artifact is self-checking; the CI bench-smoke job fails on the
+	// same violations.
+	if v := art.Violations(); len(v) != 0 {
+		t.Fatalf("acceptance violations:\n  %s", strings.Join(v, "\n  "))
+	}
+
+	// The artifact (including the stats snapshot) must round-trip as the
+	// JSON CI consumes.
+	raw, err := json.Marshal(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back FilteredArtifact
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.UnfilteredRecall != art.UnfilteredRecall || len(back.Bands) != len(art.Bands) {
+		t.Fatal("artifact does not round-trip through JSON")
+	}
+}
+
+// TestFilteredViolationDetection proves the self-checks actually fire on
+// regressed shapes (a gate that cannot fail is not a gate).
+func TestFilteredViolationDetection(t *testing.T) {
+	healthy := FilteredArtifact{
+		BaseN: 1000, K: 10, UnfilteredRecall: 0.95,
+		Stats: &filter.StatsSnapshot{},
+		Bands: []FilteredBandArtifact{
+			{Fraction: 0.001, Pre: mode("pre", 0.9, 1e-3), Post: mode("post", 0.5, 5e-3), Adaptive: mode("adaptive", 0.9, 1.1e-3)},
+			{Fraction: 0.5, Pre: mode("pre", 0.94, 4e-3), Post: mode("post", 0.94, 2e-3), Adaptive: mode("adaptive", 0.94, 2.2e-3)},
+		},
+	}
+	if v := healthy.Violations(); len(v) != 0 {
+		t.Fatalf("healthy artifact flagged: %v", v)
+	}
+
+	slowAdaptive := healthy
+	slowAdaptive.Bands = append([]FilteredBandArtifact(nil), healthy.Bands...)
+	slowAdaptive.Bands[0].Adaptive.P99 = 0.1 // far above the better strategy
+	if v := slowAdaptive.Violations(); len(v) == 0 {
+		t.Fatal("adaptive p99 regression not flagged")
+	}
+
+	lowRecall := healthy
+	lowRecall.Bands = append([]FilteredBandArtifact(nil), healthy.Bands...)
+	lowRecall.Bands[1].Adaptive.Recall = 0.8 // > 2% below unfiltered 0.95
+	if v := lowRecall.Violations(); len(v) == 0 {
+		t.Fatal("filtered recall floor violation not flagged")
+	}
+
+	leak := healthy
+	leak.Bands = append([]FilteredBandArtifact(nil), healthy.Bands...)
+	leak.Bands[0].Pre.Mismatches = 2
+	if v := leak.Violations(); len(v) == 0 {
+		t.Fatal("predicate mismatch not flagged")
+	}
+}
+
+func mode(name string, recall, p99 float64) FilteredModeArtifact {
+	return FilteredModeArtifact{Mode: name, Recall: recall, P50: p99 / 2, P99: p99}
+}

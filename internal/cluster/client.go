@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/filter"
 	"repro/internal/metrics"
 	"repro/internal/serve"
 	"repro/internal/topk"
@@ -132,10 +133,13 @@ func readErrorBody(r io.Reader) string {
 	return string(raw)
 }
 
-// search runs one POST /search against the shard.
-func (s *shard) search(ctx context.Context, vec []float32) ([]topk.Candidate, error) {
+// search runs one POST /search against the shard. k and filterExpr pass
+// through on the wire verbatim (zero/empty = shard defaults): the shard
+// owns predicate canonicalization, planning, and execution, so the
+// router adds no filter semantics of its own.
+func (s *shard) search(ctx context.Context, vec []float32, k int, filterExpr string) ([]topk.Candidate, error) {
 	var resp serve.SearchResponse
-	if err := s.postJSON(ctx, "/search", serve.SearchRequest{Vector: vec}, &resp); err != nil {
+	if err := s.postJSON(ctx, "/search", serve.SearchRequest{Vector: vec, K: k, Filter: filterExpr}, &resp); err != nil {
 		return nil, err
 	}
 	if len(resp.IDs) != len(resp.Distances) {
@@ -160,10 +164,10 @@ func (s *shard) search(ctx context.Context, vec []float32) ([]topk.Candidate, er
 // drives the next hedge delay, so recording hedge wins as
 // hedge-delay-plus-response would feed the delay back into the quantile
 // and ratchet it upward until hedging stops firing.
-func (s *shard) hedgedSearch(ctx context.Context, vec []float32, hedgeAfter time.Duration) ([]topk.Candidate, error) {
+func (s *shard) hedgedSearch(ctx context.Context, vec []float32, k int, filterExpr string, hedgeAfter time.Duration) ([]topk.Candidate, error) {
 	if hedgeAfter <= 0 {
 		t0 := time.Now()
-		c, err := s.search(ctx, vec)
+		c, err := s.search(ctx, vec, k, filterExpr)
 		if err == nil {
 			s.lat.Observe(time.Since(t0).Seconds())
 		}
@@ -180,7 +184,7 @@ func (s *shard) hedgedSearch(ctx context.Context, vec []float32, hedgeAfter time
 	ch := make(chan attempt, 2)
 	launch := func(hedged bool) {
 		t0 := time.Now()
-		c, err := s.search(cctx, vec)
+		c, err := s.search(cctx, vec, k, filterExpr)
 		ch <- attempt{c, time.Since(t0), err, hedged}
 	}
 	go launch(false)
@@ -229,13 +233,14 @@ func (s *shard) hedgeDelay(quantile float64, minSamples int, minDelay time.Durat
 	return d
 }
 
-// write routes one upsert (vec != nil) or delete to the shard.
-func (s *shard) write(ctx context.Context, upsert bool, id int64, vec []float32) error {
+// write routes one upsert (vec != nil, attrs optional) or delete to the
+// shard.
+func (s *shard) write(ctx context.Context, upsert bool, id int64, vec []float32, attrs filter.Attrs) error {
 	path := "/delete"
 	if upsert {
 		path = "/upsert"
 	}
-	return s.postJSON(ctx, path, serve.WriteRequest{ID: id, Vector: vec}, nil)
+	return s.postJSON(ctx, path, serve.WriteRequest{ID: id, Vector: vec, Attrs: attrs}, nil)
 }
 
 // probeHealth GETs /healthz, updates the discovered identity, and

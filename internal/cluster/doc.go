@@ -40,6 +40,13 @@
 // exactly as approximate as IVFPQ itself — the same merge semantics as
 // internal/multihost.
 //
+// Attribute filters pass through the tier untouched: SearchOpts carries
+// the per-request k and predicate expression to every shard verbatim
+// (shards own canonicalization, planning, and execution; see
+// internal/filter), upserts carry their tags to the owning shard, the
+// owner-filtered merge is unchanged, and AggregatedStats sums the
+// shards' filtered-planning counters into one cluster-wide view.
+//
 // cmd/upanns-router wraps a Router in the HTTP surface (POST /search
 // /upsert /delete, aggregated GET /stats, GET /healthz, graceful drain);
 // examples/cluster boots a router plus three shards in one process; the

@@ -1,0 +1,184 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/filter"
+	"repro/internal/serve"
+	"repro/internal/topk"
+)
+
+func (f *fakeShard) lastSearchReq() serve.SearchRequest {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.lastSearch
+}
+
+func TestRouterFilterPassThrough(t *testing.T) {
+	a := newFakeShard("s0", 4, []topk.Candidate{{ID: 10, Dist: 0.1}, {ID: 30, Dist: 0.3}})
+	b := newFakeShard("s1", 4, []topk.Candidate{{ID: 20, Dist: 0.2}, {ID: 40, Dist: 0.4}})
+	defer a.srv.Close()
+	defer b.srv.Close()
+	cfg := fastConfig()
+	cfg.NoOwnershipFilter = true
+	r := mustRouter(t, cfg, a, b)
+
+	const expr = `tenant = 42 AND lang = "en"`
+	got, err := r.SearchOpts(context.Background(), make([]float32, 4), SearchOptions{K: 2, Filter: expr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("merged %d candidates, want per-request k=2", len(got))
+	}
+	for _, f := range []*fakeShard{a, b} {
+		req := f.lastSearchReq()
+		if req.Filter != expr {
+			t.Fatalf("shard %s received filter %q, want it verbatim", f.id, req.Filter)
+		}
+		if req.K != 2 {
+			t.Fatalf("shard %s received k=%d, want 2", f.id, req.K)
+		}
+	}
+	if st := r.Stats(); st.Filtered != 1 {
+		t.Fatalf("router filtered counter %d, want 1", st.Filtered)
+	}
+}
+
+func TestRouterAggregatedFilterStats(t *testing.T) {
+	a := newFakeShard("s0", 4, []topk.Candidate{{ID: 1, Dist: 0.1}})
+	b := newFakeShard("s1", 4, []topk.Candidate{{ID: 2, Dist: 0.2}})
+	c := newFakeShard("s2", 4, []topk.Candidate{{ID: 3, Dist: 0.3}})
+	defer a.srv.Close()
+	defer b.srv.Close()
+	defer c.srv.Close()
+	a.fstats = &filter.StatsSnapshot{
+		Filtered: 10, PreDecisions: 7, PostDecisions: 3, ForcedMode: 1,
+		SelectivityBounds: filter.SelectivityBuckets,
+		SelectivityHist:   []uint64{1, 2, 3, 4, 0},
+	}
+	b.fstats = &filter.StatsSnapshot{
+		Filtered: 5, PreDecisions: 1, PostDecisions: 4,
+		SelectivityBounds: filter.SelectivityBuckets,
+		SelectivityHist:   []uint64{0, 1, 1, 1, 2},
+	}
+	// c reports no filter section (schemaless shard) and must be skipped.
+	r := mustRouter(t, fastConfig(), a, b, c)
+
+	agg := r.AggregatedStats(context.Background(), 2*time.Second)
+	if agg.Filter == nil {
+		t.Fatal("aggregated stats carry no merged filter section")
+	}
+	if agg.Filter.Filtered != 15 || agg.Filter.PreDecisions != 8 || agg.Filter.PostDecisions != 7 || agg.Filter.ForcedMode != 1 {
+		t.Fatalf("merged filter counters %+v", agg.Filter)
+	}
+	wantHist := []uint64{1, 3, 4, 5, 2}
+	for i, w := range wantHist {
+		if agg.Filter.SelectivityHist[i] != w {
+			t.Fatalf("merged selectivity histogram %v, want %v", agg.Filter.SelectivityHist, wantHist)
+		}
+	}
+
+	// No reporting shard -> no filter section at all.
+	a.fstats, b.fstats = nil, nil
+	agg = r.AggregatedStats(context.Background(), 2*time.Second)
+	if agg.Filter != nil {
+		t.Fatalf("filter section %+v from shards that report none", agg.Filter)
+	}
+}
+
+func TestRouterHandlerFilteredWire(t *testing.T) {
+	sh := newFakeShard("s0", 4, []topk.Candidate{{ID: 10, Dist: 0.1}})
+	defer sh.srv.Close()
+	cfg := fastConfig()
+	cfg.NoOwnershipFilter = true
+	r := mustRouter(t, cfg, sh)
+	hs := httptest.NewServer(NewHandler(r))
+	defer hs.Close()
+
+	post := func(body string) int {
+		resp, err := hs.Client().Post(hs.URL+"/search", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post(`{"vector": [0,0,0,0], "filter": "tenant = 1"}`); code != 200 {
+		t.Fatalf("filtered search via router handler: %d", code)
+	}
+	if got := sh.lastSearchReq().Filter; got != "tenant = 1" {
+		t.Fatalf("shard received filter %q through the router handler", got)
+	}
+	sh.mu.Lock()
+	searchesBefore := sh.searches
+	sh.mu.Unlock()
+	if code := post(`{"vector": [0,0,0,0], "filter": "tenant = "}`); code != 400 {
+		t.Fatalf("malformed filter answered %d, want 400 without a fanout", code)
+	}
+	sh.mu.Lock()
+	searchesAfter := sh.searches
+	sh.mu.Unlock()
+	if searchesAfter != searchesBefore {
+		t.Fatal("malformed filter still reached the shard")
+	}
+
+	// The merged /stats surface carries the filter section.
+	sh.fstats = &filter.StatsSnapshot{Filtered: 3, PreDecisions: 3,
+		SelectivityBounds: filter.SelectivityBuckets, SelectivityHist: []uint64{3, 0, 0, 0, 0}}
+	resp, err := hs.Client().Get(hs.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var agg AggregatedStats
+	if err := json.NewDecoder(resp.Body).Decode(&agg); err != nil {
+		t.Fatal(err)
+	}
+	if agg.Filter == nil || agg.Filter.Filtered != 3 {
+		t.Fatalf("router /stats filter section %+v, want filtered=3", agg.Filter)
+	}
+}
+
+func TestRouterHandlerBoundsKBeforeFanout(t *testing.T) {
+	sh := newFakeShard("s0", 4, []topk.Candidate{{ID: 10, Dist: 0.1}})
+	defer sh.srv.Close()
+	cfg := fastConfig()
+	cfg.NoOwnershipFilter = true
+	cfg.MaxK = 20
+	r := mustRouter(t, cfg, sh)
+	hs := httptest.NewServer(NewHandler(r))
+	defer hs.Close()
+
+	post := func(body string) int {
+		resp, err := hs.Client().Post(hs.URL+"/search", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode
+	}
+	searches := func() int {
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		return sh.searches
+	}
+	before := searches()
+	if code := post(`{"vector": [0,0,0,0], "k": 100}`); code != 400 {
+		t.Fatalf("k beyond router max-k answered %d, want 400", code)
+	}
+	if code := post(`{"vector": [0,0,0,0], "k": -1}`); code != 400 {
+		t.Fatalf("negative k answered %d, want 400", code)
+	}
+	if searches() != before {
+		t.Fatal("out-of-bounds k still fanned out to the shard")
+	}
+	if code := post(`{"vector": [0,0,0,0], "k": 5}`); code != 200 {
+		t.Fatalf("in-bounds k answered %d", code)
+	}
+}

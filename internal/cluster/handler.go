@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/filter"
 	"repro/internal/serve"
 )
 
@@ -69,7 +70,28 @@ func (h *Handler) handleSearch(w http.ResponseWriter, r *http.Request) {
 			Error: fmt.Sprintf("vector has %d dims, cluster has %d", len(req.Vector), dim)})
 		return
 	}
-	cands, err := h.r.Search(r.Context(), req.Vector)
+	// Cheap request-shape checks run here so an invalid request costs one
+	// 400, not a whole fanout of shard 400s (plus hedges): k must be
+	// plausible, and the filter must at least parse. The expression
+	// itself still travels verbatim — shards own canonicalization and
+	// schema validation.
+	if req.K < 0 {
+		serve.WriteJSON(w, http.StatusBadRequest, serve.ErrorResponse{
+			Error: fmt.Sprintf("k %d is negative", req.K)})
+		return
+	}
+	if h.r.cfg.MaxK > 0 && req.K > h.r.cfg.MaxK {
+		serve.WriteJSON(w, http.StatusBadRequest, serve.ErrorResponse{
+			Error: fmt.Sprintf("k %d exceeds the router's max-k %d", req.K, h.r.cfg.MaxK)})
+		return
+	}
+	if req.Filter != "" {
+		if _, err := filter.Parse(req.Filter); err != nil {
+			serve.WriteJSON(w, http.StatusBadRequest, serve.ErrorResponse{Error: err.Error()})
+			return
+		}
+	}
+	cands, err := h.r.SearchOpts(r.Context(), req.Vector, SearchOptions{K: req.K, Filter: req.Filter})
 	if h.writeRouterError(w, err) {
 		return
 	}
@@ -90,7 +112,7 @@ func (h *Handler) handleWrite(upsert bool, w http.ResponseWriter, r *http.Reques
 				Error: fmt.Sprintf("vector has %d dims, cluster has %d", len(req.Vector), dim)})
 			return
 		}
-		if h.writeRouterError(w, h.r.Upsert(r.Context(), req.ID, req.Vector)) {
+		if h.writeRouterError(w, h.r.UpsertWithAttrs(r.Context(), req.ID, req.Vector, req.Attrs)) {
 			return
 		}
 	} else {

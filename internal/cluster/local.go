@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/filter"
 	"repro/internal/ivfpq"
 	"repro/internal/mutable"
 	"repro/internal/serve"
@@ -39,6 +40,14 @@ type LocalOptions struct {
 	// machine cannot turn a slow batch into a 504 and silently degrade a
 	// recall measurement).
 	RequestTimeout time.Duration
+	// Schema, when non-nil, deploys every shard with attribute filtering
+	// enabled; AttrsFor (required with Schema) tags each global id at
+	// boot, and filtered queries then pass through the router to the
+	// shards' selectivity-adaptive executors.
+	Schema   *filter.Schema
+	AttrsFor func(id int64) filter.Attrs
+	// MaxK bounds per-request k overrides on each shard (0 = K).
+	MaxK int
 }
 
 func (o LocalOptions) withDefaults(dim int) LocalOptions {
@@ -151,12 +160,23 @@ func StartLocalShards(base *vecmath.Matrix, o LocalOptions) ([]*LocalShard, erro
 		ix.AddWithIDs(part, partIDs[sh])
 
 		mcfg := mutable.ServingConfig(o.NProbe, o.K, o.DPUs, o.Seed+uint64(sh)*2027)
+		mcfg.Schema = o.Schema
 		u, err := mutable.New(ix, nil, mcfg)
 		if err != nil {
 			return fail(fmt.Errorf("cluster: shard %d deploy: %w", sh, err))
 		}
+		if o.Schema != nil {
+			attrs := make([]filter.Attrs, len(partIDs[sh]))
+			for ai, id := range partIDs[sh] {
+				attrs[ai] = o.AttrsFor(id)
+			}
+			if err := u.LoadAttrs(partIDs[sh], attrs); err != nil {
+				u.Close()
+				return fail(fmt.Errorf("cluster: shard %d attrs: %w", sh, err))
+			}
+		}
 		srv, err := serve.NewServer(serve.Config{
-			K: o.K, CacheSize: o.CacheSize, DefaultTimeout: o.RequestTimeout,
+			K: o.K, MaxK: o.MaxK, CacheSize: o.CacheSize, DefaultTimeout: o.RequestTimeout,
 		}, u)
 		if err != nil {
 			u.Close()
@@ -167,11 +187,15 @@ func StartLocalShards(base *vecmath.Matrix, o LocalOptions) ([]*LocalShard, erro
 			DefaultTimeout: o.RequestTimeout,
 		}, u)
 		id := fmt.Sprintf("s%d", sh)
-		handler := serve.NewHandler(srv, serve.HandlerConfig{
+		hcfg := serve.HandlerConfig{
 			ShardID:    id,
 			Writer:     writer,
 			IndexStats: func() any { return u.Stats() },
-		})
+		}
+		if o.Schema != nil {
+			hcfg.FilterStats = u.FilterStats
+		}
+		handler := serve.NewHandler(srv, hcfg)
 
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {

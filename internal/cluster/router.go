@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/filter"
 	"repro/internal/metrics"
 	"repro/internal/topk"
 )
@@ -37,6 +38,11 @@ type Config struct {
 	// K is the merged result size per query (default 10). Shards return
 	// their own configured k per request; deploy shards with k >= K.
 	K int
+	// MaxK bounds per-request k overrides at the router (0 = no router
+	// bound; shards still enforce their own MaxK). Set it to the shards'
+	// MaxK so an oversized k costs one 400 instead of a whole fanout of
+	// shard 400s.
+	MaxK int
 
 	// SearchTimeout bounds one whole fanout (default 5s).
 	SearchTimeout time.Duration
@@ -123,6 +129,7 @@ func (c Config) withDefaults() Config {
 // routerCounters is the router's atomic counter block; see RouterStats.
 type routerCounters struct {
 	searches   atomic.Uint64 // fanouts attempted
+	filtered   atomic.Uint64 // fanouts carrying an attribute filter
 	answered   atomic.Uint64 // fanouts that returned results
 	degraded   atomic.Uint64 // answered with at least one shard missing
 	noShards   atomic.Uint64 // failed: no shard available
@@ -264,16 +271,42 @@ func (r *Router) Dim() int {
 	return 0
 }
 
+// SearchOptions shapes one routed query beyond its vector.
+type SearchOptions struct {
+	// K overrides the merged result size (0 = Config.K). It rides the
+	// wire to every shard, which bound it by their own MaxK.
+	K int
+	// Filter is a predicate expression passed through to every shard
+	// verbatim ("" = unfiltered); each shard canonicalizes, plans, and
+	// executes it against its own attribute store. The owner-filtered
+	// merge is unchanged — a filtered candidate is still only
+	// authoritative from the shard that owns its ID.
+	Filter string
+}
+
 // Search fans vec out to every available shard, hedges stragglers, and
 // merges the per-shard top-k into the global top-K. A query succeeds as
 // long as at least one shard answers: lost shards cost their fraction of
 // the corpus (degraded recall), not availability. The returned
 // candidates are ascending by distance.
 func (r *Router) Search(ctx context.Context, vec []float32) ([]topk.Candidate, error) {
+	return r.SearchOpts(ctx, vec, SearchOptions{})
+}
+
+// SearchOpts is Search with a per-request k and/or attribute filter
+// passed through the scatter-gather fanout.
+func (r *Router) SearchOpts(ctx context.Context, vec []float32, opts SearchOptions) ([]topk.Candidate, error) {
 	if r.closed.Load() {
 		return nil, ErrClosed
 	}
+	k := opts.K
+	if k <= 0 {
+		k = r.cfg.K
+	}
 	r.ctr.searches.Add(1)
+	if opts.Filter != "" {
+		r.ctr.filtered.Add(1)
+	}
 	start := time.Now()
 
 	targets := make([]*shard, 0, len(r.shards))
@@ -309,7 +342,7 @@ func (r *Router) Search(ctx context.Context, vec []float32) ([]topk.Candidate, e
 				// requests — the load the half-open state exists to avoid.
 				delay = 0
 			}
-			cands, err := s.hedgedSearch(ctx, vec, delay)
+			cands, err := s.hedgedSearch(ctx, vec, opts.K, opts.Filter, delay)
 			if err != nil {
 				s.ctr.errors.Add(1)
 				r.reportOutcome(s, ctx, err)
@@ -363,7 +396,7 @@ func (r *Router) Search(ctx context.Context, vec []float32) ([]topk.Candidate, e
 			return false
 		}
 	}
-	merged := Merge(r.cfg.K, hits, owns)
+	merged := Merge(k, hits, owns)
 	r.ctr.answered.Add(1)
 	r.lat.Observe(time.Since(start).Seconds())
 	return merged, nil
@@ -371,15 +404,22 @@ func (r *Router) Search(ctx context.Context, vec []float32) ([]topk.Candidate, e
 
 // Upsert routes an insert-or-replace of id to its owning shard.
 func (r *Router) Upsert(ctx context.Context, id int64, vec []float32) error {
-	return r.routeWrite(ctx, true, id, vec)
+	return r.routeWrite(ctx, true, id, vec, nil)
+}
+
+// UpsertWithAttrs is Upsert with attribute tags for the new version;
+// they ride the wire to the owning shard, whose attribute store indexes
+// them (tags replace the id's previous tags, nil clears them).
+func (r *Router) UpsertWithAttrs(ctx context.Context, id int64, vec []float32, attrs filter.Attrs) error {
+	return r.routeWrite(ctx, true, id, vec, attrs)
 }
 
 // Delete routes a delete of id to its owning shard.
 func (r *Router) Delete(ctx context.Context, id int64) error {
-	return r.routeWrite(ctx, false, id, nil)
+	return r.routeWrite(ctx, false, id, nil, nil)
 }
 
-func (r *Router) routeWrite(ctx context.Context, upsert bool, id int64, vec []float32) error {
+func (r *Router) routeWrite(ctx context.Context, upsert bool, id int64, vec []float32, attrs filter.Attrs) error {
 	if r.closed.Load() {
 		return ErrClosed
 	}
@@ -393,7 +433,7 @@ func (r *Router) routeWrite(ctx context.Context, upsert bool, id int64, vec []fl
 	ctx, cancel := context.WithTimeout(ctx, r.cfg.WriteTimeout)
 	defer cancel()
 	s.ctr.writes.Add(1)
-	if err := s.write(ctx, upsert, id, vec); err != nil {
+	if err := s.write(ctx, upsert, id, vec, attrs); err != nil {
 		s.ctr.writeErrs.Add(1)
 		r.ctr.writeErrs.Add(1)
 		r.reportOutcome(s, ctx, err)

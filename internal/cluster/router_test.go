@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/filter"
 	"repro/internal/serve"
 	"repro/internal/topk"
 	"repro/internal/vecmath"
@@ -31,9 +32,14 @@ type fakeShard struct {
 	failing  atomic.Bool  // 500 every search
 	draining atomic.Bool  // healthz 503
 
-	mu       sync.Mutex
-	writes   []serve.WriteRequest
-	searches int
+	mu         sync.Mutex
+	writes     []serve.WriteRequest
+	searches   int
+	lastSearch serve.SearchRequest
+
+	// fstats, when set, is served as the /stats payload's "filter"
+	// section (aggregation tests script per-shard planning counters).
+	fstats *filter.StatsSnapshot
 
 	srv *httptest.Server
 }
@@ -61,6 +67,9 @@ func newFakeShard(id string, dim int, cands []topk.Candidate) *fakeShard {
 			serve.WriteJSON(w, http.StatusBadRequest, serve.ErrorResponse{Error: err.Error()})
 			return
 		}
+		f.mu.Lock()
+		f.lastSearch = req
+		f.mu.Unlock()
 		if len(req.Vector) != f.dim {
 			serve.WriteJSON(w, http.StatusBadRequest, serve.ErrorResponse{
 				Error: fmt.Sprintf("vector has %d dims, index has %d", len(req.Vector), f.dim)})
@@ -87,7 +96,7 @@ func newFakeShard(id string, dim int, cands []topk.Candidate) *fakeShard {
 	mux.HandleFunc("POST /upsert", write)
 	mux.HandleFunc("POST /delete", write)
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		serve.WriteJSON(w, http.StatusOK, serve.StatsPayload{ShardID: f.id})
+		serve.WriteJSON(w, http.StatusOK, serve.StatsPayload{ShardID: f.id, Filter: f.fstats})
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		if f.draining.Load() {

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/filter"
 	"repro/internal/metrics"
 )
 
@@ -37,6 +38,7 @@ type RouterStats struct {
 	Draining      bool         `json:"draining"`
 
 	Searches   uint64 `json:"searches"`
+	Filtered   uint64 `json:"filtered_searches"`
 	Answered   uint64 `json:"answered"`
 	Degraded   uint64 `json:"degraded"`
 	NoShards   uint64 `json:"no_shard_errors"`
@@ -56,6 +58,7 @@ func (r *Router) Stats() RouterStats {
 	st := RouterStats{
 		Draining:   r.draining.Load(),
 		Searches:   r.ctr.searches.Load(),
+		Filtered:   r.ctr.filtered.Load(),
 		Answered:   r.ctr.answered.Load(),
 		Degraded:   r.ctr.degraded.Load(),
 		NoShards:   r.ctr.noShards.Load(),
@@ -91,10 +94,15 @@ func (r *Router) Stats() RouterStats {
 
 // AggregatedStats is the router /stats payload: the router's own view
 // plus each live shard's /stats fetched in parallel (nil for shards that
-// did not answer within the timeout).
+// did not answer within the timeout), plus the cluster-wide filter
+// counters summed across the shards that reported them.
 type AggregatedStats struct {
 	Router RouterStats       `json:"router"`
 	Shards []json.RawMessage `json:"shard_stats"`
+	// Filter merges every reporting shard's filtered-search planning
+	// counters (pre/post decisions summed, selectivity histograms added
+	// bucket-wise); nil when no live shard indexes attributes.
+	Filter *filter.StatsSnapshot `json:"filter,omitempty"`
 }
 
 // AggregatedStats snapshots the router and fetches every shard's /stats
@@ -120,5 +128,28 @@ func (r *Router) AggregatedStats(ctx context.Context, timeout time.Duration) Agg
 		}(i, s)
 	}
 	wg.Wait()
+	agg.Filter = mergeShardFilterStats(agg.Shards)
 	return agg
+}
+
+// mergeShardFilterStats decodes the "filter" section of each shard's
+// /stats payload and sums them; nil when none carried one.
+func mergeShardFilterStats(raws []json.RawMessage) *filter.StatsSnapshot {
+	var merged *filter.StatsSnapshot
+	for _, raw := range raws {
+		if raw == nil {
+			continue
+		}
+		var payload struct {
+			Filter *filter.StatsSnapshot `json:"filter"`
+		}
+		if json.Unmarshal(raw, &payload) != nil || payload.Filter == nil {
+			continue
+		}
+		if merged == nil {
+			merged = &filter.StatsSnapshot{}
+		}
+		merged.Merge(payload.Filter)
+	}
+	return merged
 }

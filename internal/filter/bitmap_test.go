@@ -1,0 +1,210 @@
+package filter
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestBitmapAddRemoveContains(t *testing.T) {
+	b := NewBitmap()
+	ids := []int64{0, 1, 63, 64, 4095, 4096, 1 << 20, 1<<40 + 17, -1, -4096}
+	for _, id := range ids {
+		if b.Contains(id) {
+			t.Fatalf("empty bitmap contains %d", id)
+		}
+		b.Add(id)
+		if !b.Contains(id) {
+			t.Fatalf("bitmap missing %d after Add", id)
+		}
+	}
+	if b.Cardinality() != len(ids) {
+		t.Fatalf("cardinality %d, want %d", b.Cardinality(), len(ids))
+	}
+	b.Add(ids[0]) // duplicate add is a no-op
+	if b.Cardinality() != len(ids) {
+		t.Fatalf("duplicate add changed cardinality to %d", b.Cardinality())
+	}
+	for _, id := range ids {
+		b.Remove(id)
+		if b.Contains(id) {
+			t.Fatalf("bitmap still contains %d after Remove", id)
+		}
+	}
+	if b.Cardinality() != 0 {
+		t.Fatalf("cardinality %d after removing everything", b.Cardinality())
+	}
+	if len(b.keys) != 0 {
+		t.Fatalf("%d containers survive an emptied bitmap", len(b.keys))
+	}
+}
+
+func TestBitmapAndOrAgainstReference(t *testing.T) {
+	rng := xrand.New(7)
+	a, b := NewBitmap(), NewBitmap()
+	ra, rb := map[int64]bool{}, map[int64]bool{}
+	for i := 0; i < 5000; i++ {
+		// Cluster ids into a few container ranges so containers overlap.
+		id := int64(rng.Intn(3)*100000 + rng.Intn(6000))
+		if rng.Intn(2) == 0 {
+			a.Add(id)
+			ra[id] = true
+		} else {
+			b.Add(id)
+			rb[id] = true
+		}
+	}
+	and, or := a.And(b), a.Or(b)
+	wantAnd, wantOr := 0, len(ra)
+	for id := range rb {
+		if ra[id] {
+			wantAnd++
+		} else {
+			wantOr++
+		}
+	}
+	if and.Cardinality() != wantAnd {
+		t.Fatalf("And cardinality %d, want %d", and.Cardinality(), wantAnd)
+	}
+	if or.Cardinality() != wantOr {
+		t.Fatalf("Or cardinality %d, want %d", or.Cardinality(), wantOr)
+	}
+	and.ForEach(func(id int64) bool {
+		if !ra[id] || !rb[id] {
+			t.Fatalf("And yielded %d not in both references", id)
+		}
+		return true
+	})
+	or.ForEach(func(id int64) bool {
+		if !ra[id] && !rb[id] {
+			t.Fatalf("Or yielded %d in neither reference", id)
+		}
+		return true
+	})
+}
+
+func TestBitmapForEachOrderedAndClone(t *testing.T) {
+	b := NewBitmap()
+	want := []int64{-9000, -1, 0, 5, 4100, 1 << 30}
+	for _, id := range want {
+		b.Add(id)
+	}
+	var got []int64
+	b.ForEach(func(id int64) bool {
+		got = append(got, id)
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("ForEach yielded %d ids, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach[%d] = %d, want %d (ascending order)", i, got[i], want[i])
+		}
+	}
+	cl := b.Clone()
+	cl.Remove(want[0])
+	if !b.Contains(want[0]) {
+		t.Fatal("mutating a clone reached the original")
+	}
+}
+
+// FuzzBitmapOps drives an operation stream over a bitmap and a reference
+// map, then cross-checks Contains, Cardinality, And, and Or.
+func FuzzBitmapOps(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte{255, 0, 255, 0, 16, 16, 16})
+	f.Add([]byte("add remove add add or and"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		bms := [2]*Bitmap{NewBitmap(), NewBitmap()}
+		refs := [2]map[int64]bool{{}, {}}
+		for i := 0; i+3 < len(data); i += 4 {
+			which := int(data[i]) & 1
+			remove := data[i]&2 != 0
+			// Spread ids across containers, including negatives.
+			id := int64(data[i+1])<<12 | int64(data[i+2])<<4 | int64(data[i+3])
+			if data[i+1]&1 == 1 {
+				id = -id
+			}
+			if remove {
+				bms[which].Remove(id)
+				delete(refs[which], id)
+			} else {
+				bms[which].Add(id)
+				refs[which][id] = true
+			}
+		}
+		for w := 0; w < 2; w++ {
+			if bms[w].Cardinality() != len(refs[w]) {
+				t.Fatalf("bitmap %d cardinality %d, reference %d", w, bms[w].Cardinality(), len(refs[w]))
+			}
+			for id := range refs[w] {
+				if !bms[w].Contains(id) {
+					t.Fatalf("bitmap %d missing %d", w, id)
+				}
+			}
+			n := 0
+			bms[w].ForEach(func(id int64) bool {
+				if !refs[w][id] {
+					t.Fatalf("bitmap %d yielded %d not in reference", w, id)
+				}
+				n++
+				return true
+			})
+			if n != len(refs[w]) {
+				t.Fatalf("bitmap %d ForEach yielded %d ids, want %d", w, n, len(refs[w]))
+			}
+		}
+		and, or := bms[0].And(bms[1]), bms[0].Or(bms[1])
+		wantAnd, wantOr := 0, len(refs[0])
+		for id := range refs[1] {
+			if refs[0][id] {
+				wantAnd++
+			} else {
+				wantOr++
+			}
+		}
+		if and.Cardinality() != wantAnd {
+			t.Fatalf("And cardinality %d, want %d", and.Cardinality(), wantAnd)
+		}
+		if or.Cardinality() != wantOr {
+			t.Fatalf("Or cardinality %d, want %d", or.Cardinality(), wantOr)
+		}
+		inPlace := bms[0].Clone()
+		inPlace.OrWith(bms[1])
+		if inPlace.Cardinality() != wantOr {
+			t.Fatalf("OrWith cardinality %d, want %d", inPlace.Cardinality(), wantOr)
+		}
+		or.ForEach(func(id int64) bool {
+			if !inPlace.Contains(id) {
+				t.Fatalf("OrWith missing %d", id)
+			}
+			return true
+		})
+	})
+}
+
+func TestBitmapOrWithMatchesOr(t *testing.T) {
+	rng := xrand.New(11)
+	acc, want := NewBitmap(), NewBitmap()
+	for round := 0; round < 20; round++ {
+		op := NewBitmap()
+		for i := 0; i < 300; i++ {
+			id := int64(rng.Intn(4)*50000 + rng.Intn(5000))
+			op.Add(id)
+		}
+		acc.OrWith(op)
+		want = want.Or(op)
+		// The operand must be untouched and the accumulator must match
+		// the copying union exactly.
+		if acc.Cardinality() != want.Cardinality() {
+			t.Fatalf("round %d: OrWith cardinality %d, Or %d", round, acc.Cardinality(), want.Cardinality())
+		}
+		want.ForEach(func(id int64) bool {
+			if !acc.Contains(id) {
+				t.Fatalf("round %d: OrWith missing %d", round, id)
+			}
+			return true
+		})
+	}
+}

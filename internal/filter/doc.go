@@ -1,0 +1,37 @@
+// Package filter is the attribute-filtering subsystem: it lets every
+// search layer in this repository answer constrained queries ("nearest
+// neighbors WHERE tenant=42 AND lang=en") instead of only unfiltered
+// top-k. Four pieces compose:
+//
+//   - a per-index attribute Store: a small typed Schema (int64 and string
+//     fields) maps vector IDs to attribute values, indexed as compressed
+//     bitmap posting lists (one Bitmap per distinct field value), so a
+//     predicate evaluates to an allow-bitmap by bitmap intersection and
+//     union rather than per-vector checks;
+//
+//   - a predicate language: equality, IN, integer ranges, and AND/OR
+//     composition, available both as an AST (Eq, In, Range, And, Or) and
+//     as a parsed string form ("tenant = 42 AND lang IN (\"en\",\"fr\")").
+//     Canonical renders any predicate into a normalized, reparseable
+//     string — the identity the serving layer's cache and coalescing
+//     keys are built from, so semantically equal filters share work;
+//
+//   - selectivity estimation: posting-list cardinalities give the
+//     fraction of the corpus a predicate admits without evaluating it
+//     (independence-assumption combination for AND/OR), which is what
+//     execution strategy is chosen on;
+//
+//   - the adaptive plan: PlanSearch picks pre-filtering (evaluate the
+//     bitmap, then scan only matching codes in each probed cluster —
+//     cheap and recall-exact when few vectors qualify) below
+//     PreThreshold, and post-filtering (scan normally with an inflated
+//     fetch k, then drop non-matching candidates — cheap when most
+//     vectors qualify) above it. Stats counts the decisions and
+//     histograms observed selectivities for operators.
+//
+// The bitmap is pushed down into the ivfpq scan kernels and the mutable
+// overlay scan (see ivfpq.SearchQuantizedFiltered and
+// mutable.SearchFiltered); internal/serve wires the predicate onto the
+// /search request and internal/cluster passes it through the
+// scatter-gather fanout unchanged.
+package filter

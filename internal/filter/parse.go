@@ -1,0 +1,419 @@
+package filter
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+const maxInt64 = math.MaxInt64
+
+// Parser limits: predicates are request-sized, so anything near these
+// bounds is hostile or broken input, not a real filter.
+const (
+	maxFilterLen   = 1 << 14 // bytes of filter expression
+	maxParseDepth  = 32      // nesting depth of parenthesized groups
+	maxInValues    = 1024    // values per IN list
+	maxStringValue = 1 << 10 // bytes per string literal
+)
+
+// Parse parses a predicate expression:
+//
+//	expr    := term { OR term }
+//	term    := factor { AND factor }
+//	factor  := '(' expr ')' | comparison
+//	compare := field '=' value
+//	         | field IN '(' value { ',' value } ')'
+//	         | field ('<'|'<='|'>'|'>=') int
+//	         | field BETWEEN int AND int
+//	value   := int | '"' string '"'
+//
+// Keywords are case-insensitive; field names are case-sensitive
+// identifiers ([A-Za-z_][A-Za-z0-9_]*). Strict comparisons normalize to
+// inclusive bounds ("x < 5" is "x <= 4"), saturating at the int64
+// limits. Parsing is syntax-only — field existence and types are checked
+// by Pred.Validate against the index's schema.
+func Parse(expr string) (Pred, error) {
+	if len(expr) > maxFilterLen {
+		return nil, fmt.Errorf("%w: filter expression longer than %d bytes", ErrInvalid, maxFilterLen)
+	}
+	p := &parser{in: expr}
+	p.next()
+	pred, err := p.parseOr(0)
+	if err != nil {
+		return nil, err
+	}
+	// A lexing error surfaces as a premature tokEOF so the parser
+	// unwinds; report it rather than accepting the truncated parse.
+	if p.err != nil {
+		return nil, p.err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.errf("unexpected %q after complete predicate", p.tok.text)
+	}
+	return pred, nil
+}
+
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokString
+	tokLParen
+	tokRParen
+	tokComma
+	tokEq
+	tokLT
+	tokLE
+	tokGT
+	tokGE
+	tokAnd
+	tokOr
+	tokIn
+	tokBetween
+)
+
+type token struct {
+	kind tokKind
+	text string // identifier / literal text
+	ival int64  // tokInt
+	pos  int
+}
+
+type parser struct {
+	in  string
+	pos int
+	tok token
+	err error
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("%w: filter: %s (at byte %d)", ErrInvalid, fmt.Sprintf(format, args...), p.tok.pos)
+}
+
+// next lexes the following token into p.tok; lexing errors park in p.err
+// and surface as tokEOF so the parser unwinds.
+func (p *parser) next() {
+	for p.pos < len(p.in) {
+		c := p.in[p.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	start := p.pos
+	p.tok = token{kind: tokEOF, pos: start}
+	if p.pos >= len(p.in) {
+		return
+	}
+	c := p.in[p.pos]
+	switch {
+	case c == '(':
+		p.pos++
+		p.tok = token{kind: tokLParen, text: "(", pos: start}
+	case c == ')':
+		p.pos++
+		p.tok = token{kind: tokRParen, text: ")", pos: start}
+	case c == ',':
+		p.pos++
+		p.tok = token{kind: tokComma, text: ",", pos: start}
+	case c == '=':
+		p.pos++
+		// Accept SQL-style "==" too.
+		if p.pos < len(p.in) && p.in[p.pos] == '=' {
+			p.pos++
+		}
+		p.tok = token{kind: tokEq, text: "=", pos: start}
+	case c == '<':
+		p.pos++
+		if p.pos < len(p.in) && p.in[p.pos] == '=' {
+			p.pos++
+			p.tok = token{kind: tokLE, text: "<=", pos: start}
+		} else {
+			p.tok = token{kind: tokLT, text: "<", pos: start}
+		}
+	case c == '>':
+		p.pos++
+		if p.pos < len(p.in) && p.in[p.pos] == '=' {
+			p.pos++
+			p.tok = token{kind: tokGE, text: ">=", pos: start}
+		} else {
+			p.tok = token{kind: tokGT, text: ">", pos: start}
+		}
+	case c == '"':
+		p.lexString(start)
+	case c == '-' || (c >= '0' && c <= '9'):
+		p.lexInt(start)
+	case isIdentStart(c):
+		p.pos++
+		for p.pos < len(p.in) && isIdentPart(p.in[p.pos]) {
+			p.pos++
+		}
+		word := p.in[start:p.pos]
+		switch strings.ToUpper(word) {
+		case "AND":
+			p.tok = token{kind: tokAnd, text: word, pos: start}
+		case "OR":
+			p.tok = token{kind: tokOr, text: word, pos: start}
+		case "IN":
+			p.tok = token{kind: tokIn, text: word, pos: start}
+		case "BETWEEN":
+			p.tok = token{kind: tokBetween, text: word, pos: start}
+		default:
+			p.tok = token{kind: tokIdent, text: word, pos: start}
+		}
+	default:
+		p.err = fmt.Errorf("%w: filter: unexpected character %q (at byte %d)", ErrInvalid, c, start)
+	}
+}
+
+func (p *parser) lexString(start int) {
+	p.pos++ // opening quote
+	var sb strings.Builder
+	for p.pos < len(p.in) {
+		c := p.in[p.pos]
+		switch c {
+		case '"':
+			p.pos++
+			p.tok = token{kind: tokString, text: sb.String(), pos: start}
+			return
+		case '\\':
+			if p.pos+1 >= len(p.in) {
+				p.err = fmt.Errorf("%w: filter: unterminated escape (at byte %d)", ErrInvalid, p.pos)
+				return
+			}
+			esc := p.in[p.pos+1]
+			if esc != '"' && esc != '\\' {
+				p.err = fmt.Errorf("%w: filter: unsupported escape \\%c (at byte %d)", ErrInvalid, esc, p.pos)
+				return
+			}
+			sb.WriteByte(esc)
+			p.pos += 2
+		default:
+			sb.WriteByte(c)
+			p.pos++
+		}
+		if sb.Len() > maxStringValue {
+			p.err = fmt.Errorf("%w: filter: string literal longer than %d bytes (at byte %d)", ErrInvalid, maxStringValue, start)
+			return
+		}
+	}
+	p.err = fmt.Errorf("%w: filter: unterminated string (at byte %d)", ErrInvalid, start)
+}
+
+func (p *parser) lexInt(start int) {
+	p.pos++ // sign or first digit
+	for p.pos < len(p.in) && p.in[p.pos] >= '0' && p.in[p.pos] <= '9' {
+		p.pos++
+	}
+	text := p.in[start:p.pos]
+	v, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		p.err = fmt.Errorf("%w: filter: bad integer %q (at byte %d)", ErrInvalid, text, start)
+		return
+	}
+	p.tok = token{kind: tokInt, text: text, ival: v, pos: start}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }
+
+func (p *parser) parseOr(depth int) (Pred, error) {
+	left, err := p.parseAnd(depth)
+	if err != nil {
+		return nil, err
+	}
+	preds := []Pred{left}
+	for p.tok.kind == tokOr {
+		p.next()
+		right, err := p.parseAnd(depth)
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, right)
+	}
+	if len(preds) == 1 {
+		return preds[0], nil
+	}
+	return Or{Preds: preds}, nil
+}
+
+func (p *parser) parseAnd(depth int) (Pred, error) {
+	left, err := p.parseFactor(depth)
+	if err != nil {
+		return nil, err
+	}
+	preds := []Pred{left}
+	for p.tok.kind == tokAnd {
+		p.next()
+		right, err := p.parseFactor(depth)
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, right)
+	}
+	if len(preds) == 1 {
+		return preds[0], nil
+	}
+	return And{Preds: preds}, nil
+}
+
+func (p *parser) parseFactor(depth int) (Pred, error) {
+	if p.err != nil {
+		return nil, p.err
+	}
+	if p.tok.kind == tokLParen {
+		if depth >= maxParseDepth {
+			return nil, p.errf("nesting deeper than %d", maxParseDepth)
+		}
+		p.next()
+		inner, err := p.parseOr(depth + 1)
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokRParen {
+			return nil, p.errf("expected ')'")
+		}
+		p.next()
+		return inner, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Pred, error) {
+	if p.err != nil {
+		return nil, p.err
+	}
+	if p.tok.kind != tokIdent {
+		return nil, p.errf("expected a field name, got %q", p.tok.text)
+	}
+	field := p.tok.text
+	p.next()
+	switch op := p.tok; op.kind {
+	case tokEq:
+		p.next()
+		v, err := p.parseValue()
+		if err != nil {
+			return nil, err
+		}
+		return Eq{Field: field, Value: v}, nil
+	case tokIn:
+		p.next()
+		if p.tok.kind != tokLParen {
+			return nil, p.errf("expected '(' after IN")
+		}
+		p.next()
+		var vals []Value
+		for {
+			v, err := p.parseValue()
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, v)
+			if len(vals) > maxInValues {
+				return nil, p.errf("IN list longer than %d values", maxInValues)
+			}
+			if p.tok.kind == tokComma {
+				p.next()
+				continue
+			}
+			break
+		}
+		if p.tok.kind != tokRParen {
+			return nil, p.errf("expected ')' closing IN list")
+		}
+		p.next()
+		if len(vals) == 1 {
+			return Eq{Field: field, Value: vals[0]}, nil
+		}
+		return In{Field: field, Values: vals}, nil
+	case tokLT, tokLE, tokGT, tokGE:
+		p.next()
+		if p.tok.kind != tokInt {
+			return nil, p.errf("ranges compare against integers, got %q", p.tok.text)
+		}
+		v := p.tok.ival
+		p.next()
+		r := Range{Field: field}
+		switch op.kind {
+		case tokLE:
+			r.HasMax, r.Max = true, v
+		case tokLT:
+			if v == math.MinInt64 {
+				return nil, p.errf("empty range: nothing is < the int64 minimum")
+			}
+			r.HasMax, r.Max = true, v-1
+		case tokGE:
+			r.HasMin, r.Min = true, v
+		case tokGT:
+			if v == math.MaxInt64 {
+				return nil, p.errf("empty range: nothing is > the int64 maximum")
+			}
+			r.HasMin, r.Min = true, v+1
+		}
+		return r, nil
+	case tokBetween:
+		p.next()
+		if p.tok.kind != tokInt {
+			return nil, p.errf("BETWEEN bounds must be integers, got %q", p.tok.text)
+		}
+		lo := p.tok.ival
+		p.next()
+		if p.tok.kind != tokAnd {
+			return nil, p.errf("expected AND between BETWEEN bounds")
+		}
+		p.next()
+		if p.tok.kind != tokInt {
+			return nil, p.errf("BETWEEN bounds must be integers, got %q", p.tok.text)
+		}
+		hi := p.tok.ival
+		p.next()
+		if lo > hi {
+			return nil, p.errf("empty BETWEEN range (%d > %d)", lo, hi)
+		}
+		return Range{Field: field, Min: lo, HasMin: true, Max: hi, HasMax: true}, nil
+	default:
+		return nil, p.errf("expected =, IN, BETWEEN, or a comparison after field %q", field)
+	}
+}
+
+func (p *parser) parseValue() (Value, error) {
+	if p.err != nil {
+		return Value{}, p.err
+	}
+	switch p.tok.kind {
+	case tokInt:
+		v := IntValue(p.tok.ival)
+		p.next()
+		return v, nil
+	case tokString:
+		v := StrValue(p.tok.text)
+		p.next()
+		return v, nil
+	default:
+		return Value{}, p.errf("expected an integer or quoted string, got %q", p.tok.text)
+	}
+}
+
+// quoteString renders s as a double-quoted literal with the two escapes
+// the lexer understands.
+func quoteString(s string) string {
+	var sb strings.Builder
+	sb.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '"' || c == '\\' {
+			sb.WriteByte('\\')
+		}
+		sb.WriteByte(c)
+	}
+	sb.WriteByte('"')
+	return sb.String()
+}

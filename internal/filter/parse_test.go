@@ -1,0 +1,195 @@
+package filter
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func mustSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchema(
+		Field{Name: "tenant", Type: TInt},
+		Field{Name: "score", Type: TInt},
+		Field{Name: "lang", Type: TString},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestParseShapes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string // canonical
+	}{
+		{`tenant = 42`, `tenant = 42`},
+		{`tenant == 42`, `tenant = 42`},
+		{`lang = "en"`, `lang = "en"`},
+		{`lang IN ("fr", "en", "en")`, `lang IN ("en", "fr")`},
+		{`tenant IN (42)`, `tenant = 42`},
+		{`score >= 3`, `score >= 3`},
+		{`score > 2`, `score >= 3`},
+		{`score < 10`, `score <= 9`},
+		{`score BETWEEN 2 AND 8`, `score BETWEEN 2 AND 8`},
+		{`tenant = 1 AND lang = "en"`, `(lang = "en" AND tenant = 1)`},
+		{`lang = "en" AND tenant = 1`, `(lang = "en" AND tenant = 1)`},
+		{`tenant = 1 OR tenant = 2 OR tenant = 1`, `(tenant = 1 OR tenant = 2)`},
+		{`(tenant = 1 AND (score >= 2 AND lang = "en"))`, `(lang = "en" AND score >= 2 AND tenant = 1)`},
+		{`tenant = 1 AND (lang = "en" OR lang = "fr")`, `((lang = "en" OR lang = "fr") AND tenant = 1)`},
+		{`lang = "quo\"te\\x"`, `lang = "quo\"te\\x"`},
+		{`score >= -5`, `score >= -5`},
+	}
+	for _, c := range cases {
+		p, err := Parse(c.in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.in, err)
+		}
+		if got := p.Canonical(); got != c.want {
+			t.Errorf("Parse(%q).Canonical() = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`tenant`,
+		`tenant =`,
+		`= 42`,
+		`tenant = 42 AND`,
+		`tenant IN ()`,
+		`tenant IN (1,`,
+		`tenant BETWEEN 5 AND 2`,
+		`tenant BETWEEN "a" AND "b"`,
+		`lang < "en"`,
+		`(tenant = 1`,
+		`tenant = 1)`,
+		`lang = "unterminated`,
+		`lang = "bad \n escape"`,
+		`tenant = 99999999999999999999`,
+		`tenant ~ 3`,
+		strings.Repeat("(", maxParseDepth+2) + "tenant = 1" + strings.Repeat(")", maxParseDepth+2),
+	}
+	for _, in := range bad {
+		if p, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) accepted as %q, want error", in, p.Canonical())
+		} else if !errors.Is(err, ErrInvalid) {
+			t.Errorf("Parse(%q) error %v does not wrap ErrInvalid", in, err)
+		}
+	}
+}
+
+func TestValidateAgainstSchema(t *testing.T) {
+	s := mustSchema(t)
+	ok := []string{
+		`tenant = 1`,
+		`lang IN ("en", "fr")`,
+		`score BETWEEN 0 AND 10 AND tenant = 3`,
+	}
+	for _, in := range ok {
+		p, err := Parse(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Validate(s); err != nil {
+			t.Errorf("Validate(%q): %v", in, err)
+		}
+	}
+	bad := []string{
+		`missing = 1`,          // unknown field
+		`tenant = "forty-two"`, // type mismatch
+		`lang = 7`,             // type mismatch
+		`lang BETWEEN 1 AND 2`, // range on a string field
+	}
+	for _, in := range bad {
+		p, err := Parse(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Validate(s); err == nil {
+			t.Errorf("Validate(%q) passed, want error", in)
+		} else if !errors.Is(err, ErrInvalid) {
+			t.Errorf("Validate(%q) error %v does not wrap ErrInvalid", in, err)
+		}
+	}
+}
+
+func TestCanonicalIsIdentity(t *testing.T) {
+	// Two spellings of one predicate must share a canonical string: this
+	// string is the serving cache/coalescing identity.
+	a, err := Parse(`tenant = 1 AND lang IN ("fr", "en")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Parse(`lang IN ("en", "fr", "fr") AND (tenant = 1)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Canonical() != b.Canonical() {
+		t.Fatalf("equivalent predicates canonicalize differently:\n  %q\n  %q", a.Canonical(), b.Canonical())
+	}
+}
+
+func TestMatches(t *testing.T) {
+	attrs := Attrs{"tenant": IntValue(7), "lang": StrValue("en"), "score": IntValue(55)}
+	cases := []struct {
+		in   string
+		want bool
+	}{
+		{`tenant = 7`, true},
+		{`tenant = 8`, false},
+		{`lang IN ("de", "en")`, true},
+		{`score BETWEEN 50 AND 60`, true},
+		{`score < 55`, false},
+		{`score <= 55`, true},
+		{`tenant = 7 AND lang = "de"`, false},
+		{`tenant = 7 OR lang = "de"`, true},
+		{`missing = 1`, false}, // untagged field never matches
+	}
+	for _, c := range cases {
+		p, err := Parse(c.in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := Matches(p, attrs); got != c.want {
+			t.Errorf("Matches(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// FuzzParsePredicate checks the parser never panics and that canonical
+// forms are stable: any accepted input's canonical string must reparse
+// to the identical canonical string (the property the serving cache key
+// depends on).
+func FuzzParsePredicate(f *testing.F) {
+	seeds := []string{
+		`tenant = 42`,
+		`lang = "en"`,
+		`lang IN ("en", "fr") AND tenant = 1`,
+		`score BETWEEN 2 AND 8 OR score > 100`,
+		`(a = 1 OR b = 2) AND (c <= -3 OR d IN (4, 5))`,
+		`x = "quo\"te\\"`,
+		`((x = 1))`,
+		`a=1 AND a=1 AND a=1`,
+		`tenant IN (9223372036854775807, -9223372036854775808)`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		p, err := Parse(in)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		c := p.Canonical()
+		p2, err := Parse(c)
+		if err != nil {
+			t.Fatalf("canonical %q of %q does not reparse: %v", c, in, err)
+		}
+		if c2 := p2.Canonical(); c2 != c {
+			t.Fatalf("canonical not stable: %q -> %q -> %q", in, c, c2)
+		}
+	})
+}

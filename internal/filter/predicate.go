@@ -1,0 +1,255 @@
+package filter
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Pred is a filter predicate over vector attributes. Concrete forms are
+// Eq, In, Range, And, and Or. Predicates are immutable once built;
+// Canonical renders a normalized string form that is both reparseable
+// (Parse(p.Canonical()) is equivalent to p) and an identity — two
+// semantically normalized-equal predicates share one canonical string,
+// which is what the serving cache and coalescing keys are derived from.
+type Pred interface {
+	// Canonical renders the normalized string form.
+	Canonical() string
+	// Validate checks every referenced field against the schema.
+	Validate(s *Schema) error
+}
+
+// Eq matches vectors whose field equals Value.
+type Eq struct {
+	Field string
+	Value Value
+}
+
+// Canonical renders "field = value".
+func (p Eq) Canonical() string { return p.Field + " = " + p.Value.String() }
+
+// Validate checks the field exists and the value type matches.
+func (p Eq) Validate(s *Schema) error { return checkField(s, p.Field, p.Value.Kind) }
+
+// In matches vectors whose field equals any of Values.
+type In struct {
+	Field  string
+	Values []Value
+}
+
+// normValues returns Values sorted and deduplicated.
+func (p In) normValues() []Value {
+	vs := append([]Value(nil), p.Values...)
+	sort.Slice(vs, func(i, j int) bool { return vs[i].less(vs[j]) })
+	out := vs[:0]
+	for i, v := range vs {
+		if i == 0 || v != vs[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Canonical renders "field IN (v1, v2)" with sorted, deduplicated
+// values; a single-value IN collapses to its Eq form.
+func (p In) Canonical() string {
+	vs := p.normValues()
+	if len(vs) == 1 {
+		return Eq{Field: p.Field, Value: vs[0]}.Canonical()
+	}
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = v.String()
+	}
+	return p.Field + " IN (" + strings.Join(parts, ", ") + ")"
+}
+
+// Validate checks the field exists, the list is non-empty, and every
+// value type matches.
+func (p In) Validate(s *Schema) error {
+	if len(p.Values) == 0 {
+		return fmt.Errorf("%w: IN on %q with no values", ErrInvalid, p.Field)
+	}
+	for _, v := range p.Values {
+		if err := checkField(s, p.Field, v.Kind); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Range matches vectors whose int field lies in [Min, Max]; either bound
+// may be absent. Ranges apply to TInt fields only.
+type Range struct {
+	Field          string
+	Min, Max       int64
+	HasMin, HasMax bool
+}
+
+// Canonical renders "field BETWEEN a AND b", "field >= a", or
+// "field <= b". Strict comparisons are normalized to inclusive bounds at
+// parse time, so only inclusive forms exist here.
+func (p Range) Canonical() string {
+	switch {
+	case p.HasMin && p.HasMax:
+		return fmt.Sprintf("%s BETWEEN %d AND %d", p.Field, p.Min, p.Max)
+	case p.HasMin:
+		return fmt.Sprintf("%s >= %d", p.Field, p.Min)
+	case p.HasMax:
+		return fmt.Sprintf("%s <= %d", p.Field, p.Max)
+	default:
+		// An unbounded range admits everything; keep it expressible.
+		return fmt.Sprintf("%s <= %d", p.Field, int64(maxInt64))
+	}
+}
+
+// Validate checks the field exists, is an int field, and the bounds are
+// ordered.
+func (p Range) Validate(s *Schema) error {
+	if err := checkField(s, p.Field, TInt); err != nil {
+		return err
+	}
+	if p.HasMin && p.HasMax && p.Min > p.Max {
+		return fmt.Errorf("%w: empty range on %q (%d > %d)", ErrInvalid, p.Field, p.Min, p.Max)
+	}
+	return nil
+}
+
+// And matches vectors satisfying every sub-predicate.
+type And struct{ Preds []Pred }
+
+// Or matches vectors satisfying any sub-predicate.
+type Or struct{ Preds []Pred }
+
+// Canonical renders "(c1 AND c2 ...)" with operands flattened (nested
+// ANDs merge), rendered canonically, sorted, and deduplicated.
+func (p And) Canonical() string { return canonCompound(p.Preds, "AND", isAnd) }
+
+// Validate checks the conjunction is non-empty and every operand.
+func (p And) Validate(s *Schema) error { return validateCompound(s, p.Preds, "AND") }
+
+// Canonical renders "(c1 OR c2 ...)" with operands flattened, sorted,
+// and deduplicated.
+func (p Or) Canonical() string { return canonCompound(p.Preds, "OR", isOr) }
+
+// Validate checks the disjunction is non-empty and every operand.
+func (p Or) Validate(s *Schema) error { return validateCompound(s, p.Preds, "OR") }
+
+func isAnd(p Pred) []Pred {
+	if a, ok := p.(And); ok {
+		return a.Preds
+	}
+	return nil
+}
+
+func isOr(p Pred) []Pred {
+	if o, ok := p.(Or); ok {
+		return o.Preds
+	}
+	return nil
+}
+
+// canonCompound renders a flattened, sorted, deduplicated compound. A
+// compound that collapses to one operand renders as that operand alone.
+func canonCompound(preds []Pred, op string, sameOp func(Pred) []Pred) string {
+	var parts []string
+	var flatten func(ps []Pred)
+	flatten = func(ps []Pred) {
+		for _, p := range ps {
+			if sub := sameOp(p); sub != nil {
+				flatten(sub)
+				continue
+			}
+			parts = append(parts, p.Canonical())
+		}
+	}
+	flatten(preds)
+	if len(parts) == 0 {
+		return ""
+	}
+	sort.Strings(parts)
+	dedup := parts[:0]
+	for i, s := range parts {
+		if i == 0 || s != parts[i-1] {
+			dedup = append(dedup, s)
+		}
+	}
+	if len(dedup) == 1 {
+		return dedup[0]
+	}
+	return "(" + strings.Join(dedup, " "+op+" ") + ")"
+}
+
+func validateCompound(s *Schema, preds []Pred, op string) error {
+	if len(preds) == 0 {
+		return fmt.Errorf("%w: empty %s", ErrInvalid, op)
+	}
+	for _, p := range preds {
+		if err := p.Validate(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func checkField(s *Schema, name string, kind FieldType) error {
+	ft := s.FieldType(name)
+	if ft == 0 {
+		return fmt.Errorf("%w: unknown field %q (schema: %s)", ErrInvalid, name, s.Spec())
+	}
+	if ft != kind {
+		return fmt.Errorf("%w: field %q is %s, predicate value is %s", ErrInvalid, name, ft, kind)
+	}
+	return nil
+}
+
+// Matches evaluates the predicate against one vector's attrs directly —
+// the post-filter path and the overlay scan use it where building a
+// bitmap would be wasted work. A vector missing the referenced field
+// does not match.
+func Matches(p Pred, a Attrs) bool {
+	switch q := p.(type) {
+	case Eq:
+		v, ok := a[q.Field]
+		return ok && v == q.Value
+	case In:
+		v, ok := a[q.Field]
+		if !ok {
+			return false
+		}
+		for _, want := range q.Values {
+			if v == want {
+				return true
+			}
+		}
+		return false
+	case Range:
+		v, ok := a[q.Field]
+		if !ok || v.Kind != TInt {
+			return false
+		}
+		if q.HasMin && v.Int < q.Min {
+			return false
+		}
+		if q.HasMax && v.Int > q.Max {
+			return false
+		}
+		return true
+	case And:
+		for _, sub := range q.Preds {
+			if !Matches(sub, a) {
+				return false
+			}
+		}
+		return true
+	case Or:
+		for _, sub := range q.Preds {
+			if Matches(sub, a) {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}

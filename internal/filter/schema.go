@@ -1,0 +1,226 @@
+package filter
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ErrInvalid is wrapped by every validation failure in this package —
+// unknown fields, type mismatches, malformed predicates or attributes —
+// so the serving layer can map the whole class onto a 400 reply.
+var ErrInvalid = errors.New("filter: invalid")
+
+// FieldType is an attribute field's value type.
+type FieldType uint8
+
+const (
+	// TInt is a signed 64-bit integer field; supports =, IN, and ranges.
+	TInt FieldType = iota + 1
+	// TString is a string field; supports = and IN.
+	TString
+)
+
+// String names the type as it appears in schema specs.
+func (t FieldType) String() string {
+	switch t {
+	case TInt:
+		return "int"
+	case TString:
+		return "string"
+	default:
+		return fmt.Sprintf("FieldType(%d)", uint8(t))
+	}
+}
+
+// Field is one typed attribute field.
+type Field struct {
+	Name string    `json:"name"`
+	Type FieldType `json:"type"`
+}
+
+// Schema is the typed attribute layout of one index: the fields every
+// vector may carry tags for, fixed at deployment time.
+type Schema struct {
+	Fields []Field `json:"fields"`
+}
+
+// NewSchema returns a schema over the given fields, rejecting duplicate
+// or empty names.
+func NewSchema(fields ...Field) (*Schema, error) {
+	seen := make(map[string]bool, len(fields))
+	for _, f := range fields {
+		if f.Name == "" {
+			return nil, fmt.Errorf("%w: empty field name", ErrInvalid)
+		}
+		if f.Type != TInt && f.Type != TString {
+			return nil, fmt.Errorf("%w: field %q has unknown type", ErrInvalid, f.Name)
+		}
+		if seen[f.Name] {
+			return nil, fmt.Errorf("%w: duplicate field %q", ErrInvalid, f.Name)
+		}
+		seen[f.Name] = true
+	}
+	return &Schema{Fields: append([]Field(nil), fields...)}, nil
+}
+
+// ParseSchema parses a compact schema spec like "tenant:int,lang:string"
+// (the -schema flag format of cmd/upanns-serve).
+func ParseSchema(spec string) (*Schema, error) {
+	var fields []Field
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, typ, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("%w: schema entry %q is not name:type", ErrInvalid, part)
+		}
+		var ft FieldType
+		switch strings.ToLower(strings.TrimSpace(typ)) {
+		case "int", "int64":
+			ft = TInt
+		case "string", "str":
+			ft = TString
+		default:
+			return nil, fmt.Errorf("%w: schema entry %q: unknown type %q (int, string)", ErrInvalid, part, typ)
+		}
+		fields = append(fields, Field{Name: strings.TrimSpace(name), Type: ft})
+	}
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("%w: empty schema spec", ErrInvalid)
+	}
+	return NewSchema(fields...)
+}
+
+// FieldType returns the named field's type, or 0 if the schema has no
+// such field.
+func (s *Schema) FieldType(name string) FieldType {
+	for _, f := range s.Fields {
+		if f.Name == name {
+			return f.Type
+		}
+	}
+	return 0
+}
+
+// Spec renders the schema in ParseSchema's format.
+func (s *Schema) Spec() string {
+	parts := make([]string, len(s.Fields))
+	for i, f := range s.Fields {
+		parts[i] = f.Name + ":" + f.Type.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// Value is one typed attribute or predicate value: an int64 or a string,
+// discriminated by Kind.
+type Value struct {
+	Kind FieldType
+	Int  int64
+	Str  string
+}
+
+// IntValue returns an int64 value.
+func IntValue(v int64) Value { return Value{Kind: TInt, Int: v} }
+
+// StrValue returns a string value.
+func StrValue(v string) Value { return Value{Kind: TString, Str: v} }
+
+// String renders the value as predicate syntax (strings quoted).
+func (v Value) String() string {
+	if v.Kind == TString {
+		return quoteString(v.Str)
+	}
+	return fmt.Sprintf("%d", v.Int)
+}
+
+// less orders values of one kind (used to canonicalize IN lists).
+func (v Value) less(o Value) bool {
+	if v.Kind != o.Kind {
+		return v.Kind < o.Kind
+	}
+	if v.Kind == TString {
+		return v.Str < o.Str
+	}
+	return v.Int < o.Int
+}
+
+// MarshalJSON renders the value as a bare JSON number or string.
+func (v Value) MarshalJSON() ([]byte, error) {
+	if v.Kind == TString {
+		return json.Marshal(v.Str)
+	}
+	return json.Marshal(v.Int)
+}
+
+// UnmarshalJSON accepts a JSON number (integral) or string.
+func (v *Value) UnmarshalJSON(data []byte) error {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.UseNumber()
+	var raw any
+	if err := dec.Decode(&raw); err != nil {
+		return err
+	}
+	switch x := raw.(type) {
+	case json.Number:
+		i, err := x.Int64()
+		if err != nil {
+			return fmt.Errorf("%w: attribute value %s is not an int64", ErrInvalid, x)
+		}
+		*v = IntValue(i)
+	case string:
+		*v = StrValue(x)
+	default:
+		return fmt.Errorf("%w: attribute values must be integers or strings", ErrInvalid)
+	}
+	return nil
+}
+
+// Attrs is one vector's attribute tags, keyed by field name. The JSON
+// form is a flat object ({"tenant": 42, "lang": "en"}), which is what
+// the /upsert wire request carries.
+type Attrs map[string]Value
+
+// Validate checks every tag against the schema.
+func (a Attrs) Validate(s *Schema) error {
+	for name, v := range a {
+		ft := s.FieldType(name)
+		if ft == 0 {
+			return fmt.Errorf("%w: unknown attribute field %q (schema: %s)", ErrInvalid, name, s.Spec())
+		}
+		if v.Kind != ft {
+			return fmt.Errorf("%w: attribute %q is %s, field is %s", ErrInvalid, name, v.Kind, ft)
+		}
+	}
+	return nil
+}
+
+// Clone returns a copy of the attrs map.
+func (a Attrs) Clone() Attrs {
+	if a == nil {
+		return nil
+	}
+	out := make(Attrs, len(a))
+	for k, v := range a {
+		out[k] = v
+	}
+	return out
+}
+
+// String renders the attrs deterministically (sorted field order).
+func (a Attrs) String() string {
+	names := make([]string, 0, len(a))
+	for k := range a {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, k := range names {
+		parts[i] = k + "=" + a[k].String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}

@@ -277,6 +277,7 @@ type SearchStats struct {
 	LUTEntries     int // LUT cells computed (stage b)
 	CodesScanned   int // encoded vectors visited (stage c)
 	CodeBytes      int // bytes of codes fetched (stage c)
+	CodesFiltered  int // encoded vectors skipped by the allow predicate (stage c)
 	HeapPushes     int // candidates offered to the heap (stage d)
 	HeapAccepted   int // candidates retained by the heap (stage d)
 	ProbedClusters int
@@ -288,6 +289,7 @@ func (s *SearchStats) Add(other SearchStats) {
 	s.LUTEntries += other.LUTEntries
 	s.CodesScanned += other.CodesScanned
 	s.CodeBytes += other.CodeBytes
+	s.CodesFiltered += other.CodesFiltered
 	s.HeapPushes += other.HeapPushes
 	s.HeapAccepted += other.HeapAccepted
 	s.ProbedClusters += other.ProbedClusters
@@ -296,6 +298,16 @@ func (s *SearchStats) Add(other SearchStats) {
 // Search runs the float32 reference pipeline and returns the k nearest
 // candidates in ascending distance order plus the work counters.
 func (ix *Index) Search(query []float32, nprobe, k int) ([]topk.Candidate, SearchStats) {
+	return ix.SearchFiltered(query, nprobe, k, nil)
+}
+
+// SearchFiltered is Search with a predicate pushed into the scan kernel:
+// codes whose ID fails allow are skipped before any ADC arithmetic, so a
+// selective filter saves almost the whole distance stage (the dominant
+// cost) instead of discarding results after it. A nil allow admits
+// everything. The per-cluster LUT is built lazily — a probed cluster
+// containing no allowed IDs never pays stage (b) at all.
+func (ix *Index) SearchFiltered(query []float32, nprobe, k int, allow func(id int64) bool) ([]topk.Candidate, SearchStats) {
 	var st SearchStats
 	probes := ix.Coarse.Probe(query, nprobe)
 	st.CentroidScans = ix.Coarse.NList()
@@ -310,10 +322,18 @@ func (ix *Index) Search(query []float32, nprobe, k int) ([]topk.Candidate, Searc
 		if list.Len() == 0 {
 			continue
 		}
-		ix.Coarse.Residual(resid, query, cl)
-		ix.PQ.BuildLUTInto(lut, resid)
-		st.LUTEntries += ix.PQ.M * ix.PQ.KSub
+		haveLUT := false
 		for i := 0; i < list.Len(); i++ {
+			if allow != nil && !allow(list.IDs[i]) {
+				st.CodesFiltered++
+				continue
+			}
+			if !haveLUT {
+				ix.Coarse.Residual(resid, query, cl)
+				ix.PQ.BuildLUTInto(lut, resid)
+				st.LUTEntries += ix.PQ.M * ix.PQ.KSub
+				haveLUT = true
+			}
 			d := pq.ADCDistance(lut, list.Code(i, m))
 			st.CodesScanned++
 			st.CodeBytes += m
@@ -330,6 +350,14 @@ func (ix *Index) Search(query []float32, nprobe, k int) ([]topk.Candidate, Searc
 // (the arithmetic the PIM backends perform), so PIM results can be checked
 // for exact equality against this reference.
 func (ix *Index) SearchQuantized(query []float32, nprobe, k int) ([]topk.Candidate, SearchStats) {
+	return ix.SearchQuantizedFiltered(query, nprobe, k, nil)
+}
+
+// SearchQuantizedFiltered is SearchQuantized with the same predicate
+// pushdown as SearchFiltered: the filtered streaming path
+// (internal/mutable) scans epoch snapshots with it so filtered base and
+// overlay distances stay in the kernels' fixed-scale quantized domain.
+func (ix *Index) SearchQuantizedFiltered(query []float32, nprobe, k int, allow func(id int64) bool) ([]topk.Candidate, SearchStats) {
 	var st SearchStats
 	probes := ix.Coarse.Probe(query, nprobe)
 	st.CentroidScans = ix.Coarse.NList()
@@ -338,17 +366,26 @@ func (ix *Index) SearchQuantized(query []float32, nprobe, k int) ([]topk.Candida
 	heap := topk.NewHeap(k)
 	resid := make([]float32, ix.Dim)
 	lut := make(pq.LUT, ix.PQ.M*pq.CodebookSize)
+	var ql *pq.QLUT
 	m := ix.PQ.M
 	for _, cl := range probes {
 		list := &ix.Lists[cl]
 		if list.Len() == 0 {
 			continue
 		}
-		ix.Coarse.Residual(resid, query, cl)
-		ix.PQ.BuildLUTInto(lut, resid)
-		ql := ix.PQ.QuantizeWithScale(lut, ix.QScale)
-		st.LUTEntries += ix.PQ.M * ix.PQ.KSub
+		haveLUT := false
 		for i := 0; i < list.Len(); i++ {
+			if allow != nil && !allow(list.IDs[i]) {
+				st.CodesFiltered++
+				continue
+			}
+			if !haveLUT {
+				ix.Coarse.Residual(resid, query, cl)
+				ix.PQ.BuildLUTInto(lut, resid)
+				ql = ix.PQ.QuantizeWithScale(lut, ix.QScale)
+				st.LUTEntries += ix.PQ.M * ix.PQ.KSub
+				haveLUT = true
+			}
 			d := ql.ToFloat(ql.QDistance(list.Code(i, m)))
 			st.CodesScanned++
 			st.CodeBytes += m

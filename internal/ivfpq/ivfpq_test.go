@@ -252,3 +252,110 @@ func TestAddWithIDsSparseIDSpace(t *testing.T) {
 		}
 	}
 }
+
+func TestSearchFilteredMatchesFilteredScan(t *testing.T) {
+	ix, data := buildIndex(t, 5, 4000, 16, 16, 4)
+	q := testData(99, 1, 16).Row(0)
+	allow := func(id int64) bool { return id%3 == 0 }
+
+	// Reference: unfiltered scan of every probed code with an enormous k,
+	// then keep the allowed ids.
+	full, _ := ix.Search(q, 8, data.Rows)
+	var want []topk.Candidate
+	for _, c := range full {
+		if allow(c.ID) {
+			want = append(want, c)
+		}
+	}
+	if len(want) > 10 {
+		want = want[:10]
+	}
+
+	got, st := ix.SearchFiltered(q, 8, 10, allow)
+	if len(got) != len(want) {
+		t.Fatalf("filtered search returned %d candidates, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].ID != want[i].ID || got[i].Dist != want[i].Dist {
+			t.Fatalf("filtered[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	for _, c := range got {
+		if !allow(c.ID) {
+			t.Fatalf("filtered search leaked disallowed id %d", c.ID)
+		}
+	}
+	if st.CodesFiltered == 0 {
+		t.Fatal("no codes were filtered by a 1/3-selectivity predicate")
+	}
+	if st.CodesScanned+st.CodesFiltered == 0 {
+		t.Fatal("no scan work recorded")
+	}
+	// Roughly 2/3 of visited codes must have been skipped before ADC.
+	frac := float64(st.CodesFiltered) / float64(st.CodesScanned+st.CodesFiltered)
+	if frac < 0.5 || frac > 0.8 {
+		t.Fatalf("filtered fraction %.2f implausible for a 1/3 predicate", frac)
+	}
+}
+
+func TestSearchQuantizedFilteredConsistency(t *testing.T) {
+	ix, _ := buildIndex(t, 6, 3000, 16, 16, 4)
+	q := testData(123, 1, 16).Row(0)
+	allow := func(id int64) bool { return id%5 == 0 }
+
+	// nil allow must reproduce the unfiltered quantized kernel exactly.
+	plain, pst := ix.SearchQuantized(q, 8, 10)
+	viaNil, nst := ix.SearchQuantizedFiltered(q, 8, 10, nil)
+	if len(plain) != len(viaNil) {
+		t.Fatalf("nil-allow result count %d vs plain %d", len(viaNil), len(plain))
+	}
+	for i := range plain {
+		if plain[i] != viaNil[i] {
+			t.Fatalf("nil-allow diverges from SearchQuantized at %d: %+v vs %+v", i, viaNil[i], plain[i])
+		}
+	}
+	if pst != nst {
+		t.Fatalf("nil-allow stats %+v diverge from plain %+v", nst, pst)
+	}
+
+	got, _ := ix.SearchQuantizedFiltered(q, 8, 10, allow)
+	for _, c := range got {
+		if !allow(c.ID) {
+			t.Fatalf("quantized filtered search leaked disallowed id %d", c.ID)
+		}
+	}
+	// Filtered results must rank consistently with a quantized full scan.
+	full, _ := ix.SearchQuantized(q, 8, 3000)
+	var want []topk.Candidate
+	for _, c := range full {
+		if allow(c.ID) {
+			want = append(want, c)
+		}
+	}
+	if len(want) > 10 {
+		want = want[:10]
+	}
+	if len(got) != len(want) {
+		t.Fatalf("quantized filtered returned %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].ID != want[i].ID {
+			t.Fatalf("quantized filtered[%d] = %d, want %d", i, got[i].ID, want[i].ID)
+		}
+	}
+}
+
+func TestSearchFilteredEmptyAllow(t *testing.T) {
+	ix, _ := buildIndex(t, 7, 1000, 16, 16, 4)
+	q := testData(5, 1, 16).Row(0)
+	got, st := ix.SearchFiltered(q, 4, 10, func(int64) bool { return false })
+	if len(got) != 0 {
+		t.Fatalf("deny-all predicate returned %d candidates", len(got))
+	}
+	if st.LUTEntries != 0 {
+		t.Fatalf("deny-all predicate still built %d LUT entries (lazy build broken)", st.LUTEntries)
+	}
+	if st.CodesScanned != 0 {
+		t.Fatalf("deny-all predicate scanned %d codes", st.CodesScanned)
+	}
+}

@@ -34,4 +34,13 @@
 // writers never block readers for the duration of a rebuild — the old
 // epoch keeps serving while the next one is built offline. See DESIGN.md
 // ("Layer 3.5 — mutability") for the full consistency argument.
+//
+// Deployed with a Config.Schema, the index additionally answers
+// attribute-filtered searches (SearchFiltered): vectors carry typed tags
+// in a filter.Store beside the index, and a selectivity-adaptive
+// executor either pushes the predicate's allow-bitmap into the host scan
+// kernels or post-filters an inflated candidate set. Tags arrive with
+// upserts, survive compaction untouched, and die with deletes; the
+// overlay scan applies the same predicate, so writes are filter-visible
+// immediately.
 package mutable

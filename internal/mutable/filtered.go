@@ -1,0 +1,215 @@
+package mutable
+
+import (
+	"fmt"
+
+	"repro/internal/filter"
+	"repro/internal/topk"
+	"repro/internal/vecmath"
+)
+
+// This file is the filtered-search path of the updatable index:
+// attribute-constrained queries answered against the current epoch
+// snapshot merged with the write overlay. Filtered queries bypass the
+// PIM engine and run on the host reference kernels
+// (ivfpq.SearchQuantizedFiltered) with the same fixed-scale quantized
+// LUT arithmetic, so filtered and unfiltered distances stay directly
+// comparable while the allow-bitmap is pushed all the way into the code
+// scan. Because the engine is bypassed, filtered k is bounded by
+// filter.MaxFetchK rather than the engine's configured K.
+//
+// Attributes live in a filter.Store keyed by vector ID, independent of
+// epochs: they arrive with upserts, survive compaction untouched
+// (compaction rewrites PQ codes, never tags), and die with deletes.
+
+// ErrNoSchema reports a filtered operation against a deployment whose
+// Config.Schema is nil.
+var ErrNoSchema = fmt.Errorf("%w: index deployed without an attribute schema", filter.ErrInvalid)
+
+// AttrStore returns the index's attribute store (nil when the deployment
+// has no schema). Callers may read it directly; writes should go through
+// the index's upsert/delete methods so tags and vectors stay in step.
+func (u *UpdatableIndex) AttrStore() *filter.Store { return u.attrs }
+
+// AttrSchema returns the deployed attribute schema (nil when filtering
+// is not enabled). It satisfies serve.AttrWriteBackend.
+func (u *UpdatableIndex) AttrSchema() *filter.Schema {
+	if u.attrs == nil {
+		return nil
+	}
+	return u.attrs.Schema()
+}
+
+// LoadAttrs bulk-tags already-indexed vectors — the boot path for an
+// existing corpus's attributes (parallel slices; nil entries skip).
+func (u *UpdatableIndex) LoadAttrs(ids []int64, attrs []filter.Attrs) error {
+	if u.attrs == nil {
+		return ErrNoSchema
+	}
+	return u.attrs.Load(ids, attrs)
+}
+
+// UpsertWithAttrs is Upsert with per-row attribute tags (attrs may be
+// nil for an untagged batch; individual entries may be nil). Tags carry
+// replacement semantics, like the vectors they ride with: an upsert
+// without tags clears any previous tags of that id. Tags are indexed
+// before the vector is staged, so a vector never becomes searchable
+// ahead of the tags a filtered query would select it by. It satisfies
+// serve.AttrWriteBackend.
+func (u *UpdatableIndex) UpsertWithAttrs(ids []int64, vecs *vecmath.Matrix, attrs []filter.Attrs) error {
+	if attrs != nil && len(attrs) != len(ids) {
+		return fmt.Errorf("mutable: %d attr sets for %d ids", len(attrs), len(ids))
+	}
+	if u.attrs != nil {
+		for i, id := range ids {
+			var a filter.Attrs
+			if attrs != nil {
+				a = attrs[i]
+			}
+			if err := u.attrs.Set(id, a); err != nil {
+				return err
+			}
+		}
+	} else {
+		for _, a := range attrs {
+			if len(a) > 0 {
+				return ErrNoSchema
+			}
+		}
+	}
+	return u.upsert(ids, vecs)
+}
+
+// InsertWithAttrs is Insert with attribute tags (same semantics as
+// UpsertWithAttrs for one vector).
+func (u *UpdatableIndex) InsertWithAttrs(id int64, vec []float32, attrs filter.Attrs) error {
+	if u.attrs == nil {
+		if len(attrs) > 0 {
+			return ErrNoSchema
+		}
+		return u.insert(id, vec)
+	}
+	if err := u.attrs.Set(id, attrs); err != nil {
+		return err
+	}
+	return u.insert(id, vec)
+}
+
+// FilterStats snapshots the filtered-search planning counters (nil when
+// the deployment has no schema).
+func (u *UpdatableIndex) FilterStats() *filter.StatsSnapshot {
+	if u.attrs == nil {
+		return nil
+	}
+	return u.fstats.Snapshot()
+}
+
+// SearchFiltered answers one batch constrained by pred, letting
+// estimated selectivity choose between pre- and post-filtering. It
+// satisfies serve.FilterBackend.
+func (u *UpdatableIndex) SearchFiltered(queries *vecmath.Matrix, k int, pred filter.Pred) ([][]topk.Candidate, error) {
+	return u.SearchFilteredMode(queries, k, pred, filter.ModeAuto)
+}
+
+// SearchFilteredMode is SearchFiltered with the execution strategy
+// pinned (benchmarks sweep pre vs post vs adaptive with it):
+//
+//   - pre-filtering evaluates pred to an allow-bitmap over posting
+//     lists, then scans only matching codes in each probed cluster of
+//     the epoch base — recall-exact w.r.t. the probed clusters and cheap
+//     at low selectivity;
+//   - post-filtering scans normally with a selectivity-inflated fetch k
+//     and applies pred to the candidates — cheap at high selectivity
+//     where almost everything passes anyway.
+//
+// The overlay is always scanned with the predicate applied per entry
+// (it is small, so inflation buys nothing there), and tombstone/version
+// shadowing works exactly as in Search: a consistent (epoch, overlay)
+// view is captured under the overlay read lock, so epoch swaps racing
+// the search cannot lose folded entries.
+func (u *UpdatableIndex) SearchFilteredMode(queries *vecmath.Matrix, k int, pred filter.Pred, mode filter.Mode) ([][]topk.Candidate, error) {
+	if queries.Dim != u.dim {
+		return nil, fmt.Errorf("mutable: query dim %d != index dim %d", queries.Dim, u.dim)
+	}
+	if k <= 0 || k > filter.MaxFetchK {
+		return nil, fmt.Errorf("mutable: filtered k %d outside (0, %d]", k, filter.MaxFetchK)
+	}
+	if u.attrs == nil {
+		return nil, ErrNoSchema
+	}
+	if pred == nil {
+		return nil, fmt.Errorf("%w: nil predicate", filter.ErrInvalid)
+	}
+	if err := pred.Validate(u.attrs.Schema()); err != nil {
+		return nil, err
+	}
+
+	nprobe := u.cfg.Engine.NProbe
+	nq := queries.Rows
+	probes := make([][]int32, nq)
+	coarse := u.snap.Load().ix.Coarse
+	for qi := 0; qi < nq; qi++ {
+		probes[qi] = coarse.Probe(queries.Row(qi), nprobe)
+		for _, c := range probes[qi] {
+			u.acc[c].Add(1)
+		}
+	}
+
+	// Selectivity is matches over the *corpus* the scan covers, not over
+	// tagged vectors: on a partially-tagged corpus (e.g. a cold-booted
+	// base with tags arriving via upserts) the two differ wildly, and
+	// planning on the tagged fraction would pick post-filtering with a
+	// fetch depth sized for the slice instead of the corpus. The epoch
+	// base count is a good-enough denominator — the overlay adds at most
+	// the compaction-trigger ratio on top.
+	total := int(u.snap.Load().baseN)
+	plan := filter.PlanSearch(u.attrs.EstimateTotal(pred, total), k, mode)
+	u.fstats.Record(plan, mode != filter.ModeAuto, nq)
+
+	// The match predicate pushed into the scans: the pre path probes the
+	// evaluated bitmap, the post path checks tags per candidate (only for
+	// the overlay and the post-scan filter pass).
+	var allow func(int64) bool
+	if plan.Mode == filter.ModePre {
+		allow = u.attrs.Eval(pred).Contains
+	} else {
+		allow = func(id int64) bool { return u.attrs.Matches(pred, id) }
+	}
+
+	// Capture a consistent (snapshot, overlay) cut, like Search's
+	// swap-proof slow path: the overlay candidates are materialized and
+	// the filter maps copied under the read lock, then the captured epoch
+	// (immutable forever) is scanned lock-free.
+	u.mu.RLock()
+	snap := u.snap.Load()
+	view := overlayView{
+		tombs:  make(map[int64]uint64, len(u.tombs)),
+		latest: make(map[int64]entryRef, len(u.latest)),
+	}
+	for id, s := range u.tombs {
+		view.tombs[id] = s
+	}
+	for id, r := range u.latest {
+		view.latest[id] = r
+	}
+	view.cands = u.scanOverlay(snap, queries, probes, k, allow)
+	u.mu.RUnlock()
+
+	base := make([][]topk.Candidate, nq)
+	for qi := 0; qi < nq; qi++ {
+		if plan.Mode == filter.ModePre {
+			cands, _ := snap.ix.SearchQuantizedFiltered(queries.Row(qi), nprobe, k, allow)
+			base[qi] = cands
+			continue
+		}
+		cands, _ := snap.ix.SearchQuantized(queries.Row(qi), nprobe, plan.FetchK)
+		kept := cands[:0]
+		for _, c := range cands {
+			if allow(c.ID) {
+				kept = append(kept, c)
+			}
+		}
+		base[qi] = kept
+	}
+	return mergeResults(&view, base, k), nil
+}

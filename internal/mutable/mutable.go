@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/filter"
 	"repro/internal/ivfpq"
 	"repro/internal/pim"
 	"repro/internal/pq"
@@ -41,6 +42,13 @@ type Config struct {
 	// 25ms). Zero or negative disables the background compactor; callers
 	// then drive Compact explicitly.
 	CheckInterval time.Duration
+
+	// Schema, when non-nil, enables attribute filtering: vectors may
+	// carry typed tags (set on upsert, dropped on delete) and searches
+	// may be constrained by predicates over them (SearchFiltered).
+	// Attributes are held in memory alongside the index and are not part
+	// of WriteTo/Read persistence.
+	Schema *filter.Schema
 }
 
 // DefaultConfig returns the streaming-update defaults described on each
@@ -149,6 +157,13 @@ type UpdatableIndex struct {
 	// them into placement frequencies and a drift measurement.
 	acc []atomic.Uint64
 
+	// attrs is the attribute store (nil without Config.Schema). It is
+	// keyed by vector ID and independent of epochs: tags survive
+	// compaction untouched and die with deletes. fstats counts filtered
+	// planning decisions.
+	attrs  *filter.Store
+	fstats filter.Stats
+
 	compactMu   sync.Mutex // one compaction at a time
 	lastTrigger string     // guarded by mu
 
@@ -203,6 +218,9 @@ func newIndex(ix *ivfpq.Index, freqs []float64, cfg Config) (*UpdatableIndex, er
 		acc:    make([]atomic.Uint64, ix.NList()),
 		stopc:  make(chan struct{}),
 	}
+	if cfg.Schema != nil {
+		u.attrs = filter.NewStore(cfg.Schema)
+	}
 	u.snap.Store(&snapshot{ix: ix, eng: eng, freqs: freqs, baseN: ix.NTotal})
 	return u, nil
 }
@@ -232,8 +250,18 @@ func (u *UpdatableIndex) Epoch() uint64 { return u.snap.Load().epoch }
 // upsert: a later Insert of the same id shadows every earlier version
 // (overlay or base) by sequence number. The vector is PQ-encoded here
 // with the trained quantizers; quantizers are shared by every epoch and
-// never retrained online.
+// never retrained online. With a schema deployed, Insert clears any
+// previous tags of id (replacement semantics — use InsertWithAttrs to
+// tag the new version).
 func (u *UpdatableIndex) Insert(id int64, vec []float32) error {
+	if u.attrs != nil {
+		u.attrs.Remove(id)
+	}
+	return u.insert(id, vec)
+}
+
+// insert stages the vector without touching attribute state.
+func (u *UpdatableIndex) insert(id int64, vec []float32) error {
 	if len(vec) != u.dim {
 		return fmt.Errorf("mutable: insert has %d dims, index has %d", len(vec), u.dim)
 	}
@@ -262,8 +290,20 @@ func (u *UpdatableIndex) stage(cl int32, id int64, code []uint8) {
 
 // Upsert stages every row of vecs under the corresponding id, in row
 // order (later rows win ties on duplicate ids). It satisfies
-// serve.WriteBackend.
+// serve.WriteBackend. With a schema deployed, Upsert clears previous
+// tags of every id (replacement semantics — use UpsertWithAttrs to tag
+// the new versions).
 func (u *UpdatableIndex) Upsert(ids []int64, vecs *vecmath.Matrix) error {
+	if u.attrs != nil {
+		for _, id := range ids {
+			u.attrs.Remove(id)
+		}
+	}
+	return u.upsert(ids, vecs)
+}
+
+// upsert stages the batch without touching attribute state.
+func (u *UpdatableIndex) upsert(ids []int64, vecs *vecmath.Matrix) error {
 	if vecs.Dim != u.dim {
 		return fmt.Errorf("mutable: upsert has %d dims, index has %d", vecs.Dim, u.dim)
 	}
@@ -289,16 +329,22 @@ func (u *UpdatableIndex) Upsert(ids []int64, vecs *vecmath.Matrix) error {
 
 // Delete tombstones id: the id disappears from every subsequent Search
 // and is physically removed at the next compaction. Deleting an unknown
-// id is a no-op that still costs a tombstone until compaction.
+// id is a no-op that still costs a tombstone until compaction. The id's
+// attribute tags die with it (after the tombstone lands, so a racing
+// filtered search can match a stale tag but never resurface the vector).
 func (u *UpdatableIndex) Delete(id int64) {
 	u.mu.Lock()
 	u.seq++
 	u.tombs[id] = u.seq
 	u.mu.Unlock()
+	if u.attrs != nil {
+		u.attrs.Remove(id)
+	}
 	u.deletes.Add(1)
 }
 
 // Remove tombstones every id, in order. It satisfies serve.WriteBackend.
+// Attribute tags die with the ids.
 func (u *UpdatableIndex) Remove(ids []int64) error {
 	u.mu.Lock()
 	for _, id := range ids {
@@ -306,6 +352,11 @@ func (u *UpdatableIndex) Remove(ids []int64) error {
 		u.tombs[id] = u.seq
 	}
 	u.mu.Unlock()
+	if u.attrs != nil {
+		for _, id := range ids {
+			u.attrs.Remove(id)
+		}
+	}
 	u.deletes.Add(uint64(len(ids)))
 	return nil
 }
@@ -363,7 +414,7 @@ func (u *UpdatableIndex) Search(queries *vecmath.Matrix, k int) ([][]topk.Candid
 		u.mu.RLock()
 		if u.snap.Load() == snap {
 			view := overlayView{tombs: u.tombs, latest: u.latest}
-			view.cands = u.scanOverlay(snap, queries, probes, k)
+			view.cands = u.scanOverlay(snap, queries, probes, k, nil)
 			out := mergeResults(&view, br.Results, k)
 			u.mu.RUnlock()
 			return out, nil
@@ -387,7 +438,7 @@ func (u *UpdatableIndex) Search(queries *vecmath.Matrix, k int) ([][]topk.Candid
 	for id, r := range u.latest {
 		view.latest[id] = r
 	}
-	view.cands = u.scanOverlay(snap, queries, probes, k)
+	view.cands = u.scanOverlay(snap, queries, probes, k, nil)
 	u.mu.RUnlock()
 
 	snap.engMu.Lock()
@@ -412,8 +463,10 @@ type overlayView struct {
 // scanOverlay scores the probed clusters' live log entries for every
 // query with the index's fixed-scale quantized-LUT arithmetic (the exact
 // arithmetic the DPU kernels use, so overlay and engine distances are
-// directly comparable). Caller holds mu.RLock.
-func (u *UpdatableIndex) scanOverlay(snap *snapshot, queries *vecmath.Matrix, probes [][]int32, k int) [][]topk.Candidate {
+// directly comparable). A non-nil match pushes a filter predicate into
+// the scan: entries failing it are skipped before any distance work.
+// Caller holds mu.RLock.
+func (u *UpdatableIndex) scanOverlay(snap *snapshot, queries *vecmath.Matrix, probes [][]int32, k int, match func(int64) bool) [][]topk.Candidate {
 	m := snap.ix.PQ.M
 	out := make([][]topk.Candidate, queries.Rows)
 	resid := make([]float32, u.dim)
@@ -435,6 +488,9 @@ func (u *UpdatableIndex) scanOverlay(snap *snapshot, queries *vecmath.Matrix, pr
 				}
 				if ts, ok := u.tombs[id]; ok && ts > s {
 					continue // deleted after this version was written
+				}
+				if match != nil && !match(id) {
+					continue // filtered out before distance work
 				}
 				heap.Push(id, ql.ToFloat(ql.QDistance(lg.codes[i*m:(i+1)*m])))
 			}

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/filter"
 	"repro/internal/multihost"
 	"repro/internal/topk"
 	"repro/internal/vecmath"
@@ -18,6 +19,18 @@ type Backend interface {
 	Search(queries *vecmath.Matrix, k int) ([][]topk.Candidate, error)
 	// Dim returns the backend's query dimensionality.
 	Dim() int
+}
+
+// FilterBackend is a Backend that can answer attribute-filtered batches.
+// internal/mutable.UpdatableIndex implements it (when deployed with a
+// schema); the server routes any request carrying a filter through it
+// and fails filtered requests with ErrFilterUnsupported otherwise.
+type FilterBackend interface {
+	Backend
+	// SearchFiltered returns k candidates per query row, all satisfying
+	// pred, ascending distance. The predicate is already parsed; the
+	// implementation validates it against its schema.
+	SearchFiltered(queries *vecmath.Matrix, k int, pred filter.Pred) ([][]topk.Candidate, error)
 }
 
 // EngineBackend adapts a single-host core.Engine. Engine.SearchBatch

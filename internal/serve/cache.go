@@ -34,15 +34,28 @@ type lruCache struct {
 // both).
 type vecKeyer struct{ quantum float64 }
 
-// key quantizes vec onto the grid and packs the cell coordinates into a
-// string usable as a map key.
-func (q vecKeyer) key(vec []float32) string {
-	buf := make([]byte, 8*len(vec))
+// key quantizes vec onto the grid and packs the cell coordinates, the
+// requested k, and the canonicalized filter identity into a string
+// usable as a map key. A request's identity is the full triple: the same
+// vector under a different k or filter produces different answers, so it
+// must neither share a cache entry nor coalesce onto one backend row.
+// The filter identity is the canonical predicate string itself (not a
+// hash of it): within one server every key's vector section has one
+// fixed length (8*dim) and the k section is fixed-width, so appending
+// the canonical string verbatim makes collisions between distinct
+// (vector, k, filter) triples structurally impossible rather than just
+// improbable.
+func (q vecKeyer) key(vec []float32, k int, filterID string) string {
+	buf := make([]byte, 8*len(vec), 8*len(vec)+8+len(filterID))
 	inv := 1 / q.quantum
 	for i, v := range vec {
 		cell := int64(math.Round(float64(v) * inv))
 		binary.LittleEndian.PutUint64(buf[8*i:], uint64(cell))
 	}
+	var kb [8]byte
+	binary.LittleEndian.PutUint64(kb[:], uint64(k))
+	buf = append(buf, kb[:]...)
+	buf = append(buf, filterID...)
 	return string(buf)
 }
 

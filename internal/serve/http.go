@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"sync/atomic"
 
+	"repro/internal/filter"
 	"repro/internal/topk"
 )
 
@@ -17,9 +18,16 @@ import (
 // cluster example and benchmark, and its wire types are what the
 // internal/cluster router speaks when it fans queries out to shards.
 
-// SearchRequest is the POST /search body.
+// SearchRequest is the POST /search body. K and Filter are optional: K
+// overrides the served result size (bounded by the server's MaxK), and
+// Filter constrains results to vectors whose attribute tags satisfy the
+// predicate expression (e.g. `tenant = 42 AND lang IN ("en", "fr")`;
+// grammar in internal/filter.Parse). A cluster router passes both
+// through to every shard verbatim.
 type SearchRequest struct {
 	Vector []float32 `json:"vector"`
+	K      int       `json:"k,omitempty"`
+	Filter string    `json:"filter,omitempty"`
 }
 
 // SearchResponse is the POST /search reply: parallel id/distance slices,
@@ -48,11 +56,15 @@ func ShedDraining(w http.ResponseWriter, scope string) {
 	WriteJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: scope + " draining"})
 }
 
-// WriteRequest is the POST /upsert and POST /delete body (Vector is
-// ignored for deletes).
+// WriteRequest is the POST /upsert and POST /delete body (Vector and
+// Attrs are ignored for deletes). Attrs tags the upserted vector for
+// filtered search — a flat object of int/string values matching the
+// deployment's schema ({"tenant": 42, "lang": "en"}); tags replace the
+// id's previous tags, and omitting Attrs clears them.
 type WriteRequest struct {
-	ID     int64     `json:"id"`
-	Vector []float32 `json:"vector,omitempty"`
+	ID     int64        `json:"id"`
+	Vector []float32    `json:"vector,omitempty"`
+	Attrs  filter.Attrs `json:"attrs,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx reply.
@@ -69,6 +81,12 @@ type StatsPayload struct {
 	Serve   Stats       `json:"serve"`
 	Writes  *WriteStats `json:"writes,omitempty"`
 	Index   any         `json:"index,omitempty"`
+	// Filter carries the filtered-search planning counters
+	// (pre/post/adaptive decisions, selectivity histogram) when the
+	// deployment indexes attributes. It is a typed field — not part of
+	// the opaque Index payload — so a cluster router can decode and sum
+	// it across shards.
+	Filter *filter.StatsSnapshot `json:"filter,omitempty"`
 }
 
 // HealthPayload is the GET /healthz response body. The status code is the
@@ -91,6 +109,10 @@ type HandlerConfig struct {
 	// IndexStats, when non-nil, is called per /stats request to produce
 	// the payload's "index" section (e.g. mutable.UpdatableIndex.Stats).
 	IndexStats func() any
+	// FilterStats, when non-nil, is called per /stats request to produce
+	// the payload's "filter" section
+	// (e.g. mutable.UpdatableIndex.FilterStats). Returning nil omits it.
+	FilterStats func() *filter.StatsSnapshot
 }
 
 // Handler is the shard HTTP API over one serving deployment:
@@ -180,7 +202,17 @@ func (h *Handler) handleSearch(w http.ResponseWriter, r *http.Request) {
 			Error: fmt.Sprintf("vector has %d dims, index has %d", len(req.Vector), h.srv.dim)})
 		return
 	}
-	cands, err := h.srv.Search(r.Context(), req.Vector)
+	var opts SearchOptions
+	opts.K = req.K
+	if req.Filter != "" {
+		pred, err := filter.Parse(req.Filter)
+		if err != nil {
+			WriteJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+			return
+		}
+		opts.Filter = pred
+	}
+	cands, err := h.srv.SearchOpts(r.Context(), req.Vector, opts)
 	if h.writeServeError(w, err) {
 		return
 	}
@@ -207,7 +239,7 @@ func (h *Handler) handleWrite(upsert bool, w http.ResponseWriter, r *http.Reques
 				Error: fmt.Sprintf("vector has %d dims, index has %d", len(req.Vector), h.srv.dim)})
 			return
 		}
-		err = h.cfg.Writer.Upsert(r.Context(), req.ID, req.Vector)
+		err = h.cfg.Writer.UpsertWithAttrs(r.Context(), req.ID, req.Vector, req.Attrs)
 	} else {
 		err = h.cfg.Writer.Delete(r.Context(), req.ID)
 	}
@@ -225,6 +257,9 @@ func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if h.cfg.IndexStats != nil {
 		st.Index = h.cfg.IndexStats()
+	}
+	if h.cfg.FilterStats != nil {
+		st.Filter = h.cfg.FilterStats()
 	}
 	WriteJSON(w, http.StatusOK, st)
 }
@@ -250,6 +285,10 @@ func (h *Handler) writeServeError(w http.ResponseWriter, err error) bool {
 		WriteJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: err.Error()})
 	case errors.Is(err, ErrDeadline), errors.Is(err, context.DeadlineExceeded):
 		WriteJSON(w, http.StatusGatewayTimeout, ErrorResponse{Error: "deadline exceeded"})
+	case errors.Is(err, ErrBadRequest), errors.Is(err, filter.ErrInvalid):
+		WriteJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+	case errors.Is(err, ErrFilterUnsupported):
+		WriteJSON(w, http.StatusNotImplemented, ErrorResponse{Error: err.Error()})
 	default:
 		WriteJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
 	}

@@ -54,6 +54,13 @@ var (
 	// ErrDeadline reports a request whose deadline expired before a result
 	// was produced (while queued, batched, or waiting on the backend).
 	ErrDeadline = errors.New("serve: request deadline exceeded")
+	// ErrBadRequest reports a request rejected before admission (k out of
+	// range); the HTTP surface maps it — and filter.ErrInvalid — to 400.
+	ErrBadRequest = errors.New("serve: bad request")
+	// ErrFilterUnsupported reports a filtered request against a backend
+	// that does not implement FilterBackend; the HTTP surface maps it to
+	// 501.
+	ErrFilterUnsupported = errors.New("serve: backend does not support filtered search")
 )
 
 // Config tunes the serving layer.
@@ -61,6 +68,11 @@ type Config struct {
 	// K is the number of neighbors returned per query (default 10). It
 	// must not exceed the backend's configured K.
 	K int
+	// MaxK bounds per-request k overrides (SearchOptions.K / the wire
+	// request's "k" field); default K, so overrides are off unless the
+	// deployment opts in. Raising it past the backend's capability turns
+	// oversized requests into backend errors instead of 400s.
+	MaxK int
 
 	// MaxBatch caps queries per backend dispatch (default 32). 1 disables
 	// micro-batching: every request is dispatched alone.
@@ -110,6 +122,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxLinger < 0 {
 		c.MaxLinger = 0
+	}
+	if c.MaxK <= 0 {
+		c.MaxK = c.K
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = d.QueueDepth

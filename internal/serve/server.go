@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/filter"
 	"repro/internal/metrics"
 	"repro/internal/topk"
 	"repro/internal/vecmath"
@@ -14,7 +15,10 @@ import (
 // request is one in-flight query.
 type request struct {
 	vec      []float32
-	key      string // quantized-vector identity (cache key / coalescing key)
+	key      string // (vector, k, filter) identity (cache key / coalescing key)
+	k        int
+	pred     filter.Pred // nil = unfiltered
+	filterID string      // canonical predicate string ("" = unfiltered)
 	deadline time.Time
 	submit   time.Time
 	reply    chan reply // buffered(1): workers never block on abandoned waiters
@@ -91,17 +95,56 @@ func (s *Server) InvalidateCache() {
 	}
 }
 
+// SearchOptions shapes one request beyond its vector.
+type SearchOptions struct {
+	// K overrides the served result size (0 = Config.K). It must not
+	// exceed Config.MaxK.
+	K int
+	// Filter constrains results to vectors whose attributes satisfy the
+	// predicate (nil = unfiltered). The backend must implement
+	// FilterBackend, or the request fails with ErrFilterUnsupported.
+	Filter filter.Pred
+}
+
 // Search answers one query with the k nearest neighbors (k = Config.K).
 // The vector must match the backend dimensionality. Search blocks until
 // a result is available or the request's deadline — the earlier of ctx's
 // deadline and DefaultTimeout — expires. Under overload it fails fast
 // with ErrOverloaded. Callers must not modify the returned candidates.
 func (s *Server) Search(ctx context.Context, vec []float32) ([]topk.Candidate, error) {
+	return s.SearchOpts(ctx, vec, SearchOptions{})
+}
+
+// SearchOpts is Search with a per-request k and/or an attribute filter.
+// The (vector, k, canonical-filter) triple is the request's full
+// identity: caching and intra-batch coalescing key on all three, so a
+// filtered and an unfiltered query on the same vector can never share a
+// result.
+func (s *Server) SearchOpts(ctx context.Context, vec []float32, opts SearchOptions) ([]topk.Candidate, error) {
 	if len(vec) != s.dim {
 		return nil, fmt.Errorf("serve: query has %d dims, backend has %d", len(vec), s.dim)
 	}
+	k := opts.K
+	if k == 0 {
+		k = s.cfg.K
+	}
+	if k < 0 || k > s.cfg.MaxK {
+		return nil, fmt.Errorf("%w: k %d outside [1, %d]", ErrBadRequest, k, s.cfg.MaxK)
+	}
+	filterID := ""
+	if opts.Filter != nil {
+		filterID = opts.Filter.Canonical()
+		s.ctr.filtered.Add(1)
+	}
 	now := time.Now()
-	r := &request{key: s.keyer.key(vec), submit: now, reply: make(chan reply, 1)}
+	r := &request{
+		key:      s.keyer.key(vec, k, filterID),
+		k:        k,
+		pred:     opts.Filter,
+		filterID: filterID,
+		submit:   now,
+		reply:    make(chan reply, 1),
+	}
 	s.ctr.requests.Add(1)
 
 	if s.cache != nil {
@@ -193,8 +236,12 @@ func (s *Server) worker(b Backend, dim int) {
 	}
 }
 
-// runBatch drops stale requests, coalesces duplicate queries, dispatches
-// one backend batch of distinct rows, and fans results back out.
+// runBatch drops stale requests, splits the batch into dispatch groups
+// of one (k, filter) shape — a backend call carries a single k and a
+// single predicate — and runs each group as one coalesced dispatch.
+// Homogeneous traffic (the common case: every request at the default k,
+// unfiltered) stays a single backend call exactly as before; mixed
+// traffic costs one call per distinct shape within the micro-batch.
 func (s *Server) runBatch(b Backend, batch []*request, scratch *vecmath.Matrix) {
 	now := time.Now()
 	live := batch[:0]
@@ -211,14 +258,39 @@ func (s *Server) runBatch(b Backend, batch []*request, scratch *vecmath.Matrix) 
 		return
 	}
 
+	type shape struct {
+		k        int
+		filterID string
+	}
+	groupOf := make(map[shape]int, 1)
+	var groups [][]*request
+	for _, r := range live {
+		sh := shape{r.k, r.filterID}
+		gi, ok := groupOf[sh]
+		if !ok {
+			gi = len(groups)
+			groupOf[sh] = gi
+			groups = append(groups, nil)
+		}
+		groups[gi] = append(groups[gi], r)
+	}
+	for _, g := range groups {
+		s.dispatchGroup(b, g, scratch)
+	}
+}
+
+// dispatchGroup coalesces duplicate queries within one (k, filter)
+// group, dispatches one backend batch of distinct rows, and fans results
+// back out.
+func (s *Server) dispatchGroup(b Backend, group []*request, scratch *vecmath.Matrix) {
 	// Coalesce: under Zipf-skewed traffic the same hot query often appears
 	// several times in one micro-batch; one backend row answers them all.
 	// Batch-size-1 dispatch can never do this — it is part of why batched
 	// serving wins beyond the DPU-side amortization.
-	rowOf := make(map[string]int, len(live))
-	assign := make([]int, len(live))
-	distinct := live[:0:0]
-	for i, r := range live {
+	rowOf := make(map[string]int, len(group))
+	assign := make([]int, len(group))
+	distinct := group[:0:0]
+	for i, r := range group {
 		if row, ok := rowOf[r.key]; ok {
 			assign[i] = row
 			continue
@@ -227,7 +299,19 @@ func (s *Server) runBatch(b Backend, batch []*request, scratch *vecmath.Matrix) 
 		assign[i] = len(distinct)
 		distinct = append(distinct, r)
 	}
-	s.ctr.coalesced.Add(uint64(len(live) - len(distinct)))
+	s.ctr.coalesced.Add(uint64(len(group) - len(distinct)))
+
+	k, pred := group[0].k, group[0].pred
+	var fb FilterBackend
+	if pred != nil {
+		var ok bool
+		if fb, ok = b.(FilterBackend); !ok {
+			for _, r := range group {
+				r.reply <- reply{err: ErrFilterUnsupported}
+			}
+			return
+		}
+	}
 
 	m := vecmath.WrapMatrix(scratch.Data[:len(distinct)*scratch.Dim], len(distinct), scratch.Dim)
 	for i, r := range distinct {
@@ -239,10 +323,16 @@ func (s *Server) runBatch(b Backend, batch []*request, scratch *vecmath.Matrix) 
 	if s.cache != nil {
 		cacheGen = s.cache.generation()
 	}
-	res, err := b.Search(m, s.cfg.K)
+	var res [][]topk.Candidate
+	var err error
+	if pred != nil {
+		res, err = fb.SearchFiltered(m, k, pred)
+	} else {
+		res, err = b.Search(m, k)
+	}
 	if err != nil {
-		s.ctr.backendErrs.Add(uint64(len(live)))
-		for _, r := range live {
+		s.ctr.backendErrs.Add(uint64(len(group)))
+		for _, r := range group {
 			r.reply <- reply{err: err}
 		}
 		return
@@ -255,7 +345,7 @@ func (s *Server) runBatch(b Backend, batch []*request, scratch *vecmath.Matrix) 
 		}
 	}
 	delivered := make([]bool, len(distinct))
-	for i, r := range live {
+	for i, r := range group {
 		cands := res[assign[i]]
 		if delivered[assign[i]] {
 			// Coalesced duplicates get their own copy so no two callers

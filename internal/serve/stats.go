@@ -9,6 +9,7 @@ import (
 // counters is the server's internal atomic counter block.
 type counters struct {
 	requests     atomic.Uint64 // Search calls that passed validation
+	filtered     atomic.Uint64 // requests carrying an attribute filter
 	accepted     atomic.Uint64 // admitted to the queue
 	completed    atomic.Uint64 // answers delivered to callers in time
 	cacheHits    atomic.Uint64 // answered from the LRU
@@ -24,6 +25,7 @@ type counters struct {
 // Stats is a point-in-time, JSON-serializable view of the server.
 type Stats struct {
 	Requests    uint64 `json:"requests"`
+	Filtered    uint64 `json:"filtered_requests"`
 	Accepted    uint64 `json:"accepted"`
 	Completed   uint64 `json:"completed"`
 	CacheHits   uint64 `json:"cache_hits"`
@@ -58,6 +60,7 @@ func (s Stats) HitRate() float64 {
 func (s *Server) Stats() Stats {
 	st := Stats{
 		Requests:     s.ctr.requests.Load(),
+		Filtered:     s.ctr.filtered.Load(),
 		Accepted:     s.ctr.accepted.Load(),
 		Completed:    s.ctr.completed.Load(),
 		CacheHits:    s.ctr.cacheHits.Load(),

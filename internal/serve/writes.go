@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/filter"
 	"repro/internal/metrics"
 	"repro/internal/vecmath"
 )
@@ -32,6 +33,20 @@ type WriteBackend interface {
 	Upsert(ids []int64, vecs *vecmath.Matrix) error
 	// Remove deletes every id (unknown ids are no-ops).
 	Remove(ids []int64) error
+}
+
+// AttrWriteBackend is a WriteBackend whose upserts may carry attribute
+// tags. internal/mutable.UpdatableIndex implements it when deployed with
+// a schema (AttrSchema non-nil).
+type AttrWriteBackend interface {
+	WriteBackend
+	// AttrSchema returns the attribute schema, or nil when filtering is
+	// not enabled. The batcher validates tags against it at admission, so
+	// one bad write is rejected alone instead of failing its whole batch.
+	AttrSchema() *filter.Schema
+	// UpsertWithAttrs is Upsert with per-row tags (entries may be nil;
+	// tags have replacement semantics alongside the vectors).
+	UpsertWithAttrs(ids []int64, vecs *vecmath.Matrix, attrs []filter.Attrs) error
 }
 
 // WriteConfig tunes the write batcher.
@@ -93,6 +108,7 @@ type writeReq struct {
 	op       writeOp
 	id       int64
 	vec      []float32
+	attrs    filter.Attrs // upsert tags (validated at admission)
 	deadline time.Time
 	submit   time.Time
 	reply    chan error // buffered(1): the worker never blocks on an abandoned waiter
@@ -105,6 +121,7 @@ type WriteBatcher struct {
 	cfg WriteConfig
 	dim int
 	b   WriteBackend
+	ab  AttrWriteBackend // non-nil when b supports tagged upserts
 	mb  *microBatcher[*writeReq]
 	wg  sync.WaitGroup
 
@@ -135,6 +152,9 @@ func NewWriteBatcher(cfg WriteConfig, b WriteBackend) *WriteBatcher {
 		mb:  newMicroBatcher[*writeReq](cfg.MaxBatch, cfg.MaxLinger, cfg.QueueDepth, 1),
 		lat: metrics.NewLatencyHistogram(),
 	}
+	if ab, ok := b.(AttrWriteBackend); ok && ab.AttrSchema() != nil {
+		w.ab = ab
+	}
 	w.wg.Add(2)
 	go func() {
 		defer w.wg.Done()
@@ -153,13 +173,31 @@ func (w *WriteBatcher) Config() WriteConfig { return w.cfg }
 // ErrOverloaded. A deadline error does not guarantee the write was
 // dropped: it may still be applied after the caller gave up.
 func (w *WriteBatcher) Upsert(ctx context.Context, id int64, vec []float32) error {
+	return w.UpsertWithAttrs(ctx, id, vec, nil)
+}
+
+// UpsertWithAttrs is Upsert with attribute tags for the new version
+// (tags replace the id's previous tags; nil clears them). It fails fast
+// with ErrBadRequest-class errors when the backend has no schema or the
+// tags fail schema validation — at admission, so one bad write can never
+// poison the batch it would have ridden in.
+func (w *WriteBatcher) UpsertWithAttrs(ctx context.Context, id int64, vec []float32, attrs filter.Attrs) error {
 	if len(vec) != w.dim {
 		return fmt.Errorf("serve: upsert has %d dims, backend has %d", len(vec), w.dim)
+	}
+	if len(attrs) > 0 {
+		if w.ab == nil {
+			return fmt.Errorf("%w: backend does not index attributes", ErrFilterUnsupported)
+		}
+		if err := attrs.Validate(w.ab.AttrSchema()); err != nil {
+			return err
+		}
+		attrs = attrs.Clone()
 	}
 	// Copy the vector: a write can be applied after the caller's deadline
 	// expired and it reclaimed its buffer, and an aliased slice would
 	// race that reuse and stage a torn vector durably in the index.
-	return w.submit(ctx, &writeReq{op: opUpsert, id: id, vec: append([]float32(nil), vec...)})
+	return w.submit(ctx, &writeReq{op: opUpsert, id: id, vec: append([]float32(nil), vec...), attrs: attrs})
 }
 
 // Delete removes id, with the same blocking and overload behavior as
@@ -277,7 +315,18 @@ func (w *WriteBatcher) runBatch(batch []*writeReq, scratch *vecmath.Matrix, ids 
 			for ri, r := range run {
 				copy(m.Row(ri), r.vec)
 			}
-			err = w.b.Upsert(ids, m)
+			if w.ab != nil {
+				// Tag-capable backends always take the attrs path: a nil
+				// per-row entry clears that id's tags, mirroring vector
+				// replacement semantics.
+				attrs := make([]filter.Attrs, len(run))
+				for ri, r := range run {
+					attrs[ri] = r.attrs
+				}
+				err = w.ab.UpsertWithAttrs(ids, m, attrs)
+			} else {
+				err = w.b.Upsert(ids, m)
+			}
 			if err == nil {
 				w.ctr.upserts.Add(uint64(len(run)))
 			}

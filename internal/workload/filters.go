@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/filter"
+	"repro/internal/xrand"
+)
+
+// This file generates the attribute side of filtered-search workloads:
+// tag assignments with *controlled* selectivity, so benchmarks can sweep
+// a predicate's match fraction precisely (0.1%, 1%, 10%, 50%, ...) and
+// measure recall and tail latency as a function of it. Each selectivity
+// band is an independent boolean-ish int field ("s0", "s1", ...) set to
+// 1 on exactly round(fraction*n) uniformly chosen ids, so the band's
+// equality predicate admits exactly that fraction — unlike a partition
+// field, overlapping bands can coexist on one corpus. A "tenant" field
+// rides along for realism (multi-tenant equality filters at ~1/Tenants
+// selectivity each).
+
+// SelectivityBand is one operating point of a selectivity sweep.
+type SelectivityBand struct {
+	// Fraction is the band's target (and, by construction, exact)
+	// selectivity over the n tagged ids.
+	Fraction float64
+	// Field is the band's dedicated attribute field name.
+	Field string
+	// Expr is the predicate expression selecting the band
+	// (e.g. `s2 = 1`), parseable by filter.Parse.
+	Expr string
+	// Pred is the parsed form of Expr.
+	Pred filter.Pred
+	// Members is the number of ids the band admits.
+	Members int
+}
+
+// SweepTenants is the tenant-field cardinality of SelectivitySweep.
+const SweepTenants = 16
+
+// SelectivitySweep builds the attribute workload for a filtered-search
+// sweep over ids: the schema (one int field per band plus "tenant"), the
+// per-id tag assignment (parallel to ids), and one SelectivityBand per
+// requested fraction. Assignment is deterministic for a seed. Fractions
+// must lie in (0, 1]; every band admits at least one id.
+func SelectivitySweep(ids []int64, fractions []float64, seed uint64) (*filter.Schema, []filter.Attrs, []SelectivityBand, error) {
+	if len(ids) == 0 {
+		return nil, nil, nil, fmt.Errorf("workload: SelectivitySweep needs ids")
+	}
+	fields := []filter.Field{{Name: "tenant", Type: filter.TInt}}
+	bands := make([]SelectivityBand, len(fractions))
+	for i, frac := range fractions {
+		if frac <= 0 || frac > 1 {
+			return nil, nil, nil, fmt.Errorf("workload: band fraction %v outside (0, 1]", frac)
+		}
+		name := fmt.Sprintf("s%d", i)
+		fields = append(fields, filter.Field{Name: name, Type: filter.TInt})
+		members := int(frac*float64(len(ids)) + 0.5)
+		if members < 1 {
+			members = 1
+		}
+		expr := name + " = 1"
+		pred, err := filter.Parse(expr)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		bands[i] = SelectivityBand{
+			Fraction: frac, Field: name, Expr: expr, Pred: pred, Members: members,
+		}
+	}
+	schema, err := filter.NewSchema(fields...)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	attrs := make([]filter.Attrs, len(ids))
+	for i, id := range ids {
+		attrs[i] = filter.Attrs{
+			"tenant": filter.IntValue(id % SweepTenants),
+		}
+	}
+	// Each band marks an independent uniform sample: shuffle the index
+	// space per band and take the first Members entries.
+	perm := make([]int, len(ids))
+	for bi := range bands {
+		for i := range perm {
+			perm[i] = i
+		}
+		rng := xrand.New(seed + uint64(bi)*0x9e3779b97f4a7c15)
+		for i := len(perm) - 1; i > 0; i-- {
+			j := rng.Intn(i + 1)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		for _, i := range perm[:bands[bi].Members] {
+			attrs[i][bands[bi].Field] = filter.IntValue(1)
+		}
+	}
+	return schema, attrs, bands, nil
+}
