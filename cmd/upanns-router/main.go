@@ -19,6 +19,15 @@
 // GET /healthz is 200 while the router serves and at least one shard is
 // healthy.
 //
+// Observability: GET /metrics serves the router's Prometheus families
+// (upanns_router_*, per-shard labeled series, tracer and process
+// counters), GET /trace/recent the recent and slow/error fanout traces,
+// and GET /debug/pprof/ the standard Go profiles. A request carrying a
+// traceparent header joins a distributed trace: the router propagates
+// the header to every shard in the fanout and grafts each shard's
+// span-tree reply annotation under its shard.request span, so one trace
+// shows fanout, per-shard queueing/batching/kernel stages, and the merge.
+//
 // Failure handling: a background prober polls every shard's /healthz and
 // excludes failed or draining shards from the fanout until they recover;
 // consecutive shard errors open a per-shard circuit breaker that retries
@@ -49,6 +58,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 )
 
 func fail(err error) {
@@ -78,6 +88,9 @@ func main() {
 
 		noOwnership = flag.Bool("no-ownership-filter", false, "disable authoritative-owner merging (for shards not populated by hash routing)")
 
+		traceSample = flag.Int("trace-sample", 1, "head-sample every Nth fanout into GET /trace/recent (1 = all, 0 disables tracing; incoming traceparent headers override)")
+		traceSlow   = flag.Duration("trace-slow", 50*time.Millisecond, "latency above which a finished fanout trace is retained in the slow-query log")
+
 		drainDeadline = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget for in-flight HTTP requests")
 	)
 	flag.Parse()
@@ -92,6 +105,13 @@ func main() {
 		fail(fmt.Errorf("provide -shards (comma-separated shard base URLs)"))
 	}
 
+	var tracer *obs.Tracer
+	if *traceSample > 0 {
+		tracer = obs.NewTracer(obs.TracerConfig{
+			SampleEvery:   *traceSample,
+			SlowThreshold: *traceSlow,
+		})
+	}
 	r, err := cluster.New(urls, cluster.Config{
 		K:                 *k,
 		MaxK:              *maxK,
@@ -105,6 +125,7 @@ func main() {
 		BreakerThreshold:  *breakFails,
 		BreakerCooldown:   *breakCooldown,
 		NoOwnershipFilter: *noOwnership,
+		Tracer:            tracer,
 	})
 	if err != nil {
 		fail(err)

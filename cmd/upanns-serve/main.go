@@ -33,6 +33,9 @@
 //	POST /delete  {"id": 7}                    -> {"id": 7}
 //	GET  /stats                                -> shard id + serving/write/index/filter counters (JSON)
 //	GET  /healthz                              -> 200 while serving; 503 while draining
+//	GET  /metrics                              -> Prometheus text exposition (process, tracer, kernel, serving families)
+//	GET  /trace/recent                         -> recent + slow/error span trees (see -trace-sample, -trace-slow)
+//	GET  /debug/pprof/                         -> standard Go profiling endpoints
 //
 // Under overload the server sheds with 503; requests that miss their
 // deadline return 504. On SIGINT/SIGTERM the server drains gracefully:
@@ -65,6 +68,7 @@ import (
 	"repro/internal/ivfpq"
 	"repro/internal/multihost"
 	"repro/internal/mutable"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/vecmath"
 	"repro/internal/workload"
@@ -103,6 +107,9 @@ func main() {
 
 		schemaSpec = flag.String("schema", "", `attribute schema enabling filtered search, e.g. "tenant:int,lang:string" (single-host mode); upserts may then carry "attrs" and searches a "filter" predicate`)
 		maxK       = flag.Int("max-k", 0, "largest per-request k override accepted on /search (0 = -k)")
+
+		traceSample = flag.Int("trace-sample", 1, "head-sample every Nth request into GET /trace/recent (1 = all, 0 disables tracing; incoming traceparent headers override)")
+		traceSlow   = flag.Duration("trace-slow", 50*time.Millisecond, "latency above which a finished trace is retained in the slow-query log")
 
 		writeBatch    = flag.Int("write-batch", 64, "write micro-batch size cap")
 		writeLinger   = flag.Duration("write-linger", time.Millisecond, "max wait to fill a write batch")
@@ -175,8 +182,15 @@ func main() {
 	}
 
 	hcfg := serve.HandlerConfig{ShardID: *shardID, Writer: writer}
+	if *traceSample > 0 {
+		hcfg.Tracer = obs.NewTracer(obs.TracerConfig{
+			SampleEvery:   *traceSample,
+			SlowThreshold: *traceSlow,
+		})
+	}
 	if updatable != nil {
 		hcfg.IndexStats = func() any { return updatable.Stats() }
+		hcfg.Metrics = updatable.WriteMetrics
 		if schema != nil {
 			hcfg.FilterStats = updatable.FilterStats
 		}

@@ -51,6 +51,14 @@
 //     mutable overlay, predicates ride the /search wire through router
 //     and shards, and planning counters aggregate on /stats;
 //
+//   - observability: internal/obs — request tracing (span trees,
+//     traceparent propagation router->shard, tail-based slow/error
+//     retention behind GET /trace/recent), hand-rolled Prometheus text
+//     exposition on GET /metrics, process health stats, and kernel-level
+//     bandwidth accounting (achieved ADC scan GB/s against the archmodel
+//     roofline); nil-safe throughout, so every layer instruments
+//     unconditionally and a disabled tracer costs a nil check;
+//
 //   - harness: internal/bench regenerates every table and figure of the
 //     paper's evaluation plus the serving, updates, cluster, and
 //     filtered sweeps, each with self-checking machine-readable

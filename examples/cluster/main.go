@@ -17,7 +17,12 @@
 //     with zero client-visible errors at degraded recall (the dead
 //     shard's third of the corpus is gone, availability is not), the
 //     dead shard's circuit breaker opens, and the health prober excludes
-//     it.
+//     it;
+//
+//  4. observability — a query carrying a traceparent header comes back
+//     with a distributed span tree (router fanout, grafted shard-side
+//     dispatch stages), and /metrics on the router and a surviving shard
+//     parses as Prometheus text with a nonzero achieved-scan-GB/s gauge.
 //
 // The demo exits non-zero if any acceptance shape breaks, so CI runs it
 // as a smoke test:
@@ -28,16 +33,24 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/ivfpq"
+	"repro/internal/obs"
 	"repro/internal/pim"
+	"repro/internal/serve"
 	"repro/internal/topk"
 	"repro/internal/vecmath"
 )
@@ -74,6 +87,7 @@ func main() {
 	fmt.Printf("booting %d shards (hash-partitioned, mutable, HTTP on loopback)...\n", *shards)
 	fleet, err := cluster.StartLocalShards(ds.Vectors, cluster.LocalOptions{
 		Shards: *shards, NList: *nlist, NProbe: *nprobe, K: *k, DPUs: *dpus, Seed: *seed,
+		Trace: true,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -95,6 +109,7 @@ func main() {
 		HealthInterval:  100 * time.Millisecond,
 		HealthTimeout:   5 * time.Second,
 		BreakerCooldown: 500 * time.Millisecond,
+		Tracer:          obs.NewTracer(obs.TracerConfig{}),
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -158,6 +173,52 @@ func main() {
 	lost := float64(len(victim.OwnedIDs)) / float64(*n)
 	if floor := recallPre * (1 - lost) * 0.8; recallPost < floor {
 		log.Fatalf("phase 3: post-kill recall %.4f below plausibility floor %.4f", recallPost, floor)
+	}
+
+	// ---- Phase 4: observability — /metrics scrape + a distributed trace ----
+	fmt.Println("\nphase 4: observability — /metrics scrape and a distributed trace")
+	front := httptest.NewServer(cluster.NewHandler(router))
+	defer front.Close()
+	req, err := http.NewRequest(http.MethodPost, front.URL+"/search",
+		strings.NewReader(fmt.Sprintf(`{"vector": %s}`, vectorJSON(qs.Row(0)))))
+	if err != nil {
+		log.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.TraceparentHeader, "00-000000000000000000000000000c1e47-0000000000000001-01")
+	resp, err := front.Client().Do(req)
+	if err != nil {
+		log.Fatalf("phase 4: traced search: %v", err)
+	}
+	var traced serve.SearchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&traced); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	if traced.Trace == nil {
+		log.Fatal("phase 4: traced fanout carried no span-tree annotation")
+	}
+	shardSpans := countSpans(traced.Trace, "shard.request")
+	dispatchSpans := countSpans(traced.Trace, "serve.dispatch")
+	fmt.Printf("  distributed trace: root %s, %d shard spans, %d grafted dispatch spans\n",
+		traced.Trace.Name, shardSpans, dispatchSpans)
+	if shardSpans < 1 || dispatchSpans < 1 {
+		log.Fatal("phase 4: trace is missing shard-side spans (graft broken)")
+	}
+
+	routerMetrics := scrapeMetrics(front.URL + "/metrics")
+	fmt.Printf("  router /metrics: %d samples, %d searches\n",
+		len(routerMetrics), int(routerMetrics["upanns_router_searches_total"]))
+	if routerMetrics["upanns_router_searches_total"] <= 0 {
+		log.Fatal("phase 4: router metrics report no searches")
+	}
+	shardMetrics := scrapeMetrics(fleet[0].URL + "/metrics")
+	gbps := shardMetrics["upanns_kernel_scan_gbps"]
+	roof := shardMetrics["upanns_kernel_roofline_gbps"]
+	fmt.Printf("  shard s0 /metrics: %d samples, ADC scan %.2f GB/s achieved (roofline %.2f GB/s)\n",
+		len(shardMetrics), gbps, roof)
+	if gbps <= 0 || roof <= 0 {
+		log.Fatalf("phase 4: kernel bandwidth gauges achieved=%.3f roofline=%.3f, want both > 0", gbps, roof)
 	}
 
 	st := router.Stats()
@@ -237,6 +298,72 @@ func writeCounts(r *cluster.Router) []uint64 {
 		out[i] = s.Writes
 	}
 	return out
+}
+
+// countSpans counts spans named name in the wire tree.
+func countSpans(sp *obs.WireSpan, name string) int {
+	if sp == nil {
+		return 0
+	}
+	n := 0
+	if sp.Name == name {
+		n++
+	}
+	for _, c := range sp.Children {
+		n += countSpans(c, name)
+	}
+	return n
+}
+
+// scrapeMetrics GETs a Prometheus text endpoint and parses it into a
+// sample map (labels kept in the key), failing the demo on any malformed
+// line — CI runs this as the exposition-format smoke test.
+func scrapeMetrics(url string) map[string]float64 {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatalf("scraping %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("scraping %s: HTTP %d", url, resp.StatusCode)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatalf("scraping %s: %v", url, err)
+	}
+	samples := map[string]float64{}
+	for ln, line := range strings.Split(string(raw), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			log.Fatalf("%s line %d: no value: %q", url, ln+1, line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			log.Fatalf("%s line %d: bad value %q: %v", url, ln+1, line[i+1:], err)
+		}
+		samples[line[:i]] = v
+	}
+	if len(samples) == 0 {
+		log.Fatalf("%s served no samples", url)
+	}
+	return samples
+}
+
+// vectorJSON renders a query row as a JSON array.
+func vectorJSON(v []float32) string {
+	var sb strings.Builder
+	sb.WriteByte('[')
+	for i, x := range v {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%g", x)
+	}
+	sb.WriteByte(']')
+	return sb.String()
 }
 
 // matrixHead views the first n rows of m.

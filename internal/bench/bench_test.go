@@ -142,7 +142,22 @@ func TestServingExperiment(t *testing.T) {
 		t.Fatal("last two policies must be cache-off then cache-on")
 	}
 
-	rep := servingReport(points)
+	// The tracing-overhead pair rides the same harness; its p99 budget
+	// check lives in Violations with the rest of the acceptance shape.
+	tracing, err := ctx.ServingTracingOverhead()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tracing.P99OffSeconds <= 0 || tracing.P99OnSeconds <= 0 {
+		t.Fatalf("tracing pair measured nonpositive p99: %+v", tracing)
+	}
+	art := servingArtifact(points)
+	art.Tracing = tracing
+	if v := art.Violations(); len(v) != 0 {
+		t.Errorf("serving artifact violations with tracing pair: %v", v)
+	}
+
+	rep := servingReport(points, tracing)
 	if len(rep.Tables) == 0 || len(rep.Tables[0].Rows) != len(policies) {
 		t.Fatal("serving report malformed")
 	}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/vecmath"
 	"repro/internal/workload"
@@ -54,7 +55,11 @@ func (c *Context) Serving() (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	return servingReport(points), nil
+	tracing, err := c.ServingTracingOverhead()
+	if err != nil {
+		return nil, err
+	}
+	return servingReport(points, tracing), nil
 }
 
 // ServingPointArtifact is one policy's machine-readable measurement.
@@ -73,10 +78,24 @@ type ServingPointArtifact struct {
 	BackendErrs   uint64  `json:"backend_errors"`
 }
 
+// ServingTracingArtifact is the tracing-overhead measurement: the same
+// micro-batching policy driven twice under identical closed-loop load,
+// once with tracing off (no trace in the request context, so every span
+// call no-ops on a nil receiver) and once with every request traced into
+// the retention rings.
+type ServingTracingArtifact struct {
+	P99OffSeconds float64 `json:"p99_off_seconds"`
+	P99OnSeconds  float64 `json:"p99_on_seconds"`
+	// OverheadPct is the relative p99 cost of tracing every request,
+	// (on/off - 1) * 100.
+	OverheadPct float64 `json:"p99_overhead_pct"`
+}
+
 // ServingArtifact is the serving sweep's machine-readable result
 // (BENCH_serving.json); Violations makes it self-checking.
 type ServingArtifact struct {
-	Points []ServingPointArtifact `json:"points"`
+	Points  []ServingPointArtifact  `json:"points"`
+	Tracing *ServingTracingArtifact `json:"tracing,omitempty"`
 }
 
 // Violations returns acceptance-shape regressions: the sweep must be
@@ -119,6 +138,16 @@ func (a *ServingArtifact) Violations() []string {
 	if cached.P50 >= uncached.P50 {
 		v = append(v, fmt.Sprintf("serving: cache did not reduce p50 (%.6fs vs %.6fs)", cached.P50, uncached.P50))
 	}
+	if a.Tracing != nil {
+		// Tracing must cost under 5% of p99 — that is the budget that
+		// justifies tracing every request by default. The 250us absolute
+		// term is the smoke-scale noise floor: at sub-millisecond p99 a
+		// relative bound alone would flag scheduler jitter, not tracing.
+		if limit := a.Tracing.P99OffSeconds*1.05 + 250e-6; a.Tracing.P99OnSeconds > limit {
+			v = append(v, fmt.Sprintf("serving: tracing p99 overhead %.1f%% (%.6fs -> %.6fs) exceeds the 5%% budget",
+				a.Tracing.OverheadPct, a.Tracing.P99OffSeconds, a.Tracing.P99OnSeconds))
+		}
+	}
 	return v
 }
 
@@ -144,12 +173,15 @@ func servingArtifact(points []ServingPoint) *ServingArtifact {
 	return a
 }
 
-// servingReport renders measured serving points as the experiment report.
-func servingReport(points []ServingPoint) *Report {
+// servingReport renders measured serving points (and, when measured, the
+// tracing-overhead pair) as the experiment report.
+func servingReport(points []ServingPoint, tracing *ServingTracingArtifact) *Report {
+	art := servingArtifact(points)
+	art.Tracing = tracing
 	rep := &Report{
 		ID:       "serving",
 		Title:    "Online serving: micro-batching and caching vs QPS and tail latency",
-		Artifact: servingArtifact(points),
+		Artifact: art,
 	}
 	t := metrics.NewTable(
 		fmt.Sprintf("Serving sweep (%s, %d closed-loop clients, Zipf query popularity)",
@@ -178,6 +210,12 @@ func servingReport(points []ServingPoint) *Report {
 			metrics.Seconds(points[len(points)-2].Stats.Latency.P50),
 			metrics.Seconds(cached.Stats.Latency.P50)),
 		"expected shape: batch >= 8 strictly above batch=1 QPS at equal-or-lower p99; cache cuts p50 further")
+	if tracing != nil {
+		rep.Notes = append(rep.Notes, fmt.Sprintf(
+			"tracing every request: p99 %s (off) -> %s (on), %.1f%% overhead (budget 5%%)",
+			metrics.Seconds(tracing.P99OffSeconds), metrics.Seconds(tracing.P99OnSeconds),
+			tracing.OverheadPct))
+	}
 	return rep
 }
 
@@ -205,7 +243,7 @@ func (c *Context) ServingCurve(policies []ServingPolicy) ([]ServingPoint, error)
 
 	points := make([]ServingPoint, 0, len(policies))
 	for _, p := range policies {
-		pt, err := c.runServingPolicy(e, s.queries, p, perClient)
+		pt, err := c.runServingPolicy(e, s.queries, p, perClient, nil)
 		if err != nil {
 			return nil, fmt.Errorf("serving policy %q: %w", p.Name, err)
 		}
@@ -214,9 +252,46 @@ func (c *Context) ServingCurve(policies []ServingPolicy) ([]ServingPoint, error)
 	return points, nil
 }
 
+// ServingTracingOverhead measures the cost of tracing every request: the
+// batch=8 policy driven twice under identical closed-loop load, spans
+// off then spans on (a full tracer — head sampling 1, retention rings
+// live — so every request pays span allocation, stage recording, and the
+// ring push). The artifact's Violations pins the p99 overhead under 5%.
+func (c *Context) ServingTracingOverhead() (*ServingTracingArtifact, error) {
+	s := c.getSetup(dataset.SIFT1B, c.O.IVFGrid[0])
+	cfg := c.upannsConfig(c.O.NProbeGrid[0])
+	e, err := c.getEngine(s, cfg, buildKey(cfg), c.O.DPUs)
+	if err != nil {
+		return nil, err
+	}
+	total := 10 * c.O.Queries
+	if total < 400 {
+		total = 400
+	}
+	perClient := (total + servingClients - 1) / servingClients
+	p := ServingPolicy{Name: "batch=8 (tracing pair)", MaxBatch: 8, Linger: 200 * time.Microsecond}
+
+	off, err := c.runServingPolicy(e, s.queries, p, perClient, nil)
+	if err != nil {
+		return nil, fmt.Errorf("serving tracing-off run: %w", err)
+	}
+	on, err := c.runServingPolicy(e, s.queries, p, perClient, obs.NewTracer(obs.TracerConfig{}))
+	if err != nil {
+		return nil, fmt.Errorf("serving tracing-on run: %w", err)
+	}
+	return &ServingTracingArtifact{
+		P99OffSeconds: off.Stats.Latency.P99,
+		P99OnSeconds:  on.Stats.Latency.P99,
+		OverheadPct:   (on.Stats.Latency.P99/off.Stats.Latency.P99 - 1) * 100,
+	}, nil
+}
+
 // runServingPolicy drives one policy with closed-loop Zipfian clients and
-// returns the measured point.
-func (c *Context) runServingPolicy(e *core.Engine, pool *vecmath.Matrix, p ServingPolicy, perClient int) (ServingPoint, error) {
+// returns the measured point. A non-nil tracer traces every request
+// (span instrumentation active through the whole serve path plus ring
+// retention); nil leaves the request contexts bare, so all span calls
+// no-op on nil receivers — the tracing-off baseline.
+func (c *Context) runServingPolicy(e *core.Engine, pool *vecmath.Matrix, p ServingPolicy, perClient int, tracer *obs.Tracer) (ServingPoint, error) {
 	srv, err := serve.NewServer(serve.Config{
 		K:              c.O.K,
 		MaxBatch:       p.MaxBatch,
@@ -241,7 +316,10 @@ func (c *Context) runServingPolicy(e *core.Engine, pool *vecmath.Matrix, p Servi
 			// per-client seeds decorrelate the streams.
 			stream := workload.NewQueryStream(pool, 1.0, c.O.Seed+uint64(w)*7919)
 			for i := 0; i < perClient; i++ {
-				if _, err := srv.Search(context.Background(), stream.Next()); err != nil {
+				tr := tracer.Start("serve.request")
+				_, err := srv.Search(obs.WithTrace(context.Background(), tr), stream.Next())
+				tracer.Finish(tr, err)
+				if err != nil {
 					errMu.Lock()
 					if firstErr == nil {
 						firstErr = err

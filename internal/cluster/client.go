@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/filter"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/topk"
 )
@@ -96,8 +97,10 @@ func (s *shard) identity() (string, int) {
 }
 
 // postJSON POSTs body to url+path and decodes a 2xx reply into out.
-// Non-2xx replies become *shardError carrying the shard's error text.
-func (s *shard) postJSON(ctx context.Context, path string, body, out any) error {
+// Non-2xx replies become *shardError carrying the shard's error text. A
+// non-empty traceparent propagates the router's trace identity so the
+// shard joins the distributed trace and annotates its reply.
+func (s *shard) postJSON(ctx context.Context, path string, body, out any, traceparent string) error {
 	raw, err := json.Marshal(body)
 	if err != nil {
 		return err
@@ -107,6 +110,9 @@ func (s *shard) postJSON(ctx context.Context, path string, body, out any) error 
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if traceparent != "" {
+		req.Header.Set(obs.TraceparentHeader, traceparent)
+	}
 	resp, err := s.hc.Do(req)
 	if err != nil {
 		return err
@@ -136,21 +142,23 @@ func readErrorBody(r io.Reader) string {
 // search runs one POST /search against the shard. k and filterExpr pass
 // through on the wire verbatim (zero/empty = shard defaults): the shard
 // owns predicate canonicalization, planning, and execution, so the
-// router adds no filter semantics of its own.
-func (s *shard) search(ctx context.Context, vec []float32, k int, filterExpr string) ([]topk.Candidate, error) {
+// router adds no filter semantics of its own. The second return is the
+// shard's span-tree annotation (nil unless the request carried a
+// traceparent and the shard traced it).
+func (s *shard) search(ctx context.Context, vec []float32, k int, filterExpr, traceparent string) ([]topk.Candidate, *obs.WireSpan, error) {
 	var resp serve.SearchResponse
-	if err := s.postJSON(ctx, "/search", serve.SearchRequest{Vector: vec, K: k, Filter: filterExpr}, &resp); err != nil {
-		return nil, err
+	if err := s.postJSON(ctx, "/search", serve.SearchRequest{Vector: vec, K: k, Filter: filterExpr}, &resp, traceparent); err != nil {
+		return nil, nil, err
 	}
 	if len(resp.IDs) != len(resp.Distances) {
-		return nil, fmt.Errorf("shard %s: malformed response: %d ids vs %d distances",
+		return nil, nil, fmt.Errorf("shard %s: malformed response: %d ids vs %d distances",
 			s.url, len(resp.IDs), len(resp.Distances))
 	}
 	cands := make([]topk.Candidate, len(resp.IDs))
 	for i := range resp.IDs {
 		cands[i] = topk.Candidate{ID: resp.IDs[i], Dist: resp.Distances[i]}
 	}
-	return cands, nil
+	return cands, resp.Trace, nil
 }
 
 // hedgedSearch runs search with tail hedging: if the primary request has
@@ -164,19 +172,20 @@ func (s *shard) search(ctx context.Context, vec []float32, k int, filterExpr str
 // drives the next hedge delay, so recording hedge wins as
 // hedge-delay-plus-response would feed the delay back into the quantile
 // and ratchet it upward until hedging stops firing.
-func (s *shard) hedgedSearch(ctx context.Context, vec []float32, k int, filterExpr string, hedgeAfter time.Duration) ([]topk.Candidate, error) {
+func (s *shard) hedgedSearch(ctx context.Context, vec []float32, k int, filterExpr string, hedgeAfter time.Duration, traceparent string) ([]topk.Candidate, *obs.WireSpan, error) {
 	if hedgeAfter <= 0 {
 		t0 := time.Now()
-		c, err := s.search(ctx, vec, k, filterExpr)
+		c, ann, err := s.search(ctx, vec, k, filterExpr, traceparent)
 		if err == nil {
 			s.lat.Observe(time.Since(t0).Seconds())
 		}
-		return c, err
+		return c, ann, err
 	}
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	type attempt struct {
 		cands  []topk.Candidate
+		ann    *obs.WireSpan
 		dur    time.Duration
 		err    error
 		hedged bool
@@ -184,8 +193,8 @@ func (s *shard) hedgedSearch(ctx context.Context, vec []float32, k int, filterEx
 	ch := make(chan attempt, 2)
 	launch := func(hedged bool) {
 		t0 := time.Now()
-		c, err := s.search(cctx, vec, k, filterExpr)
-		ch <- attempt{c, time.Since(t0), err, hedged}
+		c, ann, err := s.search(cctx, vec, k, filterExpr, traceparent)
+		ch <- attempt{c, ann, time.Since(t0), err, hedged}
 	}
 	go launch(false)
 	timer := time.NewTimer(hedgeAfter)
@@ -200,11 +209,11 @@ func (s *shard) hedgedSearch(ctx context.Context, vec []float32, k int, filterEx
 					s.ctr.hedgeWins.Add(1)
 				}
 				s.lat.Observe(a.dur.Seconds())
-				return a.cands, nil
+				return a.cands, a.ann, nil
 			}
 			inflight--
 			if inflight == 0 {
-				return nil, a.err
+				return nil, nil, a.err
 			}
 			// One attempt failed while the other is still running; its
 			// outcome decides.
@@ -213,7 +222,7 @@ func (s *shard) hedgedSearch(ctx context.Context, vec []float32, k int, filterEx
 			inflight++
 			go launch(true)
 		case <-ctx.Done():
-			return nil, ctx.Err()
+			return nil, nil, ctx.Err()
 		}
 	}
 }
@@ -240,7 +249,7 @@ func (s *shard) write(ctx context.Context, upsert bool, id int64, vec []float32,
 	if upsert {
 		path = "/upsert"
 	}
-	return s.postJSON(ctx, path, serve.WriteRequest{ID: id, Vector: vec, Attrs: attrs}, nil)
+	return s.postJSON(ctx, path, serve.WriteRequest{ID: id, Vector: vec, Attrs: attrs}, nil, "")
 }
 
 // probeHealth GETs /healthz, updates the discovered identity, and

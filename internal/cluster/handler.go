@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/filter"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -39,7 +40,17 @@ func NewHandler(r *Router) *Handler {
 	h.mux.HandleFunc("POST /delete", func(w http.ResponseWriter, req *http.Request) { h.handleWrite(false, w, req) })
 	h.mux.HandleFunc("GET /stats", h.handleStats)
 	h.mux.HandleFunc("GET /healthz", h.handleHealthz)
+	serve.MountObs(h.mux, r.cfg.Tracer, h.collectMetrics)
 	return h
+}
+
+// collectMetrics builds the router's /metrics payload: process health,
+// tracer counters, and the router/shard counters. (The kernel family is
+// shard-side — the router does no scan work.)
+func (h *Handler) collectMetrics(w *obs.PromWriter) {
+	obs.Process().WriteMetrics(w)
+	h.r.cfg.Tracer.WriteMetrics(w)
+	h.r.Stats().WriteMetrics(w)
 }
 
 // ServeHTTP implements http.Handler.
@@ -91,11 +102,21 @@ func (h *Handler) handleSearch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	cands, err := h.r.SearchOpts(r.Context(), req.Vector, SearchOptions{K: req.K, Filter: req.Filter})
+	// Start (or join) the distributed trace: the fanout adds per-shard
+	// spans through the context, each carrying its shard's grafted tree.
+	incoming := r.Header.Get(obs.TraceparentHeader)
+	tr := h.r.cfg.Tracer.StartRemote(incoming, "router.request")
+	ctx := obs.WithTrace(r.Context(), tr)
+	cands, err := h.r.SearchOpts(ctx, req.Vector, SearchOptions{K: req.K, Filter: req.Filter})
+	h.r.cfg.Tracer.Finish(tr, err)
 	if h.writeRouterError(w, err) {
 		return
 	}
-	serve.WriteJSON(w, http.StatusOK, serve.NewSearchResponse(cands))
+	resp := serve.NewSearchResponse(cands)
+	if incoming != "" {
+		resp.Trace = tr.WireRoot()
+	}
+	serve.WriteJSON(w, http.StatusOK, resp)
 }
 
 func (h *Handler) handleWrite(upsert bool, w http.ResponseWriter, r *http.Request) {

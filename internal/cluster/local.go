@@ -9,6 +9,7 @@ import (
 	"repro/internal/filter"
 	"repro/internal/ivfpq"
 	"repro/internal/mutable"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/vecmath"
 )
@@ -48,6 +49,11 @@ type LocalOptions struct {
 	AttrsFor func(id int64) filter.Attrs
 	// MaxK bounds per-request k overrides on each shard (0 = K).
 	MaxK int
+	// Trace, when true, gives each shard its own request tracer, so
+	// fanouts carrying a traceparent header come back with shard-side
+	// span trees and each shard's GET /trace/recent is populated. Off by
+	// default: bench experiments measure tracing overhead explicitly.
+	Trace bool
 }
 
 func (o LocalOptions) withDefaults(dim int) LocalOptions {
@@ -191,6 +197,10 @@ func StartLocalShards(base *vecmath.Matrix, o LocalOptions) ([]*LocalShard, erro
 			ShardID:    id,
 			Writer:     writer,
 			IndexStats: func() any { return u.Stats() },
+			Metrics:    u.WriteMetrics,
+		}
+		if o.Trace {
+			hcfg.Tracer = obs.NewTracer(obs.TracerConfig{})
 		}
 		if o.Schema != nil {
 			hcfg.FilterStats = u.FilterStats

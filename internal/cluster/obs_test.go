@@ -1,0 +1,358 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/filter"
+	"repro/internal/ivfpq"
+	"repro/internal/mutable"
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/vecmath"
+	"repro/internal/xrand"
+)
+
+// tracedShard is one real shard process for the end-to-end trace test:
+// an updatable index (so dispatch stages include the filter planner and
+// kernel scans) behind the actual serve HTTP surface with tracing on.
+func tracedShard(t *testing.T, id string, n, dim int, seed uint64) *httptest.Server {
+	t.Helper()
+	r := xrand.New(seed)
+	data := vecmath.NewMatrix(n, dim)
+	for i := range data.Data {
+		data.Data[i] = float32(r.NormFloat64())
+	}
+	ix := ivfpq.Train(data, ivfpq.Params{NList: 8, M: 4, KSub: 16, Seed: 7})
+	ix.Add(data, 0)
+
+	schema, err := filter.NewSchema(filter.Field{Name: "tenant", Type: filter.TInt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := mutable.ServingConfig(4, 10, 4, 1)
+	cfg.CheckInterval = -1
+	cfg.Schema = schema
+	u, err := mutable.New(ix, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(u.Close)
+	ids := make([]int64, n)
+	attrs := make([]filter.Attrs, n)
+	for i := range ids {
+		ids[i] = int64(i)
+		attrs[i] = filter.Attrs{"tenant": filter.IntValue(int64(i) % 4)}
+	}
+	if err := u.LoadAttrs(ids, attrs); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := serve.NewServer(serve.Config{K: 5, MaxBatch: 4, CacheSize: 0}, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	hs := httptest.NewServer(serve.NewHandler(srv, serve.HandlerConfig{
+		ShardID: id,
+		Tracer:  obs.NewTracer(obs.TracerConfig{}),
+		Metrics: u.WriteMetrics,
+	}))
+	t.Cleanup(hs.Close)
+	return hs
+}
+
+// findSpan walks the wire tree depth-first for the first span named name.
+func findSpan(sp *obs.WireSpan, name string) *obs.WireSpan {
+	if sp == nil {
+		return nil
+	}
+	if sp.Name == name {
+		return sp
+	}
+	for _, c := range sp.Children {
+		if got := findSpan(c, name); got != nil {
+			return got
+		}
+	}
+	return nil
+}
+
+// parsePromText validates Prometheus text exposition format line by line
+// and returns the sample name -> value map (labels kept in the name).
+func parsePromText(t *testing.T, body string) map[string]float64 {
+	t.Helper()
+	samples := map[string]float64{}
+	for ln, line := range strings.Split(body, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("metrics line %d has no value: %q", ln+1, line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("metrics line %d value %q: %v", ln+1, line[i+1:], err)
+		}
+		samples[line[:i]] = v
+	}
+	if len(samples) == 0 {
+		t.Fatal("metrics payload carried no samples")
+	}
+	return samples
+}
+
+func promSample(t *testing.T, samples map[string]float64, name string) float64 {
+	t.Helper()
+	if v, ok := samples[name]; ok {
+		return v
+	}
+	t.Fatalf("metrics payload has no %q sample", name)
+	return 0
+}
+
+// TestDistributedTraceEndToEnd is the observability acceptance test: one
+// filtered query through the router produces a complete span tree —
+// router fanout, per-shard request carrying the grafted shard-side
+// serve/dispatch/kernel stages, final merge — retrievable both from the
+// response annotation and from the router's GET /trace/recent; and
+// /metrics on both tiers parses, with the shard reporting achieved scan
+// bandwidth against the roofline.
+func TestDistributedTraceEndToEnd(t *testing.T) {
+	const dim = 8
+	s0 := tracedShard(t, "s0", 192, dim, 11)
+	s1 := tracedShard(t, "s1", 192, dim, 13)
+
+	cfg := fastConfig()
+	cfg.K = 5
+	cfg.NoOwnershipFilter = true
+	cfg.Tracer = obs.NewTracer(obs.TracerConfig{})
+	r, err := New([]string{s0.URL, s1.URL}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	front := httptest.NewServer(NewHandler(r))
+	defer front.Close()
+
+	const traceID = "4bf92f3577b34da6a3ce929d0e0e4736"
+	traceparent := fmt.Sprintf("00-%s-00f067aa0ba902b7-01", traceID)
+	vec := make([]float32, dim)
+	body, _ := json.Marshal(serve.SearchRequest{Vector: vec, K: 5, Filter: "tenant = 1"})
+	req, err := http.NewRequest(http.MethodPost, front.URL+"/search", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.TraceparentHeader, traceparent)
+	resp, err := front.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("traced filtered search: %d", resp.StatusCode)
+	}
+	var sr serve.SearchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.IDs) == 0 {
+		t.Fatal("filtered search returned no results")
+	}
+	if sr.Trace == nil {
+		t.Fatal("traced request carried no span-tree annotation in the response")
+	}
+	if sr.Trace.Name != "router.request" {
+		t.Fatalf("annotation root span = %q, want router.request", sr.Trace.Name)
+	}
+
+	// The full tree: router fanout -> shard request -> grafted shard-side
+	// serve.request with the dispatch stages -> merge.
+	for _, name := range []string{
+		"router.fanout", "shard.request", "serve.request", "serve.dispatch",
+		"mutable.probe", "filter.plan", "mutable.base", "mutable.merge",
+		"router.merge",
+	} {
+		if findSpan(sr.Trace, name) == nil {
+			t.Errorf("span tree is missing %q", name)
+		}
+	}
+	fan := findSpan(sr.Trace, "router.fanout")
+	if fan == nil || len(fan.Children) != 2 {
+		t.Fatalf("fanout span has %d shard children, want 2", len(fan.Children))
+	}
+	for _, sp := range fan.Children {
+		if sp.Name != "shard.request" {
+			t.Fatalf("fanout child %q, want shard.request", sp.Name)
+		}
+		if findSpan(sp, "serve.dispatch") == nil {
+			t.Errorf("shard %v carries no grafted serve-side dispatch span", sp.Attrs["shard"])
+		}
+	}
+	plan := findSpan(sr.Trace, "filter.plan")
+	if plan.Attrs["mode"] == "" || plan.Attrs["est_selectivity"] == "" {
+		t.Fatalf("filter.plan attrs %v lack the planner decision", plan.Attrs)
+	}
+
+	// The same trace is retrievable from the router's slow-query surface.
+	rresp, err := front.Client().Get(front.URL + "/trace/recent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rresp.Body.Close()
+	var recent obs.RecentPayload
+	if err := json.NewDecoder(rresp.Body).Decode(&recent); err != nil {
+		t.Fatal(err)
+	}
+	var found *obs.WireTrace
+	for _, wt := range recent.Recent {
+		if wt.TraceID == traceID {
+			found = wt
+		}
+	}
+	if found == nil {
+		t.Fatalf("trace %s not in /trace/recent (%d retained)", traceID, len(recent.Recent))
+	}
+	if findSpan(found.Root, "shard.request") == nil || findSpan(found.Root, "serve.dispatch") == nil {
+		t.Fatal("/trace/recent tree lost the grafted shard spans")
+	}
+	if found.Stages["router.fanout"] <= 0 {
+		t.Fatalf("per-stage breakdown %v carries no fanout time", found.Stages)
+	}
+
+	// /metrics parses on both tiers; the shard reports achieved scan
+	// bandwidth and the roofline bound it is judged against.
+	mresp, err := front.Client().Get(front.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	routerSamples := parsePromText(t, readAll(t, mresp))
+	if promSample(t, routerSamples, "upanns_router_searches_total") < 1 {
+		t.Fatal("router metrics report no searches after a fanout")
+	}
+	promSample(t, routerSamples, `upanns_router_shard_requests_total{shard="0"}`)
+	if promSample(t, routerSamples, "upanns_traces_finished_total") < 1 {
+		t.Fatal("router tracer retained no finished traces")
+	}
+
+	sresp, err := http.Get(s0.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardSamples := parsePromText(t, readAll(t, sresp))
+	if promSample(t, shardSamples, "upanns_kernel_scan_bytes_total") <= 0 {
+		t.Fatal("shard kernel counters saw no scanned bytes")
+	}
+	if promSample(t, shardSamples, "upanns_kernel_scan_gbps") <= 0 {
+		t.Fatal("achieved scan bandwidth gauge is zero after a scan")
+	}
+	if promSample(t, shardSamples, "upanns_kernel_roofline_gbps") <= 0 {
+		t.Fatal("roofline gauge missing or zero")
+	}
+	promSample(t, shardSamples, "upanns_serve_requests_total")
+	promSample(t, shardSamples, "upanns_index_epoch")
+
+	// The shard kept its own copy of the trace under the same trace id.
+	tresp, err := http.Get(s0.URL + "/trace/recent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tresp.Body.Close()
+	var shardRecent obs.RecentPayload
+	if err := json.NewDecoder(tresp.Body).Decode(&shardRecent); err != nil {
+		t.Fatal(err)
+	}
+	foundShard := false
+	for _, wt := range shardRecent.Recent {
+		if wt.TraceID == traceID {
+			foundShard = true
+		}
+	}
+	if !foundShard {
+		t.Fatal("shard /trace/recent does not carry the propagated trace id")
+	}
+}
+
+// TestRouterTraceSamplingAndErrors pins tail-based retention on the
+// router: an errored fanout lands in the slow/error ring even when the
+// recent ring has churned past it.
+func TestRouterTraceSamplingAndErrors(t *testing.T) {
+	sh := newFakeShard("s0", 4, nil)
+	defer sh.srv.Close()
+	sh.failing.Store(true)
+	cfg := fastConfig()
+	cfg.NoOwnershipFilter = true
+	cfg.Tracer = obs.NewTracer(obs.TracerConfig{Capacity: 2, SlowCapacity: 8})
+	r := mustRouter(t, cfg, sh)
+	front := httptest.NewServer(NewHandler(r))
+	defer front.Close()
+
+	post := func(tp string) {
+		req, _ := http.NewRequest(http.MethodPost, front.URL+"/search",
+			strings.NewReader(`{"vector": [0,0,0,0]}`))
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(obs.TraceparentHeader, tp)
+		resp, err := front.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	const errID = "00000000000000000000000000000e44"
+	post("00-" + errID + "-00f067aa0ba902b7-01")
+	sh.failing.Store(false)
+	for i := 0; i < 4; i++ {
+		post(fmt.Sprintf("00-%032x-00f067aa0ba902b7-01", i+1))
+	}
+
+	resp, err := front.Client().Get(front.URL + "/trace/recent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var recent obs.RecentPayload
+	if err := json.NewDecoder(resp.Body).Decode(&recent); err != nil {
+		t.Fatal(err)
+	}
+	if len(recent.Recent) != 2 {
+		t.Fatalf("recent ring holds %d traces, want capacity 2", len(recent.Recent))
+	}
+	foundErr := false
+	for _, wt := range recent.Slow {
+		if wt.TraceID == errID && wt.Err {
+			foundErr = true
+		}
+	}
+	if !foundErr {
+		t.Fatal("errored trace churned out of retention; tail sampling must keep it")
+	}
+
+	// Unsampled upstream decision (flags 00) is honored: no trace starts.
+	before := cfg.Tracer.Stats().Started
+	post("00-000000000000000000000000000000ff-00f067aa0ba902b7-00")
+	if after := cfg.Tracer.Stats().Started; after != before {
+		t.Fatalf("unsampled traceparent still started a trace (%d -> %d)", before, after)
+	}
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d", resp.Request.URL, resp.StatusCode)
+	}
+	return string(raw)
+}

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/filter"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/topk"
 )
 
@@ -84,6 +85,12 @@ type Config struct {
 	// dedicated client with sane connection pooling). Timeouts come from
 	// the request contexts, not the client.
 	Client *http.Client
+
+	// Tracer enables request tracing at the router: HTTP requests start
+	// (or join) traces, fanouts record per-shard spans with the shard-side
+	// span trees grafted in, and finished traces land in the router's
+	// GET /trace/recent. Nil disables tracing.
+	Tracer *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -323,6 +330,15 @@ func (r *Router) SearchOpts(ctx context.Context, vec []float32, opts SearchOptio
 	ctx, cancel := context.WithTimeout(ctx, r.cfg.SearchTimeout)
 	defer cancel()
 
+	// Fanout tracing: one span per shard request under a fanout span,
+	// with the shard's own span tree (returned as a response annotation)
+	// grafted beneath it. The trace's internal mutex makes concurrent
+	// span additions from the fanout goroutines safe.
+	tr := obs.FromContext(ctx)
+	fan := tr.StartSpan(nil, "router.fanout")
+	fan.SetAttrs(obs.Int("targets", int64(len(targets))))
+	traceparent := tr.Traceparent()
+
 	type shardOut struct {
 		shard *shard
 		cands []topk.Candidate
@@ -342,18 +358,25 @@ func (r *Router) SearchOpts(ctx context.Context, vec []float32, opts SearchOptio
 				// requests — the load the half-open state exists to avoid.
 				delay = 0
 			}
-			cands, err := s.hedgedSearch(ctx, vec, opts.K, opts.Filter, delay)
+			sp := tr.StartSpan(fan, "shard.request")
+			sp.SetAttrs(obs.Int("shard", int64(s.index)), obs.Str("url", s.url))
+			cands, ann, err := s.hedgedSearch(ctx, vec, opts.K, opts.Filter, delay, traceparent)
 			if err != nil {
+				sp.SetError()
+				sp.End()
 				s.ctr.errors.Add(1)
 				r.reportOutcome(s, ctx, err)
 				outs[i] = shardOut{shard: s, err: err}
 				return
 			}
+			tr.Graft(sp, ann)
+			sp.End()
 			s.br.Success()
 			outs[i] = shardOut{shard: s, cands: cands}
 		}(i, s)
 	}
 	wg.Wait()
+	fan.End()
 
 	hits := make([]ShardHits, 0, len(outs))
 	responded := make([]bool, len(r.shards))
@@ -396,7 +419,10 @@ func (r *Router) SearchOpts(ctx context.Context, vec []float32, opts SearchOptio
 			return false
 		}
 	}
+	mergeStart := time.Now()
 	merged := Merge(k, hits, owns)
+	tr.AddSpan(nil, "router.merge", mergeStart, time.Since(mergeStart),
+		obs.Int("shards_answered", int64(len(hits))), obs.Int("k", int64(k)))
 	r.ctr.answered.Add(1)
 	r.lat.Observe(time.Since(start).Seconds())
 	return merged, nil

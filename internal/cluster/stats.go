@@ -3,11 +3,13 @@ package cluster
 import (
 	"context"
 	"encoding/json"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/filter"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 // ShardStats is the router's local view of one shard.
@@ -32,13 +34,17 @@ type ShardStats struct {
 }
 
 // RouterStats is a point-in-time, JSON-serializable view of the router.
+// Field names shared with the shard-side serve.Stats payload (e.g.
+// "filtered_requests", "latency_seconds") use identical JSON tags, so
+// dashboards aggregate one schema across both tiers; a regression test
+// in stats_test.go pins the shared names.
 type RouterStats struct {
 	Shards        []ShardStats `json:"shards"`
 	HealthyShards int          `json:"healthy_shards"`
 	Draining      bool         `json:"draining"`
 
 	Searches   uint64 `json:"searches"`
-	Filtered   uint64 `json:"filtered_searches"`
+	Filtered   uint64 `json:"filtered_requests"`
 	Answered   uint64 `json:"answered"`
 	Degraded   uint64 `json:"degraded"`
 	NoShards   uint64 `json:"no_shard_errors"`
@@ -46,6 +52,13 @@ type RouterStats struct {
 	StaleDrops uint64 `json:"stale_drops"`
 	Writes     uint64 `json:"writes"`
 	WriteErrs  uint64 `json:"write_errors"`
+
+	// Process carries the router process's health (uptime, goroutines,
+	// GC pauses), mirroring the shard payload's "process" section.
+	Process *obs.ProcessStats `json:"process,omitempty"`
+	// Trace carries the router tracer's sampling counters when tracing
+	// is enabled.
+	Trace *obs.TracerStats `json:"trace,omitempty"`
 
 	// Latency covers every answered fanout, admission to merged reply,
 	// in seconds.
@@ -67,6 +80,12 @@ func (r *Router) Stats() RouterStats {
 		Writes:     r.ctr.writes.Load(),
 		WriteErrs:  r.ctr.writeErrs.Load(),
 		Latency:    r.lat.Snapshot(),
+	}
+	p := obs.Process()
+	st.Process = &p
+	if r.cfg.Tracer != nil {
+		ts := r.cfg.Tracer.Stats()
+		st.Trace = &ts
 	}
 	for _, s := range r.shards {
 		id, _ := s.identity()
@@ -90,6 +109,35 @@ func (r *Router) Stats() RouterStats {
 		st.Shards = append(st.Shards, ss)
 	}
 	return st
+}
+
+// WriteMetrics emits the router counters in Prometheus exposition form
+// under the upanns_router_* family, with per-shard series labeled by
+// shard index.
+func (st RouterStats) WriteMetrics(w *obs.PromWriter) {
+	w.Counter("upanns_router_searches_total", "Fanouts attempted.", float64(st.Searches))
+	w.Counter("upanns_router_filtered_requests_total", "Fanouts carrying an attribute filter.", float64(st.Filtered))
+	w.Counter("upanns_router_answered_total", "Fanouts that returned results.", float64(st.Answered))
+	w.Counter("upanns_router_degraded_total", "Fanouts answered with at least one shard missing.", float64(st.Degraded))
+	w.Counter("upanns_router_no_shard_errors_total", "Fanouts failed: no shard available.", float64(st.NoShards))
+	w.Counter("upanns_router_all_shards_failed_total", "Fanouts in which every shard errored.", float64(st.AllFailed))
+	w.Counter("upanns_router_stale_drops_total", "Candidates dropped by the ownership filter.", float64(st.StaleDrops))
+	w.Counter("upanns_router_writes_total", "Writes routed.", float64(st.Writes))
+	w.Counter("upanns_router_write_errors_total", "Routed writes failed.", float64(st.WriteErrs))
+	w.Gauge("upanns_router_healthy_shards", "Shards the prober considers alive.", float64(st.HealthyShards))
+	w.Summary("upanns_router_latency_seconds", "Fanout latency, admission to merged reply.", st.Latency)
+	for _, ss := range st.Shards {
+		label := strconv.Itoa(ss.Index)
+		healthy := 0.0
+		if ss.Healthy {
+			healthy = 1
+		}
+		w.Gauge("upanns_router_shard_healthy", "1 while the shard is considered alive.", healthy, "shard", label)
+		w.Counter("upanns_router_shard_requests_total", "Search attempts per shard.", float64(ss.Requests), "shard", label)
+		w.Counter("upanns_router_shard_errors_total", "Failed searches per shard.", float64(ss.Errors), "shard", label)
+		w.Counter("upanns_router_shard_hedges_total", "Hedge requests launched per shard.", float64(ss.Hedges), "shard", label)
+		w.Counter("upanns_router_shard_hedge_wins_total", "Hedges whose reply beat the primary.", float64(ss.HedgeWins), "shard", label)
+	}
 }
 
 // AggregatedStats is the router /stats payload: the router's own view

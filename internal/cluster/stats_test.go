@@ -1,0 +1,84 @@
+package cluster
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// jsonKeys marshals v and returns its top-level object keys.
+func jsonKeys(t *testing.T, v any) map[string]bool {
+	t.Helper()
+	raw, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	keys := make(map[string]bool, len(m))
+	for k := range m {
+		keys[k] = true
+	}
+	return keys
+}
+
+// TestStatsSchemaSharedAcrossTiers pins the JSON field names that the
+// router and shard /stats payloads share, so dashboards can aggregate
+// one schema across both tiers. The router once exported
+// "filtered_searches" while the shard said "filtered_requests"; this
+// test keeps the names from drifting apart again.
+func TestStatsSchemaSharedAcrossTiers(t *testing.T) {
+	ts := obs.TracerStats{}
+	router := jsonKeys(t, RouterStats{
+		Process: &obs.ProcessStats{},
+		Trace:   &ts,
+	})
+	shard := jsonKeys(t, serve.StatsPayload{
+		ShardID: "s0",
+		Process: &obs.ProcessStats{},
+		Trace:   &ts,
+	})
+	shardServe := jsonKeys(t, serve.Stats{})
+
+	// Counters both tiers report under the same name.
+	for _, k := range []string{"filtered_requests", "latency_seconds", "writes", "write_errors"} {
+		if !router[k] {
+			t.Errorf("router stats payload lacks %q", k)
+		}
+		if !shardServe[k] && k != "writes" && k != "write_errors" {
+			t.Errorf("shard serve stats payload lacks %q", k)
+		}
+	}
+	// Sections both payloads expose under the same name.
+	for _, k := range []string{"process", "trace"} {
+		if !router[k] {
+			t.Errorf("router stats payload lacks section %q", k)
+		}
+		if !shard[k] {
+			t.Errorf("shard stats payload lacks section %q", k)
+		}
+	}
+	// The old divergent name must not come back.
+	for _, keys := range []map[string]bool{router, shard, shardServe} {
+		if keys["filtered_searches"] {
+			t.Error(`"filtered_searches" resurfaced; the shared name is "filtered_requests"`)
+		}
+	}
+
+	// Per-shard latency uses the same tag as both tiers' top-level
+	// histograms, and process/trace sections marshal with stable names.
+	ss := jsonKeys(t, ShardStats{})
+	if !ss["latency_seconds"] {
+		t.Error(`per-shard stats lack "latency_seconds"`)
+	}
+	proc := jsonKeys(t, obs.ProcessStats{})
+	for _, k := range []string{"uptime_seconds", "goroutines", "gc_pause_total_seconds"} {
+		if !proc[k] {
+			t.Errorf("process stats payload lacks %q", k)
+		}
+	}
+}

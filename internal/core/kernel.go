@@ -39,6 +39,12 @@ type dpuRuntime struct {
 
 	stage stageCycles
 	merge topk.MergeStats
+
+	// scanBytes/scanCodes count the distance stage's streamed work for
+	// the process-global bandwidth accounting (internal/obs). Tasklets
+	// of one DPU are baton-serialized, so plain ints are race-free.
+	scanBytes int
+	scanCodes int
 }
 
 // stageCycles records per-stage DPU time (Fig. 19's breakdown), written by
@@ -63,6 +69,8 @@ func (rt *dpuRuntime) reset(work []queryWork) {
 	rt.work = work
 	rt.stage = stageCycles{}
 	rt.merge = topk.MergeStats{}
+	rt.scanBytes = 0
+	rt.scanCodes = 0
 }
 
 // encodeCandidate packs (cluster, local index) into the heap id; the host
@@ -291,10 +299,12 @@ func (e *Engine) scanPlain(t *pim.Tasklet, rt *dpuRuntime, wram []byte, cluster 
 	local := rt.locals[t.ID]
 	for b := t.ID; b < meta.nblocks; b += t.N {
 		t.MRAMRead(staging, dataBase+b*meta.blockBytes, meta.blockBytes)
+		rt.scanBytes += meta.blockBytes
 		count := meta.nvec - b*r
 		if count > r {
 			count = r
 		}
+		rt.scanCodes += count
 		for j := 0; j < count; j++ {
 			rec := staging + j*m
 			var sum uint32
@@ -316,8 +326,10 @@ func (e *Engine) scanCAE(t *pim.Tasklet, rt *dpuRuntime, wram []byte, cluster in
 	local := rt.locals[t.ID]
 	for b := t.ID; b < meta.nblocks; b += t.N {
 		t.MRAMRead(staging, dataBase+b*meta.blockBytes, meta.blockBytes)
+		rt.scanBytes += meta.blockBytes
 		firstIdx := int(binary.LittleEndian.Uint32(wram[staging:]))
 		count := int(binary.LittleEndian.Uint16(wram[staging+4:]))
+		rt.scanCodes += count
 		pos := staging + blockHeaderBytes
 		for rec := 0; rec < count; rec++ {
 			l := int(binary.LittleEndian.Uint16(wram[pos:]))

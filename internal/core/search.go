@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"repro/internal/archmodel"
+	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/topk"
 	"repro/internal/vecmath"
@@ -164,7 +166,23 @@ func (e *Engine) SearchBatch(queries *vecmath.Matrix) (*BatchResult, error) {
 	for _, dpu := range activeDPUs {
 		e.runtimes[dpu].reset(works[dpu])
 	}
+	launchStart := time.Now()
 	res := e.Sys.Launch(activeDPUs, e.Cfg.Tasklets, e.kernel)
+	launchWall := time.Since(launchStart)
+
+	// Bandwidth accounting for the live /metrics roofline comparison:
+	// the scanned code bytes really do stream through the simulation
+	// host's memory, so bytes over launch wall time is this process's
+	// achieved scan bandwidth (conservative — the launch also covers
+	// LUT builds and merges). LUT entries are analytic: one full table
+	// per scheduled task.
+	scanBytes, scanCodes := 0, 0
+	for _, dpu := range activeDPUs {
+		scanBytes += e.runtimes[dpu].scanBytes
+		scanCodes += e.runtimes[dpu].scanCodes
+	}
+	obs.Kernel.RecordScan(scanBytes, scanCodes, launchWall)
+	obs.Kernel.RecordLUT(totalTasks*e.Index.PQ.M*e.Index.PQ.KSub, 0)
 
 	// ---- Gather results ----
 	maxOut := 0

@@ -14,8 +14,10 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/ivf"
+	"repro/internal/obs"
 	"repro/internal/pq"
 	"repro/internal/topk"
 	"repro/internal/vecmath"
@@ -317,6 +319,8 @@ func (ix *Index) SearchFiltered(query []float32, nprobe, k int, allow func(id in
 	resid := make([]float32, ix.Dim)
 	lut := make(pq.LUT, ix.PQ.M*pq.CodebookSize)
 	m := ix.PQ.M
+	scanStart := time.Now()
+	var lutDur time.Duration
 	for _, cl := range probes {
 		list := &ix.Lists[cl]
 		if list.Len() == 0 {
@@ -329,8 +333,10 @@ func (ix *Index) SearchFiltered(query []float32, nprobe, k int, allow func(id in
 				continue
 			}
 			if !haveLUT {
+				lutStart := time.Now()
 				ix.Coarse.Residual(resid, query, cl)
 				ix.PQ.BuildLUTInto(lut, resid)
+				lutDur += time.Since(lutStart)
 				st.LUTEntries += ix.PQ.M * ix.PQ.KSub
 				haveLUT = true
 			}
@@ -343,6 +349,8 @@ func (ix *Index) SearchFiltered(query []float32, nprobe, k int, allow func(id in
 			}
 		}
 	}
+	obs.Kernel.RecordScan(st.CodeBytes, st.CodesScanned, time.Since(scanStart)-lutDur)
+	obs.Kernel.RecordLUT(st.LUTEntries, lutDur)
 	return heap.Sorted(), st
 }
 
@@ -368,6 +376,8 @@ func (ix *Index) SearchQuantizedFiltered(query []float32, nprobe, k int, allow f
 	lut := make(pq.LUT, ix.PQ.M*pq.CodebookSize)
 	var ql *pq.QLUT
 	m := ix.PQ.M
+	scanStart := time.Now()
+	var lutDur time.Duration
 	for _, cl := range probes {
 		list := &ix.Lists[cl]
 		if list.Len() == 0 {
@@ -380,9 +390,11 @@ func (ix *Index) SearchQuantizedFiltered(query []float32, nprobe, k int, allow f
 				continue
 			}
 			if !haveLUT {
+				lutStart := time.Now()
 				ix.Coarse.Residual(resid, query, cl)
 				ix.PQ.BuildLUTInto(lut, resid)
 				ql = ix.PQ.QuantizeWithScale(lut, ix.QScale)
+				lutDur += time.Since(lutStart)
 				st.LUTEntries += ix.PQ.M * ix.PQ.KSub
 				haveLUT = true
 			}
@@ -395,5 +407,7 @@ func (ix *Index) SearchQuantizedFiltered(query []float32, nprobe, k int, allow f
 			}
 		}
 	}
+	obs.Kernel.RecordScan(st.CodeBytes, st.CodesScanned, time.Since(scanStart)-lutDur)
+	obs.Kernel.RecordLUT(st.LUTEntries, lutDur)
 	return heap.Sorted(), st
 }

@@ -151,6 +151,42 @@ func (h *Histogram) quantileLocked(q float64) float64 {
 	return h.max
 }
 
+// Merge folds other's observations into h. Both histograms must share
+// bucket geometry (constructed with the same lo/hi/growth); Merge panics
+// otherwise, since adding counts bucket-wise across different geometries
+// would silently corrupt quantiles. The cluster stats path uses it to
+// combine per-shard latency populations into one distribution.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || other == h {
+		return
+	}
+	// Snapshot other before taking h's lock: a fixed lock order per call
+	// (other then h) plus never holding both means concurrent
+	// a.Merge(b) / b.Merge(a) cannot deadlock.
+	other.mu.Lock()
+	counts := append([]uint64(nil), other.counts...)
+	n, sum, mn, mx := other.n, other.sum, other.min, other.max
+	lo, growth := other.lo, other.growth
+	other.mu.Unlock()
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if lo != h.lo || growth != h.growth || len(counts) != len(h.counts) {
+		panic("metrics: Merge needs identical histogram geometry")
+	}
+	for i, c := range counts {
+		h.counts[i] += c
+	}
+	h.n += n
+	h.sum += sum
+	if mn < h.min {
+		h.min = mn
+	}
+	if mx > h.max {
+		h.max = mx
+	}
+}
+
 // Snapshot is a consistent point-in-time summary of a histogram. All
 // values are in the histogram's native unit (seconds on the serving path).
 type Snapshot struct {

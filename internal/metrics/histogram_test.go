@@ -156,3 +156,108 @@ func TestHistogramConcurrentObserve(t *testing.T) {
 		t.Errorf("p50 = %v out of input range", p50)
 	}
 }
+
+// TestHistogramQuantileEdgeCases pins the quantile contract at the
+// degenerate populations dashboards actually hit: an empty histogram, a
+// single sample, and q at the closed [0, 1] endpoints.
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	empty := NewLatencyHistogram()
+	for _, q := range []float64{-1, 0, 0.5, 0.99, 1, 2} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Errorf("empty histogram q=%v: got %v, want 0", q, got)
+		}
+	}
+
+	one := NewLatencyHistogram()
+	one.Observe(2.5e-3)
+	// Every quantile of a single-sample population is that sample: the
+	// min/max clamp must override the bucket-midpoint estimate.
+	for _, q := range []float64{0, 0.01, 0.5, 0.99, 1} {
+		if got := one.Quantile(q); got != 2.5e-3 {
+			t.Errorf("single sample q=%v: got %v, want 2.5e-3 exactly", q, got)
+		}
+	}
+	s := one.Snapshot()
+	if s.P50 != 2.5e-3 || s.P99 != 2.5e-3 || s.Min != 2.5e-3 || s.Max != 2.5e-3 {
+		t.Errorf("single-sample snapshot %+v", s)
+	}
+
+	// Out-of-range q clamps to the observed extremes.
+	two := NewLatencyHistogram()
+	two.Observe(1e-3)
+	two.Observe(9e-3)
+	if got := two.Quantile(-0.5); got != 1e-3 {
+		t.Errorf("q<0: got %v, want min", got)
+	}
+	if got := two.Quantile(1.5); got != 9e-3 {
+		t.Errorf("q>1: got %v, want max", got)
+	}
+}
+
+// TestHistogramMergeDisjointRanges merges two histograms whose
+// populations occupy disjoint value ranges and checks the combined
+// quantiles land where a single histogram over the union would put them.
+func TestHistogramMergeDisjointRanges(t *testing.T) {
+	fast := NewLatencyHistogram()
+	slow := NewLatencyHistogram()
+	var union []float64
+	for i := 0; i < 1000; i++ {
+		v := 100e-6 + float64(i)*1e-7 // 100..200us
+		fast.Observe(v)
+		union = append(union, v)
+	}
+	for i := 0; i < 1000; i++ {
+		v := 10e-3 + float64(i)*1e-5 // 10..20ms
+		slow.Observe(v)
+		union = append(union, v)
+	}
+
+	fast.Merge(slow)
+	if got := fast.Count(); got != 2000 {
+		t.Fatalf("merged count = %d, want 2000", got)
+	}
+	for _, q := range []float64{0.25, 0.5, 0.75, 0.99} {
+		want := exactQuantile(union, q)
+		got := fast.Quantile(q)
+		if err := math.Abs(got-want) / want; err > 0.03 {
+			t.Errorf("merged q=%v: got %v, want %v (rel err %.3f)", q, got, want, err)
+		}
+	}
+	// The median sits at the boundary between the two populations; it
+	// must come from one of them, not from the empty gap in between.
+	p50 := fast.Quantile(0.5)
+	if p50 > 250e-6 && p50 < 9e-3 {
+		t.Errorf("merged p50 %v landed in the empty gap between populations", p50)
+	}
+	s := fast.Snapshot()
+	if s.Min != 100e-6 {
+		t.Errorf("merged min = %v, want 100us", s.Min)
+	}
+	if want := 10e-3 + 999*1e-5; s.Max != want {
+		t.Errorf("merged max = %v, want %v", s.Max, want)
+	}
+	if mean := s.Mean; mean < 5e-3 || mean > 8e-3 {
+		t.Errorf("merged mean = %v outside the plausible [5ms, 8ms]", mean)
+	}
+
+	// Merging an empty histogram is a no-op on every field.
+	before := fast.Snapshot()
+	fast.Merge(NewLatencyHistogram())
+	if after := fast.Snapshot(); after != before {
+		t.Errorf("merging an empty histogram changed the snapshot: %+v -> %+v", before, after)
+	}
+	// Self-merge and nil-merge are no-ops, not deadlocks or double counts.
+	fast.Merge(fast)
+	fast.Merge(nil)
+	if got := fast.Count(); got != 2000 {
+		t.Errorf("self/nil merge changed count to %d", got)
+	}
+
+	// Mismatched geometry must refuse loudly rather than corrupt.
+	defer func() {
+		if recover() == nil {
+			t.Error("merging mismatched geometries did not panic")
+		}
+	}()
+	fast.Merge(NewHistogram(1e-6, 10, 1.5))
+}

@@ -2,8 +2,11 @@ package mutable
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/filter"
+	"repro/internal/ivfpq"
+	"repro/internal/obs"
 	"repro/internal/topk"
 	"repro/internal/vecmath"
 )
@@ -108,7 +111,16 @@ func (u *UpdatableIndex) FilterStats() *filter.StatsSnapshot {
 // estimated selectivity choose between pre- and post-filtering. It
 // satisfies serve.FilterBackend.
 func (u *UpdatableIndex) SearchFiltered(queries *vecmath.Matrix, k int, pred filter.Pred) ([][]topk.Candidate, error) {
-	return u.SearchFilteredMode(queries, k, pred, filter.ModeAuto)
+	return u.SearchFilteredStaged(queries, k, pred, filter.ModeAuto, nil)
+}
+
+// SearchFilteredStaged is SearchFilteredMode with a per-request stage
+// log (see SearchStaged); the filter.plan stage carries the planner's
+// decision and, after the scan, the base stage reports the estimated
+// against the achieved selectivity so estimator drift is visible per
+// trace. sl may be nil. It satisfies serve.StagedFilterBackend.
+func (u *UpdatableIndex) SearchFilteredStaged(queries *vecmath.Matrix, k int, pred filter.Pred, mode filter.Mode, sl *obs.StageLog) ([][]topk.Candidate, error) {
+	return u.searchFiltered(queries, k, pred, mode, sl)
 }
 
 // SearchFilteredMode is SearchFiltered with the execution strategy
@@ -128,6 +140,10 @@ func (u *UpdatableIndex) SearchFiltered(queries *vecmath.Matrix, k int, pred fil
 // view is captured under the overlay read lock, so epoch swaps racing
 // the search cannot lose folded entries.
 func (u *UpdatableIndex) SearchFilteredMode(queries *vecmath.Matrix, k int, pred filter.Pred, mode filter.Mode) ([][]topk.Candidate, error) {
+	return u.searchFiltered(queries, k, pred, mode, nil)
+}
+
+func (u *UpdatableIndex) searchFiltered(queries *vecmath.Matrix, k int, pred filter.Pred, mode filter.Mode, sl *obs.StageLog) ([][]topk.Candidate, error) {
 	if queries.Dim != u.dim {
 		return nil, fmt.Errorf("mutable: query dim %d != index dim %d", queries.Dim, u.dim)
 	}
@@ -146,6 +162,7 @@ func (u *UpdatableIndex) SearchFilteredMode(queries *vecmath.Matrix, k int, pred
 
 	nprobe := u.cfg.Engine.NProbe
 	nq := queries.Rows
+	probeStart := time.Now()
 	probes := make([][]int32, nq)
 	coarse := u.snap.Load().ix.Coarse
 	for qi := 0; qi < nq; qi++ {
@@ -154,6 +171,8 @@ func (u *UpdatableIndex) SearchFilteredMode(queries *vecmath.Matrix, k int, pred
 			u.acc[c].Add(1)
 		}
 	}
+	sl.Record("mutable.probe", probeStart,
+		obs.Int("queries", int64(nq)), obs.Int("nprobe", int64(nprobe)))
 
 	// Selectivity is matches over the *corpus* the scan covers, not over
 	// tagged vectors: on a partially-tagged corpus (e.g. a cold-booted
@@ -162,9 +181,15 @@ func (u *UpdatableIndex) SearchFilteredMode(queries *vecmath.Matrix, k int, pred
 	// fetch depth sized for the slice instead of the corpus. The epoch
 	// base count is a good-enough denominator — the overlay adds at most
 	// the compaction-trigger ratio on top.
+	planStart := time.Now()
 	total := int(u.snap.Load().baseN)
 	plan := filter.PlanSearch(u.attrs.EstimateTotal(pred, total), k, mode)
 	u.fstats.Record(plan, mode != filter.ModeAuto, nq)
+	sl.Record("filter.plan", planStart,
+		obs.Str("mode", plan.Mode.String()),
+		obs.Float("est_selectivity", plan.Selectivity),
+		obs.Int("fetch_k", int64(plan.FetchK)),
+		obs.Bool("forced", mode != filter.ModeAuto))
 
 	// The match predicate pushed into the scans: the pre path probes the
 	// evaluated bitmap, the post path checks tags per candidate (only for
@@ -192,24 +217,55 @@ func (u *UpdatableIndex) SearchFilteredMode(queries *vecmath.Matrix, k int, pred
 	for id, r := range u.latest {
 		view.latest[id] = r
 	}
+	ovStart := time.Now()
 	view.cands = u.scanOverlay(snap, queries, probes, k, allow)
+	sl.Record("mutable.overlay", ovStart, obs.Int("pending", int64(u.logCount)))
 	u.mu.RUnlock()
 
+	// The base scan accumulates the host kernels' stats so the trace can
+	// report the selectivity the scan actually saw next to the estimate
+	// the plan was made on: pre-filtering's achieved selectivity is the
+	// fraction of visited codes that passed the bitmap, post-filtering's
+	// is the fraction of fetched candidates that passed the tag check.
+	baseStart := time.Now()
+	var st ivfpq.SearchStats
+	keptN, fetchedN := 0, 0
 	base := make([][]topk.Candidate, nq)
 	for qi := 0; qi < nq; qi++ {
 		if plan.Mode == filter.ModePre {
-			cands, _ := snap.ix.SearchQuantizedFiltered(queries.Row(qi), nprobe, k, allow)
+			cands, s := snap.ix.SearchQuantizedFiltered(queries.Row(qi), nprobe, k, allow)
+			st.Add(s)
 			base[qi] = cands
 			continue
 		}
-		cands, _ := snap.ix.SearchQuantized(queries.Row(qi), nprobe, plan.FetchK)
+		cands, s := snap.ix.SearchQuantized(queries.Row(qi), nprobe, plan.FetchK)
+		st.Add(s)
+		fetchedN += len(cands)
 		kept := cands[:0]
 		for _, c := range cands {
 			if allow(c.ID) {
 				kept = append(kept, c)
 			}
 		}
+		keptN += len(kept)
 		base[qi] = kept
 	}
-	return mergeResults(&view, base, k), nil
+	actual := plan.Selectivity
+	if plan.Mode == filter.ModePre {
+		if visited := st.CodesScanned + st.CodesFiltered; visited > 0 {
+			actual = float64(st.CodesScanned) / float64(visited)
+		}
+	} else if fetchedN > 0 {
+		actual = float64(keptN) / float64(fetchedN)
+	}
+	sl.Record("mutable.base", baseStart,
+		obs.Str("mode", plan.Mode.String()),
+		obs.Int("codes_scanned", int64(st.CodesScanned)),
+		obs.Float("est_selectivity", plan.Selectivity),
+		obs.Float("actual_selectivity", actual))
+
+	mergeStart := time.Now()
+	out := mergeResults(&view, base, k)
+	sl.Record("mutable.merge", mergeStart)
+	return out, nil
 }

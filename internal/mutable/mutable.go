@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/filter"
 	"repro/internal/ivfpq"
+	"repro/internal/obs"
 	"repro/internal/pim"
 	"repro/internal/pq"
 	"repro/internal/topk"
@@ -375,6 +376,16 @@ func (u *UpdatableIndex) Remove(ids []int64) error {
 // validation observes (epoch, overlay) as a consistent pair; if an epoch
 // swap raced the engine search, the search retries on the new epoch.
 func (u *UpdatableIndex) Search(queries *vecmath.Matrix, k int) ([][]topk.Candidate, error) {
+	return u.SearchStaged(queries, k, nil)
+}
+
+// SearchStaged is Search with a per-request stage log: each pipeline
+// stage (coarse probe, engine search, epoch-lock wait, overlay scan,
+// merge) records its wall time and attributes into sl, for the serving
+// layer to replay as spans under the request's dispatch. sl may be nil
+// (every record call is a no-op), which is exactly Search. It satisfies
+// serve.StagedBackend.
+func (u *UpdatableIndex) SearchStaged(queries *vecmath.Matrix, k int, sl *obs.StageLog) ([][]topk.Candidate, error) {
 	if queries.Dim != u.dim {
 		return nil, fmt.Errorf("mutable: query dim %d != index dim %d", queries.Dim, u.dim)
 	}
@@ -386,6 +397,7 @@ func (u *UpdatableIndex) Search(queries *vecmath.Matrix, k int) ([][]topk.Candid
 	// every epoch, so probes are epoch-independent. Probe counts feed the
 	// compactor's drift detector.
 	nq := queries.Rows
+	probeStart := time.Now()
 	probes := make([][]int32, nq)
 	coarse := u.snap.Load().ix.Coarse
 	for qi := 0; qi < nq; qi++ {
@@ -394,6 +406,8 @@ func (u *UpdatableIndex) Search(queries *vecmath.Matrix, k int) ([][]topk.Candid
 			u.acc[c].Add(1)
 		}
 	}
+	sl.Record("mutable.probe", probeStart,
+		obs.Int("queries", int64(nq)), obs.Int("nprobe", int64(u.cfg.Engine.NProbe)))
 
 	// Fast path: search the engine first, then validate that no epoch was
 	// published in between (publication holds the write lock, so holding
@@ -404,19 +418,31 @@ func (u *UpdatableIndex) Search(queries *vecmath.Matrix, k int) ([][]topk.Candid
 	// compactions and inflate the read tail with extra engine passes.
 	{
 		snap := u.snap.Load()
+		engStart := time.Now()
 		snap.engMu.Lock()
 		br, err := snap.eng.SearchBatch(queries)
 		snap.engMu.Unlock()
 		if err != nil {
 			return nil, err
 		}
+		sl.Record("mutable.engine", engStart,
+			obs.Int("epoch", int64(snap.epoch)), obs.Bool("compacting", u.compacting.Load()))
 
+		// The read lock orders this search against epoch publication; a
+		// compaction publishing right now holds the write lock, so this
+		// wait IS the compaction pause a reader experiences.
+		lockStart := time.Now()
 		u.mu.RLock()
+		sl.Record("mutable.epoch_wait", lockStart, obs.Bool("compacting", u.compacting.Load()))
 		if u.snap.Load() == snap {
 			view := overlayView{tombs: u.tombs, latest: u.latest}
+			ovStart := time.Now()
 			view.cands = u.scanOverlay(snap, queries, probes, k, nil)
+			sl.Record("mutable.overlay", ovStart, obs.Int("pending", int64(u.logCount)))
+			mergeStart := time.Now()
 			out := mergeResults(&view, br.Results, k)
 			u.mu.RUnlock()
+			sl.Record("mutable.merge", mergeStart)
 			return out, nil
 		}
 		u.mu.RUnlock()
@@ -438,16 +464,25 @@ func (u *UpdatableIndex) Search(queries *vecmath.Matrix, k int) ([][]topk.Candid
 	for id, r := range u.latest {
 		view.latest[id] = r
 	}
+	ovStart := time.Now()
 	view.cands = u.scanOverlay(snap, queries, probes, k, nil)
+	sl.Record("mutable.overlay", ovStart,
+		obs.Int("pending", int64(u.logCount)), obs.Str("path", "slow"))
 	u.mu.RUnlock()
 
+	engStart := time.Now()
 	snap.engMu.Lock()
 	br, err := snap.eng.SearchBatch(queries)
 	snap.engMu.Unlock()
 	if err != nil {
 		return nil, err
 	}
-	return mergeResults(&view, br.Results, k), nil
+	sl.Record("mutable.engine", engStart,
+		obs.Int("epoch", int64(snap.epoch)), obs.Str("path", "slow"))
+	mergeStart := time.Now()
+	out := mergeResults(&view, br.Results, k)
+	sl.Record("mutable.merge", mergeStart)
+	return out, nil
 }
 
 // overlayView is a consistent cut of the overlay for one search: the
@@ -471,6 +506,9 @@ func (u *UpdatableIndex) scanOverlay(snap *snapshot, queries *vecmath.Matrix, pr
 	out := make([][]topk.Candidate, queries.Rows)
 	resid := make([]float32, u.dim)
 	lut := make(pq.LUT, m*pq.CodebookSize)
+	scanStart := time.Now()
+	var lutDur time.Duration
+	scanned, lutEntries := 0, 0
 	for qi := range out {
 		heap := topk.NewHeap(k)
 		for _, cl := range probes[qi] {
@@ -478,9 +516,12 @@ func (u *UpdatableIndex) scanOverlay(snap *snapshot, queries *vecmath.Matrix, pr
 			if len(lg.ids) == 0 {
 				continue
 			}
+			lutStart := time.Now()
 			snap.ix.Coarse.Residual(resid, queries.Row(qi), cl)
 			snap.ix.PQ.BuildLUTInto(lut, resid)
 			ql := snap.ix.PQ.QuantizeWithScale(lut, snap.ix.QScale)
+			lutDur += time.Since(lutStart)
+			lutEntries += len(lut)
 			for i, id := range lg.ids {
 				s := lg.seqs[i]
 				if ref, ok := u.latest[id]; !ok || ref.seq != s {
@@ -493,10 +534,13 @@ func (u *UpdatableIndex) scanOverlay(snap *snapshot, queries *vecmath.Matrix, pr
 					continue // filtered out before distance work
 				}
 				heap.Push(id, ql.ToFloat(ql.QDistance(lg.codes[i*m:(i+1)*m])))
+				scanned++
 			}
 		}
 		out[qi] = heap.Sorted()
 	}
+	obs.Kernel.RecordScan(scanned*m, scanned, time.Since(scanStart)-lutDur)
+	obs.Kernel.RecordLUT(lutEntries, lutDur)
 	return out
 }
 

@@ -1,0 +1,46 @@
+package mutable
+
+import (
+	"strconv"
+
+	"repro/internal/obs"
+)
+
+// WriteMetrics emits the index's update, compaction and filtered-planning
+// counters in Prometheus exposition form. The serving layer wires it into
+// the shard's /metrics endpoint next to the process, tracer and kernel
+// families.
+func (u *UpdatableIndex) WriteMetrics(w *obs.PromWriter) {
+	st := u.Stats()
+	w.Gauge("upanns_index_epoch", "Current epoch number.", float64(st.Epoch))
+	w.Gauge("upanns_index_base_vectors", "Vectors in the epoch base.", float64(st.BaseVectors))
+	w.Gauge("upanns_index_pending_log_entries", "Overlay entries awaiting compaction.", float64(st.PendingLog))
+	w.Gauge("upanns_index_tombstones", "Tombstones awaiting compaction.", float64(st.Tombstones))
+	w.Counter("upanns_index_inserts_total", "Vectors staged by inserts and upserts.", float64(st.Inserts))
+	w.Counter("upanns_index_deletes_total", "Ids tombstoned by deletes.", float64(st.Deletes))
+	w.Counter("upanns_index_compactions_total", "Epoch compactions completed.", float64(st.Compactions))
+	w.Counter("upanns_index_compaction_errors_total", "Epoch compactions failed.", float64(st.CompactErrors))
+	w.Counter("upanns_index_compaction_seconds_total", "Wall seconds spent compacting.", st.SumCompactSecs)
+	w.Counter("upanns_index_folded_entries_total", "Overlay entries folded into epochs.", float64(st.FoldedEntries))
+	compacting := 0.0
+	if st.Compacting {
+		compacting = 1
+	}
+	w.Gauge("upanns_index_compacting", "1 while an epoch compaction is in flight.", compacting)
+
+	fs := u.FilterStats()
+	if fs == nil {
+		return
+	}
+	w.Counter("upanns_filter_queries_total", "Filtered queries planned.", float64(fs.Filtered))
+	w.Counter("upanns_filter_decisions_total", "Planner decisions by strategy.",
+		float64(fs.PreDecisions), "mode", "pre")
+	w.Counter("upanns_filter_decisions_total", "Planner decisions by strategy.",
+		float64(fs.PostDecisions), "mode", "post")
+	w.Counter("upanns_filter_forced_mode_total", "Filtered queries with a caller-pinned strategy.", float64(fs.ForcedMode))
+	for i, n := range fs.SelectivityHist {
+		w.Counter("upanns_filter_selectivity_bucket_total",
+			"Planned queries by estimated-selectivity bucket (le = inclusive upper bound).",
+			float64(n), "le", strconv.FormatFloat(fs.SelectivityBounds[i], 'g', -1, 64))
+	}
+}

@@ -1,0 +1,41 @@
+// Package obs is the observability layer: request-scoped tracing,
+// Prometheus-text /metrics exposition, kernel-level bandwidth accounting,
+// and process runtime stats. It exists to make the repo's central claim —
+// ADC scans are memory-bandwidth-bound — measurable in live serving
+// instead of asserted from coarse counters.
+//
+// Four pieces cooperate:
+//
+//   - Traces (span.go, tracer.go): a request carries a *Trace through its
+//     context; every layer it crosses attaches named spans (router fanout,
+//     serve queue wait, batch formation, backend dispatch, mutable
+//     epoch/overlay/merge, filter planning) with monotonic timestamps. A
+//     Tracer keeps finished traces in two ring buffers — a recent ring
+//     that churns with traffic and a slow/error ring that tail-based
+//     sampling always retains — and serves both on GET /trace/recent.
+//     The slow ring doubles as the slow-query log: each retained trace
+//     carries a flattened per-stage breakdown.
+//
+//   - Propagation (propagate.go): a traceparent-style header carries the
+//     trace identity over the router->shard HTTP hop; the shard annotates
+//     its response with its own span tree, which the router grafts under
+//     the fanout span so one trace shows the whole distributed request.
+//
+//   - Metrics (prom.go, process.go): PromWriter renders counters, gauges
+//     and summary-style quantile series in the Prometheus text exposition
+//     format; MetricsHandler turns a collect callback into a GET /metrics
+//     endpoint. Latency histograms export as summaries (quantile series +
+//     _sum/_count) because internal/metrics histograms have ~1300
+//     geometric buckets — far too many for native histogram series.
+//
+//   - Kernel accounting (kernel.go): a process-global counter block
+//     records bytes of PQ codes scanned and LUT entries built, with wall
+//     time, from every scan site (the simulated DPU kernels, the host
+//     reference kernels, the mutable overlay scan). Its snapshot reports
+//     achieved scan GB/s next to the internal/archmodel roofline bound,
+//     which is what ROADMAP item 1 ("measured, not asserted") needs.
+//
+// Everything is nil-safe: a nil *Tracer starts nil *Traces, and every
+// method on a nil Trace, Span or StageLog is a no-op, so instrumented
+// code paths never branch on "is tracing on".
+package obs

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/archmodel"
+)
+
+// KernelCounters accumulates ADC-scan work across every kernel site in
+// the process: the simulated DPU kernels (core), the host reference
+// kernels (ivfpq, which the filtered path runs on), and the mutable
+// overlay scan. Bytes-of-codes-scanned over wall time is the achieved
+// scan bandwidth; the archmodel roofline bound sits next to it on
+// /metrics so the paper's bandwidth-bound claim is checkable live.
+type KernelCounters struct {
+	scanBytes  atomic.Uint64
+	scanCodes  atomic.Uint64
+	scanNanos  atomic.Int64
+	lutEntries atomic.Uint64
+	lutNanos   atomic.Int64
+}
+
+// Kernel is the process-global kernel counter block. Every scan site
+// records into it; /metrics snapshots it.
+var Kernel KernelCounters
+
+// RecordScan accounts one code-scan pass: bytes of PQ codes streamed,
+// codes visited, and the wall time the pass took.
+func (k *KernelCounters) RecordScan(bytes, codes int, d time.Duration) {
+	if bytes <= 0 && codes <= 0 {
+		return
+	}
+	k.scanBytes.Add(uint64(bytes))
+	k.scanCodes.Add(uint64(codes))
+	k.scanNanos.Add(int64(d))
+}
+
+// RecordLUT accounts one LUT-construction pass: entries computed and the
+// wall time spent (0 when the caller cannot separate it from the scan).
+func (k *KernelCounters) RecordLUT(entries int, d time.Duration) {
+	if entries <= 0 {
+		return
+	}
+	k.lutEntries.Add(uint64(entries))
+	k.lutNanos.Add(int64(d))
+}
+
+// KernelSnapshot is a point-in-time view of the kernel counters, with
+// the derived achieved bandwidth and the roofline bound alongside.
+type KernelSnapshot struct {
+	ScanBytes   uint64  `json:"scan_bytes"`
+	ScanCodes   uint64  `json:"scan_codes"`
+	ScanSeconds float64 `json:"scan_seconds"`
+	LUTEntries  uint64  `json:"lut_entries"`
+	LUTSeconds  float64 `json:"lut_seconds"`
+
+	// AchievedGBps is cumulative scanned bytes over cumulative scan wall
+	// time, in GB/s (0 until any scan has run).
+	AchievedGBps float64 `json:"achieved_scan_gbps"`
+	// RooflineGBps is the archmodel CPU bound: peak stream bandwidth
+	// derated by the PQ-scan efficiency factor.
+	RooflineGBps float64 `json:"roofline_scan_gbps"`
+}
+
+// Snapshot returns the current counters and derived bandwidth.
+func (k *KernelCounters) Snapshot() KernelSnapshot {
+	s := KernelSnapshot{
+		ScanBytes:   k.scanBytes.Load(),
+		ScanCodes:   k.scanCodes.Load(),
+		ScanSeconds: float64(k.scanNanos.Load()) / 1e9,
+		LUTEntries:  k.lutEntries.Load(),
+		LUTSeconds:  float64(k.lutNanos.Load()) / 1e9,
+	}
+	cpu := archmodel.CPU()
+	s.RooflineGBps = cpu.MemBandwidth * cpu.ScanEfficiency / 1e9
+	if s.ScanSeconds > 0 {
+		s.AchievedGBps = float64(s.ScanBytes) / s.ScanSeconds / 1e9
+	}
+	return s
+}
+
+// WriteMetrics renders the kernel counters into w, achieved next to
+// roofline.
+func (k *KernelCounters) WriteMetrics(w *PromWriter) {
+	s := k.Snapshot()
+	w.Counter("upanns_kernel_scan_bytes_total", "Bytes of PQ codes streamed through ADC scans.", float64(s.ScanBytes))
+	w.Counter("upanns_kernel_scan_codes_total", "Encoded vectors visited by ADC scans.", float64(s.ScanCodes))
+	w.Counter("upanns_kernel_scan_seconds_total", "Wall time spent in ADC scan passes.", s.ScanSeconds)
+	w.Counter("upanns_kernel_lut_entries_total", "LUT cells computed before scans.", float64(s.LUTEntries))
+	w.Counter("upanns_kernel_lut_seconds_total", "Wall time spent building LUTs (where measured separately).", s.LUTSeconds)
+	w.Gauge("upanns_kernel_scan_gbps", "Achieved ADC scan bandwidth, cumulative bytes over cumulative scan time.", s.AchievedGBps)
+	w.Gauge("upanns_kernel_roofline_gbps", "archmodel roofline bound on sustainable scan bandwidth.", s.RooflineGBps)
+}

@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// processStart anchors the uptime gauge; set once at process init.
+var processStart = time.Now()
+
+// ProcessStats is the process runtime section shared by the serve and
+// router /stats payloads: uptime, scheduler pressure, and GC cost —
+// the numbers the OPERATIONS runbook recipes triage with.
+type ProcessStats struct {
+	UptimeSeconds       float64 `json:"uptime_seconds"`
+	Goroutines          int     `json:"goroutines"`
+	GCPauseTotalSeconds float64 `json:"gc_pause_total_seconds"`
+	GCCycles            uint32  `json:"gc_cycles"`
+	HeapAllocBytes      uint64  `json:"heap_alloc_bytes"`
+}
+
+// Process snapshots the process runtime stats.
+func Process() ProcessStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ProcessStats{
+		UptimeSeconds:       time.Since(processStart).Seconds(),
+		Goroutines:          runtime.NumGoroutine(),
+		GCPauseTotalSeconds: float64(ms.PauseTotalNs) / 1e9,
+		GCCycles:            ms.NumGC,
+		HeapAllocBytes:      ms.HeapAlloc,
+	}
+}
+
+// WriteMetrics renders the process stats into w.
+func (p ProcessStats) WriteMetrics(w *PromWriter) {
+	w.Gauge("upanns_process_uptime_seconds", "Seconds since process start.", p.UptimeSeconds)
+	w.Gauge("upanns_process_goroutines", "Current goroutine count.", float64(p.Goroutines))
+	w.Counter("upanns_process_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.", p.GCPauseTotalSeconds)
+	w.Counter("upanns_process_gc_cycles_total", "Completed GC cycles.", float64(p.GCCycles))
+	w.Gauge("upanns_process_heap_alloc_bytes", "Live heap bytes.", float64(p.HeapAllocBytes))
+}

@@ -1,0 +1,51 @@
+package obs
+
+import "strings"
+
+// TraceparentHeader is the HTTP header carrying trace identity across the
+// router->shard hop, in the W3C trace-context shape:
+//
+//	00-<32 hex trace id>-<16 hex parent span id>-<2 hex flags>
+//
+// Only the trace id and the sampled flag (bit 0) are interpreted; the
+// parent span id is carried for shape compatibility (spans are re-parented
+// by grafting the shard's annotation, not by id).
+const TraceparentHeader = "traceparent"
+
+// Traceparent renders the trace's propagation header value ("" on nil).
+func (tr *Trace) Traceparent() string {
+	if tr == nil {
+		return ""
+	}
+	flags := "00"
+	if tr.sampled {
+		flags = "01"
+	}
+	// The parent span id slot carries the first half of the trace id:
+	// span identities are structural (tree position), not numeric, here.
+	return "00-" + tr.id + "-" + tr.id[:16] + "-" + flags
+}
+
+// ParseTraceparent extracts (trace id, sampled) from a traceparent header
+// value. ok is false for anything malformed — a bad header degrades to an
+// untraced request, never an error.
+func ParseTraceparent(h string) (id string, sampled bool, ok bool) {
+	parts := strings.Split(strings.TrimSpace(h), "-")
+	if len(parts) != 4 || parts[0] != "00" || len(parts[1]) != 32 || len(parts[2]) != 16 || len(parts[3]) != 2 {
+		return "", false, false
+	}
+	if !isHex(parts[1]) || !isHex(parts[2]) || !isHex(parts[3]) {
+		return "", false, false
+	}
+	return parts[1], parts[3] == "01", true
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/filter"
 	"repro/internal/multihost"
+	"repro/internal/obs"
 	"repro/internal/topk"
 	"repro/internal/vecmath"
 )
@@ -31,6 +32,24 @@ type FilterBackend interface {
 	// pred, ascending distance. The predicate is already parsed; the
 	// implementation validates it against its schema.
 	SearchFiltered(queries *vecmath.Matrix, k int, pred filter.Pred) ([][]topk.Candidate, error)
+}
+
+// StagedBackend is a Backend that can additionally record its internal
+// pipeline stages (probe, engine, overlay, merge, ...) into a per-batch
+// stage log while answering. The server uses it when a traced request
+// rides in the batch, replaying the recorded stages as child spans of
+// the request's dispatch. internal/mutable.UpdatableIndex implements it.
+type StagedBackend interface {
+	Backend
+	SearchStaged(queries *vecmath.Matrix, k int, sl *obs.StageLog) ([][]topk.Candidate, error)
+}
+
+// StagedFilterBackend is the filtered counterpart of StagedBackend: the
+// stage log additionally carries the filter planner's decision and the
+// estimated-vs-achieved selectivity.
+type StagedFilterBackend interface {
+	FilterBackend
+	SearchFilteredStaged(queries *vecmath.Matrix, k int, pred filter.Pred, mode filter.Mode, sl *obs.StageLog) ([][]topk.Candidate, error)
 }
 
 // EngineBackend adapts a single-host core.Engine. Engine.SearchBatch

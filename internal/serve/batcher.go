@@ -2,6 +2,17 @@ package serve
 
 import "time"
 
+// batch is one formed micro-batch plus its formation timestamps: opened
+// is when the first item arrived (the batch began forming), formed is
+// when it was sealed for dispatch. The gap between them is the linger a
+// request paid for its batch-mates, which request tracing reports as the
+// serve.batch span.
+type batch[T any] struct {
+	items  []T
+	opened time.Time
+	formed time.Time
+}
+
 // microBatcher owns the batch-formation machinery shared by the read
 // path (Server) and the write path (WriteBatcher): a bounded admission
 // queue drained by a single scheduler goroutine into batches that
@@ -13,7 +24,7 @@ type microBatcher[T any] struct {
 	maxBatch int
 	linger   time.Duration
 	queue    chan T
-	work     chan []T
+	work     chan batch[T]
 	stopc    chan struct{}
 }
 
@@ -22,7 +33,7 @@ func newMicroBatcher[T any](maxBatch int, linger time.Duration, queueDepth, work
 		maxBatch: maxBatch,
 		linger:   linger,
 		queue:    make(chan T, queueDepth),
-		work:     make(chan []T, workDepth),
+		work:     make(chan batch[T], workDepth),
 		stopc:    make(chan struct{}),
 	}
 }
@@ -37,7 +48,9 @@ func (b *microBatcher[T]) run() {
 	for {
 		select {
 		case first := <-b.queue:
-			b.work <- b.fill(first)
+			opened := time.Now()
+			items := b.fill(first)
+			b.work <- batch[T]{items: items, opened: opened, formed: time.Now()}
 		case <-b.stopc:
 			b.drain()
 			return
@@ -81,18 +94,20 @@ func (b *microBatcher[T]) fill(first T) []T {
 
 // drain flushes everything still queued at shutdown into final batches.
 func (b *microBatcher[T]) drain() {
-	batch := make([]T, 0, b.maxBatch)
+	opened := time.Now()
+	items := make([]T, 0, b.maxBatch)
 	for {
 		select {
 		case r := <-b.queue:
-			batch = append(batch, r)
-			if len(batch) == b.maxBatch {
-				b.work <- batch
-				batch = make([]T, 0, b.maxBatch)
+			items = append(items, r)
+			if len(items) == b.maxBatch {
+				b.work <- batch[T]{items: items, opened: opened, formed: time.Now()}
+				opened = time.Now()
+				items = make([]T, 0, b.maxBatch)
 			}
 		default:
-			if len(batch) > 0 {
-				b.work <- batch
+			if len(items) > 0 {
+				b.work <- batch[T]{items: items, opened: opened, formed: time.Now()}
 			}
 			return
 		}

@@ -6,9 +6,11 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"sync/atomic"
 
 	"repro/internal/filter"
+	"repro/internal/obs"
 	"repro/internal/topk"
 )
 
@@ -31,10 +33,14 @@ type SearchRequest struct {
 }
 
 // SearchResponse is the POST /search reply: parallel id/distance slices,
-// ascending distance.
+// ascending distance. Trace is present only when the request carried a
+// sampled traceparent header: the shard's span tree for this request, in
+// wire form, for the caller (typically the cluster router) to graft into
+// its own trace.
 type SearchResponse struct {
-	IDs       []int64   `json:"ids"`
-	Distances []float32 `json:"distances"`
+	IDs       []int64       `json:"ids"`
+	Distances []float32     `json:"distances"`
+	Trace     *obs.WireSpan `json:"trace,omitempty"`
 }
 
 // NewSearchResponse converts result candidates into the wire reply. The
@@ -81,6 +87,13 @@ type StatsPayload struct {
 	Serve   Stats       `json:"serve"`
 	Writes  *WriteStats `json:"writes,omitempty"`
 	Index   any         `json:"index,omitempty"`
+	// Process carries process-level health (uptime, goroutines, GC
+	// pauses); the router exposes the same shape per shard and for
+	// itself, so dashboards read one schema everywhere.
+	Process *obs.ProcessStats `json:"process,omitempty"`
+	// Trace carries the tracer's sampling counters when tracing is
+	// enabled.
+	Trace *obs.TracerStats `json:"trace,omitempty"`
 	// Filter carries the filtered-search planning counters
 	// (pre/post/adaptive decisions, selectivity histogram) when the
 	// deployment indexes attributes. It is a typed field — not part of
@@ -113,6 +126,15 @@ type HandlerConfig struct {
 	// the payload's "filter" section
 	// (e.g. mutable.UpdatableIndex.FilterStats). Returning nil omits it.
 	FilterStats func() *filter.StatsSnapshot
+	// Tracer enables request tracing: /search requests start (or join,
+	// via an incoming traceparent header) a trace, and finished traces
+	// land in GET /trace/recent. Nil disables tracing; the endpoints
+	// still exist and serve empty payloads.
+	Tracer *obs.Tracer
+	// Metrics, when non-nil, is called per GET /metrics request to append
+	// deployment-specific series (e.g. mutable.UpdatableIndex.WriteMetrics)
+	// after the process, tracer, kernel and serving families.
+	Metrics func(*obs.PromWriter)
 }
 
 // Handler is the shard HTTP API over one serving deployment:
@@ -122,6 +144,9 @@ type HandlerConfig struct {
 //	POST /delete  WriteRequest         -> {"id": N}
 //	GET  /stats                        -> StatsPayload
 //	GET  /healthz                      -> HealthPayload (200 serving, 503 draining)
+//	GET  /metrics                      -> Prometheus text exposition
+//	GET  /trace/recent                 -> obs.RecentPayload (recent + slow/error traces)
+//	GET  /debug/pprof/...              -> runtime profiles
 //
 // Overload maps to 503 + Retry-After, missed deadlines to 504. Create
 // with NewHandler; flip StartDraining when shutdown begins so admission
@@ -142,7 +167,39 @@ func NewHandler(srv *Server, cfg HandlerConfig) *Handler {
 	h.mux.HandleFunc("POST /delete", func(w http.ResponseWriter, r *http.Request) { h.handleWrite(false, w, r) })
 	h.mux.HandleFunc("GET /stats", h.handleStats)
 	h.mux.HandleFunc("GET /healthz", h.handleHealthz)
+	MountObs(h.mux, cfg.Tracer, h.collectMetrics)
 	return h
+}
+
+// MountObs wires the shared observability surface — /metrics,
+// /trace/recent and /debug/pprof — onto mux. The shard handler and the
+// cluster router both use it so operators see the same endpoints on
+// every process. tc may be nil (the trace endpoint serves empty rings).
+func MountObs(mux *http.ServeMux, tc *obs.Tracer, collect func(*obs.PromWriter)) {
+	mux.Handle("GET /metrics", obs.MetricsHandler(collect))
+	mux.Handle("GET /trace/recent", tc.Handler())
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+}
+
+// collectMetrics builds the shard's /metrics payload: process health,
+// tracer counters, the process-global kernel bandwidth accounting (with
+// its archmodel roofline bound), the serving and write counters, and any
+// deployment extras.
+func (h *Handler) collectMetrics(w *obs.PromWriter) {
+	obs.Process().WriteMetrics(w)
+	h.cfg.Tracer.WriteMetrics(w)
+	obs.Kernel.WriteMetrics(w)
+	h.srv.Stats().WriteMetrics(w)
+	if h.cfg.Writer != nil {
+		h.cfg.Writer.Stats().WriteMetrics(w)
+	}
+	if h.cfg.Metrics != nil {
+		h.cfg.Metrics(w)
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -212,11 +269,23 @@ func (h *Handler) handleSearch(w http.ResponseWriter, r *http.Request) {
 		}
 		opts.Filter = pred
 	}
-	cands, err := h.srv.SearchOpts(r.Context(), req.Vector, opts)
+	// Start (or join, when the router sent a traceparent) the request
+	// trace; the server and backend add spans to it through the context.
+	incoming := r.Header.Get(obs.TraceparentHeader)
+	tr := h.cfg.Tracer.StartRemote(incoming, "serve.request")
+	ctx := obs.WithTrace(r.Context(), tr)
+	cands, err := h.srv.SearchOpts(ctx, req.Vector, opts)
+	h.cfg.Tracer.Finish(tr, err)
 	if h.writeServeError(w, err) {
 		return
 	}
-	WriteJSON(w, http.StatusOK, NewSearchResponse(cands))
+	resp := NewSearchResponse(cands)
+	if incoming != "" {
+		// Annotate the reply with this shard's span tree so the caller
+		// can graft it into the distributed trace.
+		resp.Trace = tr.WireRoot()
+	}
+	WriteJSON(w, http.StatusOK, resp)
 }
 
 func (h *Handler) handleWrite(upsert bool, w http.ResponseWriter, r *http.Request) {
@@ -260,6 +329,12 @@ func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if h.cfg.FilterStats != nil {
 		st.Filter = h.cfg.FilterStats()
+	}
+	p := obs.Process()
+	st.Process = &p
+	if h.cfg.Tracer != nil {
+		ts := h.cfg.Tracer.Stats()
+		st.Trace = &ts
 	}
 	WriteJSON(w, http.StatusOK, st)
 }

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/filter"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/topk"
 	"repro/internal/vecmath"
 )
@@ -21,6 +22,7 @@ type request struct {
 	filterID string      // canonical predicate string ("" = unfiltered)
 	deadline time.Time
 	submit   time.Time
+	tr       *obs.Trace // request trace (nil = untraced); workers add spans to it
 	reply    chan reply // buffered(1): workers never block on abandoned waiters
 }
 
@@ -137,12 +139,14 @@ func (s *Server) SearchOpts(ctx context.Context, vec []float32, opts SearchOptio
 		s.ctr.filtered.Add(1)
 	}
 	now := time.Now()
+	tr := obs.FromContext(ctx)
 	r := &request{
 		key:      s.keyer.key(vec, k, filterID),
 		k:        k,
 		pred:     opts.Filter,
 		filterID: filterID,
 		submit:   now,
+		tr:       tr,
 		reply:    make(chan reply, 1),
 	}
 	s.ctr.requests.Add(1)
@@ -151,6 +155,7 @@ func (s *Server) SearchOpts(ctx context.Context, vec []float32, opts SearchOptio
 		if cands, ok := s.cache.get(r.key); ok {
 			s.ctr.cacheHits.Add(1)
 			s.lat.Observe(time.Since(now).Seconds())
+			tr.AddSpan(nil, "serve.cache", now, time.Since(now), obs.Bool("hit", true))
 			return cands, nil
 		}
 	}
@@ -167,6 +172,7 @@ func (s *Server) SearchOpts(ctx context.Context, vec []float32, opts SearchOptio
 
 	// Admission: the RLock pairs with Close's Lock so no request can slip
 	// into the queue after the drain pass has started.
+	admitStart := time.Now()
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
@@ -175,10 +181,15 @@ func (s *Server) SearchOpts(ctx context.Context, vec []float32, opts SearchOptio
 	select {
 	case s.mb.queue <- r:
 		s.ctr.accepted.Add(1)
+		depth := len(s.mb.queue)
 		s.mu.RUnlock()
+		tr.AddSpan(nil, "serve.admit", admitStart, time.Since(admitStart),
+			obs.Int("queue_depth", int64(depth)))
 	default:
 		s.mu.RUnlock()
 		s.ctr.shed.Add(1)
+		tr.AddSpan(nil, "serve.admit", admitStart, time.Since(admitStart),
+			obs.Str("outcome", "shed"))
 		return nil, ErrOverloaded
 	}
 
@@ -231,8 +242,8 @@ func (s *Server) Close() {
 func (s *Server) worker(b Backend, dim int) {
 	defer s.wg.Done()
 	queries := vecmath.NewMatrix(s.cfg.MaxBatch, dim)
-	for batch := range s.mb.work {
-		s.runBatch(b, batch, queries)
+	for bt := range s.mb.work {
+		s.runBatch(b, bt, queries)
 	}
 }
 
@@ -242,10 +253,10 @@ func (s *Server) worker(b Backend, dim int) {
 // Homogeneous traffic (the common case: every request at the default k,
 // unfiltered) stays a single backend call exactly as before; mixed
 // traffic costs one call per distinct shape within the micro-batch.
-func (s *Server) runBatch(b Backend, batch []*request, scratch *vecmath.Matrix) {
+func (s *Server) runBatch(b Backend, bt batch[*request], scratch *vecmath.Matrix) {
 	now := time.Now()
-	live := batch[:0]
-	for _, r := range batch {
+	live := bt.items[:0]
+	for _, r := range bt.items {
 		if now.After(r.deadline) {
 			// The waiter accounts the expiry (it owns the outcome); the
 			// reply only unblocks a waiter that has not yet timed out.
@@ -256,6 +267,19 @@ func (s *Server) runBatch(b Backend, batch []*request, scratch *vecmath.Matrix) 
 	}
 	if len(live) == 0 {
 		return
+	}
+	// Per-request view of batch formation: the queue span is the wait
+	// from admission until this batch opened, the batch span is the
+	// linger spent collecting batch-mates.
+	for _, r := range live {
+		if r.tr == nil {
+			continue
+		}
+		if wait := bt.opened.Sub(r.submit); wait > 0 {
+			r.tr.AddSpan(nil, "serve.queue", r.submit, wait)
+		}
+		r.tr.AddSpan(nil, "serve.batch", bt.opened, bt.formed.Sub(bt.opened),
+			obs.Int("size", int64(len(bt.items))))
 	}
 
 	type shape struct {
@@ -317,18 +341,56 @@ func (s *Server) dispatchGroup(b Backend, group []*request, scratch *vecmath.Mat
 	for i, r := range distinct {
 		copy(m.Row(i), r.vec)
 	}
+	// One stage log per dispatch, allocated only when someone is tracing:
+	// the backend records each pipeline stage once, and the log is then
+	// replayed under every traced request's dispatch span below.
+	var sl *obs.StageLog
+	for _, r := range group {
+		if r.tr != nil {
+			sl = &obs.StageLog{}
+			break
+		}
+	}
 	// Record the cache generation before dispatching: results computed
 	// before an invalidating write must not repopulate the cache after it.
 	var cacheGen uint64
 	if s.cache != nil {
 		cacheGen = s.cache.generation()
 	}
+	dispStart := time.Now()
 	var res [][]topk.Candidate
 	var err error
-	if pred != nil {
-		res, err = fb.SearchFiltered(m, k, pred)
-	} else {
-		res, err = b.Search(m, k)
+	switch {
+	case pred != nil:
+		if sfb, ok := fb.(StagedFilterBackend); ok && sl != nil {
+			res, err = sfb.SearchFilteredStaged(m, k, pred, filter.ModeAuto, sl)
+		} else {
+			res, err = fb.SearchFiltered(m, k, pred)
+		}
+	default:
+		if sb, ok := b.(StagedBackend); ok && sl != nil {
+			res, err = sb.SearchStaged(m, k, sl)
+		} else {
+			res, err = b.Search(m, k)
+		}
+	}
+	// Spans must land before replies unblock waiters: the handler
+	// finalizes the trace as soon as its reply arrives.
+	dispDur := time.Since(dispStart)
+	recs := sl.Records()
+	for _, r := range group {
+		if r.tr == nil {
+			continue
+		}
+		d := r.tr.AddSpan(nil, "serve.dispatch", dispStart, dispDur,
+			obs.Int("group", int64(len(group))),
+			obs.Int("distinct", int64(len(distinct))),
+			obs.Int("k", int64(k)),
+			obs.Bool("filtered", pred != nil))
+		if err != nil {
+			d.SetError()
+		}
+		r.tr.AddStages(d, recs)
 	}
 	if err != nil {
 		s.ctr.backendErrs.Add(uint64(len(group)))

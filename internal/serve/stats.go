@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 // counters is the server's internal atomic counter block.
@@ -54,6 +55,27 @@ func (s Stats) HitRate() float64 {
 		return 0
 	}
 	return float64(s.CacheHits) / float64(served)
+}
+
+// WriteMetrics emits the serving counters in Prometheus exposition form
+// under the upanns_serve_* family; the latency histogram is exported as
+// a summary (p50/p95/p99 quantile series plus _sum and _count).
+func (st Stats) WriteMetrics(w *obs.PromWriter) {
+	w.Counter("upanns_serve_requests_total", "Search requests that passed validation.", float64(st.Requests))
+	w.Counter("upanns_serve_filtered_requests_total", "Requests carrying an attribute filter.", float64(st.Filtered))
+	w.Counter("upanns_serve_completed_total", "Answers delivered to callers in time.", float64(st.Completed))
+	w.Counter("upanns_serve_cache_hits_total", "Requests answered from the result cache.", float64(st.CacheHits))
+	w.Counter("upanns_serve_shed_total", "Requests rejected by admission control.", float64(st.Shed))
+	w.Counter("upanns_serve_expired_total", "Requests that missed their deadline.", float64(st.Expired))
+	w.Counter("upanns_serve_backend_errors_total", "Requests failed by the backend.", float64(st.BackendErrs))
+	w.Counter("upanns_serve_batches_total", "Backend dispatches.", float64(st.Batches))
+	w.Counter("upanns_serve_batched_queries_total", "Distinct queries across all dispatches.", float64(st.BatchedQ))
+	w.Counter("upanns_serve_coalesced_total", "Duplicates answered by a batch-mate's row.", float64(st.Coalesced))
+	w.Counter("upanns_serve_cache_flushes_total", "Cache invalidations.", float64(st.CacheFlushes))
+	w.Gauge("upanns_serve_queue_depth", "Requests waiting in the admission queue.", float64(st.QueueDepth))
+	w.Gauge("upanns_serve_cache_entries", "Entries in the result cache.", float64(st.CacheLen))
+	w.Gauge("upanns_serve_mean_batch_size", "Mean distinct queries per dispatch.", st.MeanBatchSize)
+	w.Summary("upanns_serve_latency_seconds", "Request latency, admission to response.", st.Latency)
 }
 
 // Stats snapshots the server's counters and latency histogram.

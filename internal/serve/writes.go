@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/filter"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/vecmath"
 )
 
@@ -275,8 +276,8 @@ func (w *WriteBatcher) worker() {
 	defer w.wg.Done()
 	scratch := vecmath.NewMatrix(w.cfg.MaxBatch, w.dim)
 	ids := make([]int64, 0, w.cfg.MaxBatch)
-	for batch := range w.mb.work {
-		w.runBatch(batch, scratch, ids)
+	for bt := range w.mb.work {
+		w.runBatch(bt.items, scratch, ids)
 	}
 }
 
@@ -371,6 +372,21 @@ type WriteStats struct {
 	// Latency covers every applied write, admission to acknowledgment,
 	// in seconds.
 	Latency metrics.Snapshot `json:"latency_seconds"`
+}
+
+// WriteMetrics emits the write-path counters in Prometheus exposition
+// form under the upanns_write_* family.
+func (st WriteStats) WriteMetrics(w *obs.PromWriter) {
+	w.Counter("upanns_write_requests_total", "Writes submitted.", float64(st.Requests))
+	w.Counter("upanns_write_applied_total", "Writes applied and acknowledged.", float64(st.Applied))
+	w.Counter("upanns_write_upserts_total", "Upserts applied.", float64(st.Upserts))
+	w.Counter("upanns_write_deletes_total", "Deletes applied.", float64(st.Deletes))
+	w.Counter("upanns_write_shed_total", "Writes rejected by admission control.", float64(st.Shed))
+	w.Counter("upanns_write_expired_total", "Writes that missed their deadline.", float64(st.Expired))
+	w.Counter("upanns_write_backend_errors_total", "Writes failed by the backend.", float64(st.BackendErrs))
+	w.Counter("upanns_write_batches_total", "Write batches applied.", float64(st.Batches))
+	w.Gauge("upanns_write_queue_depth", "Writes waiting in the admission queue.", float64(st.QueueDepth))
+	w.Summary("upanns_write_latency_seconds", "Write latency, admission to acknowledgment.", st.Latency)
 }
 
 // Stats snapshots the batcher's counters and latency histogram.
