@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	upanns-bench [flags] -exp all|table1|fig1|...|fig20|recall|serving|updates|cluster|filtered
+//	upanns-bench [flags] -exp all|table1|fig1|...|fig20|kernels|recall|serving|updates|cluster|filtered
 //
 // Examples:
 //

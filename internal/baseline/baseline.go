@@ -90,8 +90,14 @@ func (b *Backend) SearchBatch(queries *vecmath.Matrix, nprobe, k int) (*Result, 
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			// One scratch per worker: results alias it, so each query's
+			// candidates are copied out before the next query reuses it.
+			sc := ivfpq.NewScratch()
 			for qi := lo; qi < hi; qi++ {
-				results[qi], stats[qi] = b.Ix.Search(queries.Row(qi), nprobe, k)
+				cands, st := b.Ix.Search(queries.Row(qi),
+					ivfpq.SearchOpts{NProbe: nprobe, K: k, Scratch: sc})
+				results[qi] = append([]topk.Candidate(nil), cands...)
+				stats[qi] = st
 			}
 		}(lo, hi)
 	}

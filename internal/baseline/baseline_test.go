@@ -107,7 +107,7 @@ func TestPIMNaiveMatchesReference(t *testing.T) {
 		t.Fatal(err)
 	}
 	for qi := 0; qi < queries.Rows; qi++ {
-		want, _ := ix.SearchQuantized(queries.Row(qi), 4, 10)
+		want, _ := ix.Search(queries.Row(qi), ivfpq.SearchOpts{NProbe: 4, K: 10, Quantized: true})
 		if len(br.Results[qi]) != len(want) {
 			t.Fatalf("query %d: lengths %d vs %d", qi, len(br.Results[qi]), len(want))
 		}

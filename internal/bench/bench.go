@@ -274,6 +274,7 @@ func All() []Experiment {
 		{"fig18", "Top-k size vs QPS", (*Context).Fig18},
 		{"fig19", "Query time breakdown per architecture", (*Context).Fig19},
 		{"fig20", "Scalability vs DPU count", (*Context).Fig20},
+		{"kernels", "ADC kernel bandwidth vs roofline", (*Context).Kernels},
 		{"recall", "Accuracy validation across backends", (*Context).RecallCheck},
 		{"serving", "Online serving: batching/caching vs QPS and p99", (*Context).Serving},
 		{"updates", "Streaming updates: recall and read tail under churn", (*Context).Updates},

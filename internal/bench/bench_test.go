@@ -18,8 +18,8 @@ func tinyOptions() Options {
 
 func TestExperimentRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 21 {
-		t.Fatalf("registry holds %d experiments, want 21", len(all))
+	if len(all) != 22 {
+		t.Fatalf("registry holds %d experiments, want 22", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -37,7 +37,7 @@ func TestExperimentRegistry(t *testing.T) {
 	if _, ok := Find("nonsense"); ok {
 		t.Fatal("Find(nonsense) succeeded")
 	}
-	if len(IDs()) != 21 {
+	if len(IDs()) != 22 {
 		t.Fatal("IDs() count mismatch")
 	}
 }
@@ -151,10 +151,19 @@ func TestServingExperiment(t *testing.T) {
 	if tracing.P99OffSeconds <= 0 || tracing.P99OnSeconds <= 0 {
 		t.Fatalf("tracing pair measured nonpositive p99: %+v", tracing)
 	}
-	art := servingArtifact(points)
-	art.Tracing = tracing
-	if v := art.Violations(); len(v) != 0 {
-		t.Errorf("serving artifact violations with tracing pair: %v", v)
+	if tracing.MeanOffSeconds <= 0 || tracing.MeanOnSeconds <= 0 {
+		t.Fatalf("tracing pair measured nonpositive mean: %+v", tracing)
+	}
+	if !raceEnabled {
+		// The 5% mean-overhead budget is a wall-clock ratio; under race
+		// instrumentation the harness runs a single round, too noisy for
+		// the budget, so only the structural fields above are checked
+		// there (the uninstrumented bench-smoke job owns the budget).
+		art := servingArtifact(points)
+		art.Tracing = tracing
+		if v := art.Violations(); len(v) != 0 {
+			t.Errorf("serving artifact violations with tracing pair: %v", v)
+		}
 	}
 
 	rep := servingReport(points, tracing)

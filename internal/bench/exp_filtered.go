@@ -181,7 +181,7 @@ func (c *Context) FilteredRun() (*FilteredArtifact, error) {
 	}
 
 	truth := dataset.GroundTruth(s.ds.Vectors, s.queries, k)
-	unfiltered, err := u.Search(s.queries, k)
+	unfiltered, err := u.Search(s.queries, mutable.SearchOpts{K: k})
 	if err != nil {
 		return nil, err
 	}
@@ -267,7 +267,7 @@ func runFilteredMode(u *mutable.UpdatableIndex, queries *vecmath.Matrix, k int, 
 			for qi := 0; qi < queries.Rows; qi++ {
 				q := vecmath.WrapMatrix(queries.Row(qi), 1, queries.Dim)
 				t0 := time.Now()
-				out, err := u.SearchFilteredMode(q, k, pred, mode)
+				out, err := u.Search(q, mutable.SearchOpts{K: k, Pred: pred, Mode: mode})
 				if err != nil {
 					return ma, err
 				}

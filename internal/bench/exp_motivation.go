@@ -223,7 +223,7 @@ func (c *Context) Intro() (*Report, error) {
 	ires := make([][]topk.Candidate, queries.Rows)
 	nprobe := c.O.NProbeGrid[len(c.O.NProbeGrid)-1]
 	for i := 0; i < queries.Rows; i++ {
-		ires[i], _ = ix.Search(queries.Row(i), nprobe, 10)
+		ires[i], _ = ix.Search(queries.Row(i), ivfpq.SearchOpts{NProbe: nprobe, K: 10})
 	}
 	ivfpqRecall := dataset.Recall(ires, truth)
 	ivfpqPerVec := float64(baseline.IndexBytes(ix)) / float64(n)

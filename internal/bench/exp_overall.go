@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/dataset"
+	"repro/internal/ivfpq"
 	"repro/internal/metrics"
 	"repro/internal/topk"
 	"repro/internal/vecmath"
@@ -191,8 +192,8 @@ func (c *Context) RecallCheck() (*Report, error) {
 		fl := make([][]topk.Candidate, nq)
 		qt := make([][]topk.Candidate, nq)
 		for qi := 0; qi < nq; qi++ {
-			fl[qi], _ = s.ix.Search(queries.Row(qi), nprobe, c.O.K)
-			qt[qi], _ = s.ix.SearchQuantized(queries.Row(qi), nprobe, c.O.K)
+			fl[qi], _ = s.ix.Search(queries.Row(qi), ivfpq.SearchOpts{NProbe: nprobe, K: c.O.K})
+			qt[qi], _ = s.ix.Search(queries.Row(qi), ivfpq.SearchOpts{NProbe: nprobe, K: c.O.K, Quantized: true})
 		}
 		cfg := c.upannsConfig(nprobe)
 		e, err := c.getEngine(s, cfg, buildKey(cfg), c.O.DPUs)

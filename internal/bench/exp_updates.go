@@ -294,7 +294,7 @@ func (c *Context) runUpdatesPhase(u *mutable.UpdatableIndex, s *setup, stream *w
 				}
 				copy(buf.Row(0), qs.Next())
 				t0 := time.Now()
-				if _, err := u.Search(buf, k); err != nil {
+				if _, err := u.Search(buf, mutable.SearchOpts{K: k}); err != nil {
 					fail(err)
 					return
 				}
@@ -381,7 +381,7 @@ func (c *Context) runUpdatesPhase(u *mutable.UpdatableIndex, s *setup, stream *w
 // measureRecall computes mean recall@k of the updatable index against
 // exact L2 ground truth over the live set.
 func (c *Context) measureRecall(u *mutable.UpdatableIndex, queries *vecmath.Matrix, live map[int64][]float32, k int) (float64, error) {
-	res, err := u.Search(queries, k)
+	res, err := u.Search(queries, mutable.SearchOpts{K: k})
 	if err != nil {
 		return 0, err
 	}

@@ -86,7 +86,7 @@ func TestEngineMatchesQuantizedReference(t *testing.T) {
 		t.Fatal(err)
 	}
 	for qi := 0; qi < queries.Rows; qi++ {
-		want, _ := ix.SearchQuantized(queries.Row(qi), cfg.NProbe, cfg.K)
+		want, _ := ix.Search(queries.Row(qi), ivfpq.SearchOpts{NProbe: cfg.NProbe, K: cfg.K, Quantized: true})
 		resultsEquivalent(t, qi, br.Results[qi], want)
 	}
 }

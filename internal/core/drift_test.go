@@ -3,6 +3,8 @@ package core
 import (
 	"math"
 	"testing"
+
+	"repro/internal/ivfpq"
 )
 
 func TestFreqDriftBounds(t *testing.T) {
@@ -69,7 +71,7 @@ func TestAdaptReplicasAddsForNewHotCluster(t *testing.T) {
 		t.Fatal(err)
 	}
 	for qi := 0; qi < queries.Rows; qi += 7 {
-		want, _ := ix.SearchQuantized(queries.Row(qi), cfg.NProbe, cfg.K)
+		want, _ := ix.Search(queries.Row(qi), ivfpq.SearchOpts{NProbe: cfg.NProbe, K: cfg.K, Quantized: true})
 		resultsEquivalent(t, qi, br.Results[qi], want)
 	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"repro/internal/ivfpq"
 	"repro/internal/vecmath"
 )
 
@@ -46,7 +47,7 @@ func TestSingleDPUDeployment(t *testing.T) {
 		t.Errorf("single-DPU balance %v", br.Balance)
 	}
 	for qi := 0; qi < queries.Rows; qi++ {
-		want, _ := ix.SearchQuantized(queries.Row(qi), cfg.NProbe, cfg.K)
+		want, _ := ix.Search(queries.Row(qi), ivfpq.SearchOpts{NProbe: cfg.NProbe, K: cfg.K, Quantized: true})
 		resultsEquivalent(t, qi, br.Results[qi], want)
 	}
 }
@@ -64,7 +65,7 @@ func TestSingleQueryBatch(t *testing.T) {
 	if len(br.Results) != 1 || len(br.Results[0]) == 0 {
 		t.Fatalf("single-query batch results: %v", br.Results)
 	}
-	want, _ := ix.SearchQuantized(one.Row(0), cfg.NProbe, cfg.K)
+	want, _ := ix.Search(one.Row(0), ivfpq.SearchOpts{NProbe: cfg.NProbe, K: cfg.K, Quantized: true})
 	resultsEquivalent(t, 0, br.Results[0], want)
 }
 

@@ -30,8 +30,8 @@
 //     histograms observed selectivities for operators.
 //
 // The bitmap is pushed down into the ivfpq scan kernels and the mutable
-// overlay scan (see ivfpq.SearchQuantizedFiltered and
-// mutable.SearchFiltered); internal/serve wires the predicate onto the
+// overlay scan (see ivfpq.SearchOpts.Allow and mutable.SearchOpts.Pred);
+// internal/serve wires the predicate onto the
 // /search request and internal/cluster passes it through the
 // scatter-gather fanout unchanged.
 package filter

@@ -51,6 +51,14 @@ func (c *Coarse) Probe(query []float32, nprobe int) []int32 {
 	return ids
 }
 
+// ProbeInto is Probe reusing caller-provided backing for the cluster ids
+// and the centroid-distance scratch (each grown only when capacity falls
+// short), so steady-state search paths probe without allocating. Both
+// slices are returned so the caller can retain the grown backing.
+func (c *Coarse) ProbeInto(ids []int32, ds []float32, query []float32, nprobe int) ([]int32, []float32) {
+	return c.Centroids.TopNL2Into(ids, ds, query, nprobe)
+}
+
 // Residual writes vec - centroid[cluster] into dst and returns it.
 func (c *Coarse) Residual(dst, vec []float32, cluster int32) []float32 {
 	return vecmath.Sub(dst, vec, c.Centroids.Row(int(cluster)))

@@ -29,8 +29,8 @@ func TestIndexRoundTrip(t *testing.T) {
 	// Loaded index must return byte-identical search results.
 	for qi := 0; qi < 20; qi++ {
 		q := data.Row(qi)
-		a, _ := ix.Search(q, 4, 10)
-		b, _ := got.Search(q, 4, 10)
+		a, _ := ix.Search(q, SearchOpts{NProbe: 4, K: 10})
+		b, _ := got.Search(q, SearchOpts{NProbe: 4, K: 10})
 		if len(a) != len(b) {
 			t.Fatalf("query %d: lengths differ", qi)
 		}
@@ -39,8 +39,8 @@ func TestIndexRoundTrip(t *testing.T) {
 				t.Fatalf("query %d rank %d: %+v vs %+v", qi, i, a[i], b[i])
 			}
 		}
-		aq, _ := ix.SearchQuantized(q, 4, 10)
-		bq, _ := got.SearchQuantized(q, 4, 10)
+		aq, _ := ix.Search(q, SearchOpts{NProbe: 4, K: 10, Quantized: true})
+		bq, _ := got.Search(q, SearchOpts{NProbe: 4, K: 10, Quantized: true})
 		for i := range aq {
 			if aq[i] != bq[i] {
 				t.Fatalf("query %d quantized rank %d differs", qi, i)
@@ -136,8 +136,8 @@ func TestFoldedIndexRoundTrip(t *testing.T) {
 	}
 	for qi := 0; qi < 20; qi++ {
 		q := data.Row(qi)
-		a, _ := folded.SearchQuantized(q, 4, 10)
-		b, _ := got.SearchQuantized(q, 4, 10)
+		a, _ := folded.Search(q, SearchOpts{NProbe: 4, K: 10, Quantized: true})
+		b, _ := got.Search(q, SearchOpts{NProbe: 4, K: 10, Quantized: true})
 		if len(a) != len(b) {
 			t.Fatalf("query %d: lengths differ", qi)
 		}

@@ -14,12 +14,9 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
-	"time"
 
 	"repro/internal/ivf"
-	"repro/internal/obs"
 	"repro/internal/pq"
-	"repro/internal/topk"
 	"repro/internal/vecmath"
 )
 
@@ -295,119 +292,4 @@ func (s *SearchStats) Add(other SearchStats) {
 	s.HeapPushes += other.HeapPushes
 	s.HeapAccepted += other.HeapAccepted
 	s.ProbedClusters += other.ProbedClusters
-}
-
-// Search runs the float32 reference pipeline and returns the k nearest
-// candidates in ascending distance order plus the work counters.
-func (ix *Index) Search(query []float32, nprobe, k int) ([]topk.Candidate, SearchStats) {
-	return ix.SearchFiltered(query, nprobe, k, nil)
-}
-
-// SearchFiltered is Search with a predicate pushed into the scan kernel:
-// codes whose ID fails allow are skipped before any ADC arithmetic, so a
-// selective filter saves almost the whole distance stage (the dominant
-// cost) instead of discarding results after it. A nil allow admits
-// everything. The per-cluster LUT is built lazily — a probed cluster
-// containing no allowed IDs never pays stage (b) at all.
-func (ix *Index) SearchFiltered(query []float32, nprobe, k int, allow func(id int64) bool) ([]topk.Candidate, SearchStats) {
-	var st SearchStats
-	probes := ix.Coarse.Probe(query, nprobe)
-	st.CentroidScans = ix.Coarse.NList()
-	st.ProbedClusters = len(probes)
-
-	heap := topk.NewHeap(k)
-	resid := make([]float32, ix.Dim)
-	lut := make(pq.LUT, ix.PQ.M*pq.CodebookSize)
-	m := ix.PQ.M
-	scanStart := time.Now()
-	var lutDur time.Duration
-	for _, cl := range probes {
-		list := &ix.Lists[cl]
-		if list.Len() == 0 {
-			continue
-		}
-		haveLUT := false
-		for i := 0; i < list.Len(); i++ {
-			if allow != nil && !allow(list.IDs[i]) {
-				st.CodesFiltered++
-				continue
-			}
-			if !haveLUT {
-				lutStart := time.Now()
-				ix.Coarse.Residual(resid, query, cl)
-				ix.PQ.BuildLUTInto(lut, resid)
-				lutDur += time.Since(lutStart)
-				st.LUTEntries += ix.PQ.M * ix.PQ.KSub
-				haveLUT = true
-			}
-			d := pq.ADCDistance(lut, list.Code(i, m))
-			st.CodesScanned++
-			st.CodeBytes += m
-			st.HeapPushes++
-			if heap.Push(list.IDs[i], d) {
-				st.HeapAccepted++
-			}
-		}
-	}
-	obs.Kernel.RecordScan(st.CodeBytes, st.CodesScanned, time.Since(scanStart)-lutDur)
-	obs.Kernel.RecordLUT(st.LUTEntries, lutDur)
-	return heap.Sorted(), st
-}
-
-// SearchQuantized runs the same pipeline with the uint16 WRAM-style LUT
-// (the arithmetic the PIM backends perform), so PIM results can be checked
-// for exact equality against this reference.
-func (ix *Index) SearchQuantized(query []float32, nprobe, k int) ([]topk.Candidate, SearchStats) {
-	return ix.SearchQuantizedFiltered(query, nprobe, k, nil)
-}
-
-// SearchQuantizedFiltered is SearchQuantized with the same predicate
-// pushdown as SearchFiltered: the filtered streaming path
-// (internal/mutable) scans epoch snapshots with it so filtered base and
-// overlay distances stay in the kernels' fixed-scale quantized domain.
-func (ix *Index) SearchQuantizedFiltered(query []float32, nprobe, k int, allow func(id int64) bool) ([]topk.Candidate, SearchStats) {
-	var st SearchStats
-	probes := ix.Coarse.Probe(query, nprobe)
-	st.CentroidScans = ix.Coarse.NList()
-	st.ProbedClusters = len(probes)
-
-	heap := topk.NewHeap(k)
-	resid := make([]float32, ix.Dim)
-	lut := make(pq.LUT, ix.PQ.M*pq.CodebookSize)
-	var ql *pq.QLUT
-	m := ix.PQ.M
-	scanStart := time.Now()
-	var lutDur time.Duration
-	for _, cl := range probes {
-		list := &ix.Lists[cl]
-		if list.Len() == 0 {
-			continue
-		}
-		haveLUT := false
-		for i := 0; i < list.Len(); i++ {
-			if allow != nil && !allow(list.IDs[i]) {
-				st.CodesFiltered++
-				continue
-			}
-			if !haveLUT {
-				lutStart := time.Now()
-				ix.Coarse.Residual(resid, query, cl)
-				ix.PQ.BuildLUTInto(lut, resid)
-				ql = ix.PQ.QuantizeWithScale(lut, ix.QScale)
-				lutDur += time.Since(lutStart)
-				st.LUTEntries += ix.PQ.M * ix.PQ.KSub
-				haveLUT = true
-			}
-			d := ql.ToFloat(ql.QDistance(list.Code(i, m)))
-			st.CodesScanned++
-			st.CodeBytes += m
-			st.HeapPushes++
-			if heap.Push(list.IDs[i], d) {
-				st.HeapAccepted++
-			}
-		}
-	}
-	obs.Kernel.RecordScan(st.CodeBytes, st.CodesScanned, time.Since(scanStart)-lutDur)
-	obs.Kernel.RecordLUT(st.LUTEntries, lutDur)
-	return heap.Sorted(), st
 }

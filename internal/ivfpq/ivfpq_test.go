@@ -86,7 +86,7 @@ func TestSearchFullProbeRecall(t *testing.T) {
 	trials := 20
 	for i := 0; i < trials; i++ {
 		q := data.Row(r.Intn(data.Rows))
-		got, _ := ix.Search(q, ix.NList(), 10)
+		got, _ := ix.Search(q, SearchOpts{NProbe: ix.NList(), K: 10})
 		truth := bruteForce(data, q, 10)
 		totalRecall += recallAtK(got, truth)
 	}
@@ -101,7 +101,7 @@ func TestSearchSelfQueryFindsSelf(t *testing.T) {
 	// it in the top-k nearly always.
 	hits := 0
 	for i := 0; i < 50; i++ {
-		got, _ := ix.Search(data.Row(i), 8, 10)
+		got, _ := ix.Search(data.Row(i), SearchOpts{NProbe: 8, K: 10})
 		for _, c := range got {
 			if c.ID == int64(i) {
 				hits++
@@ -116,7 +116,7 @@ func TestSearchSelfQueryFindsSelf(t *testing.T) {
 
 func TestSearchStatsConsistent(t *testing.T) {
 	ix, data := buildIndex(t, 4, 1500, 16, 12, 4)
-	_, st := ix.Search(data.Row(0), 4, 5)
+	_, st := ix.Search(data.Row(0), SearchOpts{NProbe: 4, K: 5})
 	if st.ProbedClusters != 4 {
 		t.Errorf("probed %d clusters", st.ProbedClusters)
 	}
@@ -151,8 +151,8 @@ func TestSearchQuantizedCloseToFloat(t *testing.T) {
 	trials := 15
 	for i := 0; i < trials; i++ {
 		q := data.Row(r.Intn(data.Rows))
-		fl, _ := ix.Search(q, 4, 10)
-		qt, _ := ix.SearchQuantized(q, 4, 10)
+		fl, _ := ix.Search(q, SearchOpts{NProbe: 4, K: 10})
+		qt, _ := ix.Search(q, SearchOpts{NProbe: 4, K: 10, Quantized: true})
 		agree += recallAtK(qt, fl)
 	}
 	if avg := agree / float64(trials); avg < 0.9 {
@@ -164,7 +164,7 @@ func TestTrainSubsampling(t *testing.T) {
 	data := testData(6, 3000, 16)
 	ix := Train(data, Params{NList: 8, M: 4, Seed: 6, TrainSub: 500})
 	ix.Add(data, 0)
-	got, _ := ix.Search(data.Row(0), 8, 5)
+	got, _ := ix.Search(data.Row(0), SearchOpts{NProbe: 8, K: 5})
 	if len(got) != 5 {
 		t.Fatalf("search returned %d results", len(got))
 	}
@@ -174,7 +174,7 @@ func TestAddBaseID(t *testing.T) {
 	data := testData(7, 100, 8)
 	ix := Train(data, Params{NList: 4, M: 4, Seed: 7})
 	ix.Add(data, 1000)
-	got, _ := ix.Search(data.Row(0), 4, 1)
+	got, _ := ix.Search(data.Row(0), SearchOpts{NProbe: 4, K: 1})
 	if got[0].ID != 1000 {
 		t.Fatalf("nearest to row 0 is %d, want 1000 (itself)", got[0].ID)
 	}
@@ -198,7 +198,7 @@ func BenchmarkSearch(b *testing.B) {
 	ix, data := buildIndex(b, 1, 20000, 64, 64, 16)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ix.Search(data.Row(i%data.Rows), 8, 10)
+		ix.Search(data.Row(i%data.Rows), SearchOpts{NProbe: 8, K: 10})
 	}
 }
 
@@ -242,7 +242,7 @@ func TestAddWithIDsSparseIDSpace(t *testing.T) {
 		idSet[ids[i]] = true
 	}
 	ix.AddWithIDs(data, ids)
-	res, _ := ix.Search(data.Row(0), 4, 5)
+	res, _ := ix.Search(data.Row(0), SearchOpts{NProbe: 4, K: 5})
 	if len(res) == 0 {
 		t.Fatal("no results")
 	}
@@ -260,7 +260,7 @@ func TestSearchFilteredMatchesFilteredScan(t *testing.T) {
 
 	// Reference: unfiltered scan of every probed code with an enormous k,
 	// then keep the allowed ids.
-	full, _ := ix.Search(q, 8, data.Rows)
+	full, _ := ix.Search(q, SearchOpts{NProbe: 8, K: data.Rows})
 	var want []topk.Candidate
 	for _, c := range full {
 		if allow(c.ID) {
@@ -271,7 +271,7 @@ func TestSearchFilteredMatchesFilteredScan(t *testing.T) {
 		want = want[:10]
 	}
 
-	got, st := ix.SearchFiltered(q, 8, 10, allow)
+	got, st := ix.Search(q, SearchOpts{NProbe: 8, K: 10, Allow: allow})
 	if len(got) != len(want) {
 		t.Fatalf("filtered search returned %d candidates, want %d", len(got), len(want))
 	}
@@ -304,8 +304,8 @@ func TestSearchQuantizedFilteredConsistency(t *testing.T) {
 	allow := func(id int64) bool { return id%5 == 0 }
 
 	// nil allow must reproduce the unfiltered quantized kernel exactly.
-	plain, pst := ix.SearchQuantized(q, 8, 10)
-	viaNil, nst := ix.SearchQuantizedFiltered(q, 8, 10, nil)
+	plain, pst := ix.Search(q, SearchOpts{NProbe: 8, K: 10, Quantized: true})
+	viaNil, nst := ix.Search(q, SearchOpts{NProbe: 8, K: 10, Allow: nil, Quantized: true})
 	if len(plain) != len(viaNil) {
 		t.Fatalf("nil-allow result count %d vs plain %d", len(viaNil), len(plain))
 	}
@@ -318,14 +318,14 @@ func TestSearchQuantizedFilteredConsistency(t *testing.T) {
 		t.Fatalf("nil-allow stats %+v diverge from plain %+v", nst, pst)
 	}
 
-	got, _ := ix.SearchQuantizedFiltered(q, 8, 10, allow)
+	got, _ := ix.Search(q, SearchOpts{NProbe: 8, K: 10, Allow: allow, Quantized: true})
 	for _, c := range got {
 		if !allow(c.ID) {
 			t.Fatalf("quantized filtered search leaked disallowed id %d", c.ID)
 		}
 	}
 	// Filtered results must rank consistently with a quantized full scan.
-	full, _ := ix.SearchQuantized(q, 8, 3000)
+	full, _ := ix.Search(q, SearchOpts{NProbe: 8, K: 3000, Quantized: true})
 	var want []topk.Candidate
 	for _, c := range full {
 		if allow(c.ID) {
@@ -348,7 +348,7 @@ func TestSearchQuantizedFilteredConsistency(t *testing.T) {
 func TestSearchFilteredEmptyAllow(t *testing.T) {
 	ix, _ := buildIndex(t, 7, 1000, 16, 16, 4)
 	q := testData(5, 1, 16).Row(0)
-	got, st := ix.SearchFiltered(q, 4, 10, func(int64) bool { return false })
+	got, st := ix.Search(q, SearchOpts{NProbe: 4, K: 10, Allow: func(int64) bool { return false }})
 	if len(got) != 0 {
 		t.Fatalf("deny-all predicate returned %d candidates", len(got))
 	}

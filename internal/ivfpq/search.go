@@ -1,0 +1,260 @@
+package ivfpq
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/pq"
+	"repro/internal/topk"
+)
+
+// SearchOpts shapes one Search call. The zero value is not useful: K and
+// NProbe must be positive for any result to come back.
+type SearchOpts struct {
+	// NProbe is the number of coarse clusters scanned (clamped to NList;
+	// <= 0 probes nothing and returns an empty result).
+	NProbe int
+	// K is the number of nearest candidates returned. It must be
+	// positive.
+	K int
+	// Allow, when non-nil, is a predicate pushed into the scan kernel:
+	// codes whose ID fails it are skipped before any ADC arithmetic, so a
+	// selective filter saves almost the whole distance stage. The
+	// per-cluster LUT is built lazily — a probed cluster containing no
+	// allowed IDs never pays LUT construction at all.
+	Allow func(id int64) bool
+	// Quantized switches the scan to the uint16 fixed-scale LUT
+	// arithmetic the DPU kernels use (distances are uint32 sums mapped
+	// back through the index's QScale), so results can be checked for
+	// exact equality against the PIM backends. False scans the float32
+	// LUT.
+	Quantized bool
+	// Scratch, when non-nil, provides the per-query working memory (LUT,
+	// residual, distance blocks, heap, result buffer); the steady-state
+	// search path then performs zero heap allocations, and the returned
+	// candidates alias the scratch (valid until its next use). When nil,
+	// scratch is drawn from an internal pool and the result is freshly
+	// allocated.
+	Scratch *Scratch
+}
+
+// Scratch is the preallocated working memory for one searcher goroutine.
+// A single Scratch serves indexes of any shape — every buffer is grown on
+// first use and reused afterwards — but must not be shared concurrently.
+type Scratch struct {
+	probes []int32
+	pdists []float32
+	resid  []float32
+	lut    pq.LUT
+	qtab   []uint16
+	dists  []float32
+	qdists []uint32
+	at     []int32
+	heap   *topk.Heap
+	out    []topk.Candidate
+}
+
+// NewScratch returns an empty Scratch; buffers are sized lazily by the
+// first Search that uses it.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// ensure sizes the buffers for ix. Cheap when already sized.
+func (s *Scratch) ensure(ix *Index, quantized bool) {
+	m := ix.PQ.M
+	if cap(s.resid) < ix.Dim {
+		s.resid = make([]float32, ix.Dim)
+	}
+	s.resid = s.resid[:ix.Dim]
+	if len(s.lut) != m*pq.CodebookSize {
+		s.lut = make(pq.LUT, m*pq.CodebookSize)
+	}
+	if quantized {
+		if len(s.qtab) != m*pq.CodebookSize {
+			s.qtab = make([]uint16, m*pq.CodebookSize)
+		}
+		if cap(s.qdists) < pq.ScanBlock {
+			s.qdists = make([]uint32, pq.ScanBlock)
+		}
+		s.qdists = s.qdists[:pq.ScanBlock]
+	} else {
+		if cap(s.dists) < pq.ScanBlock {
+			s.dists = make([]float32, pq.ScanBlock)
+		}
+		s.dists = s.dists[:pq.ScanBlock]
+	}
+	if cap(s.at) < pq.ScanBlock {
+		s.at = make([]int32, 0, pq.ScanBlock)
+	}
+}
+
+var scratchPool = sync.Pool{New: func() any { return NewScratch() }}
+
+// Search runs the IVFPQ online pipeline — cluster filtering, per-cluster
+// LUT construction on the residual, blocked ADC scanning, top-k selection
+// — under one option struct, and returns the K nearest candidates in
+// ascending distance order plus the work counters. It panics if o.K <= 0
+// (matching topk.NewHeap).
+//
+// The scan runs on the blocked kernels in internal/pq (see scan.go for
+// the layout and summation-order contract); SearchReference retains the
+// scalar loops and golden tests pin the two paths bit for bit.
+func (ix *Index) Search(query []float32, o SearchOpts) ([]topk.Candidate, SearchStats) {
+	s := o.Scratch
+	if s == nil {
+		s = scratchPool.Get().(*Scratch)
+		cands, st := ix.searchWith(query, o, s)
+		out := make([]topk.Candidate, len(cands))
+		copy(out, cands)
+		scratchPool.Put(s)
+		return out, st
+	}
+	return ix.searchWith(query, o, s)
+}
+
+func (ix *Index) searchWith(query []float32, o SearchOpts, s *Scratch) ([]topk.Candidate, SearchStats) {
+	var st SearchStats
+	s.ensure(ix, o.Quantized)
+	m := ix.PQ.M
+	scale := ix.QScale
+
+	s.probes, s.pdists = ix.Coarse.ProbeInto(s.probes, s.pdists, query, o.NProbe)
+	st.CentroidScans = ix.Coarse.NList()
+	st.ProbedClusters = len(s.probes)
+
+	if s.heap == nil {
+		s.heap = topk.NewHeap(o.K)
+	} else {
+		s.heap.ResetK(o.K)
+	}
+	heap := s.heap
+
+	// full/worst cache the heap's acceptance threshold so the fold loops
+	// below stay branch-plus-rare-call instead of a method call per
+	// scanned vector. The skip condition replicates Heap.Push's reject
+	// case exactly.
+	full := false
+	var worst float32
+
+	scanStart := time.Now()
+	var lutDur time.Duration
+	for _, cl := range s.probes {
+		list := &ix.Lists[cl]
+		n := list.Len()
+		if n == 0 {
+			continue
+		}
+		haveLUT := false
+		buildLUT := func() {
+			lutStart := time.Now()
+			ix.Coarse.Residual(s.resid, query, cl)
+			ix.PQ.BuildLUTInto(s.lut, s.resid)
+			if o.Quantized {
+				pq.QuantizeWithScaleInto(s.qtab, s.lut, scale)
+			}
+			lutDur += time.Since(lutStart)
+			st.LUTEntries += ix.PQ.M * ix.PQ.KSub
+			haveLUT = true
+		}
+		if o.Allow == nil {
+			buildLUT()
+		}
+		for base := 0; base < n; base += pq.ScanBlock {
+			bn := n - base
+			if bn > pq.ScanBlock {
+				bn = pq.ScanBlock
+			}
+			ids := list.IDs[base : base+bn]
+			codes := list.Codes[base*m : (base+bn)*m]
+			scanned := bn
+			if o.Allow != nil {
+				// Fused filter pass: collect the block's allowed
+				// positions, then gather-scan their codes in one sweep.
+				at := s.at[:0]
+				for i, id := range ids {
+					if !o.Allow(id) {
+						st.CodesFiltered++
+						continue
+					}
+					at = append(at, int32(base+i))
+				}
+				s.at = at[:0]
+				if len(at) == 0 {
+					continue
+				}
+				if !haveLUT {
+					buildLUT()
+				}
+				scanned = len(at)
+				if o.Quantized {
+					qd := s.qdists[:scanned]
+					pq.ScanQDistsAt(qd, s.qtab, list.Codes, m, at)
+					for j, d := range qd {
+						var f float32
+						if scale != 0 {
+							f = float32(d) / scale
+						}
+						if full && f >= worst {
+							continue
+						}
+						heap.Push(list.IDs[at[j]], f)
+						st.HeapAccepted++
+						if full = heap.Full(); full {
+							worst = heap.Worst()
+						}
+					}
+				} else {
+					bd := s.dists[:scanned]
+					pq.ScanDistsAt(bd, s.lut, list.Codes, m, at)
+					for j, d := range bd {
+						if full && d >= worst {
+							continue
+						}
+						heap.Push(list.IDs[at[j]], d)
+						st.HeapAccepted++
+						if full = heap.Full(); full {
+							worst = heap.Worst()
+						}
+					}
+				}
+			} else if o.Quantized {
+				qd := s.qdists[:bn]
+				pq.ScanQDists(qd, s.qtab, codes, m)
+				for i, d := range qd {
+					var f float32
+					if scale != 0 {
+						f = float32(d) / scale
+					}
+					if full && f >= worst {
+						continue
+					}
+					heap.Push(ids[i], f)
+					st.HeapAccepted++
+					if full = heap.Full(); full {
+						worst = heap.Worst()
+					}
+				}
+			} else {
+				bd := s.dists[:bn]
+				pq.ScanDists(bd, s.lut, codes, m)
+				for i, d := range bd {
+					if full && d >= worst {
+						continue
+					}
+					heap.Push(ids[i], d)
+					st.HeapAccepted++
+					if full = heap.Full(); full {
+						worst = heap.Worst()
+					}
+				}
+			}
+			st.CodesScanned += scanned
+			st.CodeBytes += scanned * m
+			st.HeapPushes += scanned
+		}
+	}
+	obs.Kernel.RecordScan(st.CodeBytes, st.CodesScanned, time.Since(scanStart)-lutDur)
+	obs.Kernel.RecordLUT(st.LUTEntries, lutDur)
+	s.out = heap.AppendSorted(s.out[:0])
+	return s.out, st
+}

@@ -36,7 +36,8 @@
 // ("Layer 3.5 — mutability") for the full consistency argument.
 //
 // Deployed with a Config.Schema, the index additionally answers
-// attribute-filtered searches (SearchFiltered): vectors carry typed tags
+// attribute-filtered searches (Search with SearchOpts.Pred set): vectors
+// carry typed tags
 // in a filter.Store beside the index, and a selectivity-adaptive
 // executor either pushes the predicate's allow-bitmap into the host scan
 // kernels or post-filters an inflated candidate set. Tags arrive with

@@ -14,9 +14,9 @@ import (
 // This file is the filtered-search path of the updatable index:
 // attribute-constrained queries answered against the current epoch
 // snapshot merged with the write overlay. Filtered queries bypass the
-// PIM engine and run on the host reference kernels
-// (ivfpq.SearchQuantizedFiltered) with the same fixed-scale quantized
-// LUT arithmetic, so filtered and unfiltered distances stay directly
+// PIM engine and run on the host kernels (ivfpq.Index.Search with the
+// allow predicate fused into the scan) with the same fixed-scale
+// quantized LUT arithmetic, so filtered and unfiltered distances stay directly
 // comparable while the allow-bitmap is pushed all the way into the code
 // scan. Because the engine is bypassed, filtered k is bounded by
 // filter.MaxFetchK rather than the engine's configured K.
@@ -107,24 +107,9 @@ func (u *UpdatableIndex) FilterStats() *filter.StatsSnapshot {
 	return u.fstats.Snapshot()
 }
 
-// SearchFiltered answers one batch constrained by pred, letting
-// estimated selectivity choose between pre- and post-filtering. It
-// satisfies serve.FilterBackend.
-func (u *UpdatableIndex) SearchFiltered(queries *vecmath.Matrix, k int, pred filter.Pred) ([][]topk.Candidate, error) {
-	return u.SearchFilteredStaged(queries, k, pred, filter.ModeAuto, nil)
-}
-
-// SearchFilteredStaged is SearchFilteredMode with a per-request stage
-// log (see SearchStaged); the filter.plan stage carries the planner's
-// decision and, after the scan, the base stage reports the estimated
-// against the achieved selectivity so estimator drift is visible per
-// trace. sl may be nil. It satisfies serve.StagedFilterBackend.
-func (u *UpdatableIndex) SearchFilteredStaged(queries *vecmath.Matrix, k int, pred filter.Pred, mode filter.Mode, sl *obs.StageLog) ([][]topk.Candidate, error) {
-	return u.searchFiltered(queries, k, pred, mode, sl)
-}
-
-// SearchFilteredMode is SearchFiltered with the execution strategy
-// pinned (benchmarks sweep pre vs post vs adaptive with it):
+// searchFiltered is the filtered arm of Search (SearchOpts.Pred != nil),
+// letting estimated selectivity choose between the two execution
+// strategies unless SearchOpts.Mode pins one:
 //
 //   - pre-filtering evaluates pred to an allow-bitmap over posting
 //     lists, then scans only matching codes in each probed cluster of
@@ -136,13 +121,12 @@ func (u *UpdatableIndex) SearchFilteredStaged(queries *vecmath.Matrix, k int, pr
 //
 // The overlay is always scanned with the predicate applied per entry
 // (it is small, so inflation buys nothing there), and tombstone/version
-// shadowing works exactly as in Search: a consistent (epoch, overlay)
-// view is captured under the overlay read lock, so epoch swaps racing
-// the search cannot lose folded entries.
-func (u *UpdatableIndex) SearchFilteredMode(queries *vecmath.Matrix, k int, pred filter.Pred, mode filter.Mode) ([][]topk.Candidate, error) {
-	return u.searchFiltered(queries, k, pred, mode, nil)
-}
-
+// shadowing works exactly as in the unfiltered path: a consistent
+// (epoch, overlay) view is captured under the overlay read lock, so
+// epoch swaps racing the search cannot lose folded entries. The stage
+// log's filter.plan stage carries the planner's decision and, after the
+// scan, the base stage reports the estimated against the achieved
+// selectivity so estimator drift is visible per trace.
 func (u *UpdatableIndex) searchFiltered(queries *vecmath.Matrix, k int, pred filter.Pred, mode filter.Mode, sl *obs.StageLog) ([][]topk.Candidate, error) {
 	if queries.Dim != u.dim {
 		return nil, fmt.Errorf("mutable: query dim %d != index dim %d", queries.Dim, u.dim)
@@ -233,12 +217,16 @@ func (u *UpdatableIndex) searchFiltered(queries *vecmath.Matrix, k int, pred fil
 	base := make([][]topk.Candidate, nq)
 	for qi := 0; qi < nq; qi++ {
 		if plan.Mode == filter.ModePre {
-			cands, s := snap.ix.SearchQuantizedFiltered(queries.Row(qi), nprobe, k, allow)
+			cands, s := snap.ix.Search(queries.Row(qi), ivfpq.SearchOpts{
+				NProbe: nprobe, K: k, Allow: allow, Quantized: true,
+			})
 			st.Add(s)
 			base[qi] = cands
 			continue
 		}
-		cands, s := snap.ix.SearchQuantized(queries.Row(qi), nprobe, plan.FetchK)
+		cands, s := snap.ix.Search(queries.Row(qi), ivfpq.SearchOpts{
+			NProbe: nprobe, K: plan.FetchK, Quantized: true,
+		})
 		st.Add(s)
 		fetchedN += len(cands)
 		kept := cands[:0]

@@ -92,7 +92,7 @@ func TestSearchFilteredOnlyMatching(t *testing.T) {
 	u, data := buildFiltered(t, 3000)
 	qs := queriesFrom(data, 8, 3)
 	for _, mode := range []filter.Mode{filter.ModeAuto, filter.ModePre, filter.ModePost} {
-		res, err := u.SearchFilteredMode(qs, 10, parsePred(t, `tenant = 2`), mode)
+		res, err := u.Search(qs, mutable.SearchOpts{K: 10, Pred: parsePred(t, `tenant = 2`), Mode: mode})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -114,7 +114,7 @@ func TestSearchFilteredSeesOverlayWrites(t *testing.T) {
 	pred := parsePred(t, `tenant = 99`)
 
 	qs := vecmath.WrapMatrix(data.Row(0), 1, data.Dim)
-	res, err := u.SearchFiltered(qs, 10, pred)
+	res, err := u.Search(qs, mutable.SearchOpts{K: 10, Pred: pred})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +131,7 @@ func TestSearchFilteredSeesOverlayWrites(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	res, err = u.SearchFiltered(qs, 10, pred)
+	res, err = u.Search(qs, mutable.SearchOpts{K: 10, Pred: pred})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +141,7 @@ func TestSearchFilteredSeesOverlayWrites(t *testing.T) {
 
 	// Delete kills the tags along with the vector.
 	u.Delete(newID)
-	res, err = u.SearchFiltered(qs, 10, pred)
+	res, err = u.Search(qs, mutable.SearchOpts{K: 10, Pred: pred})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +158,7 @@ func TestFilteredAttrsSurviveCompaction(t *testing.T) {
 	pred := parsePred(t, `tenant = 1 AND lang = "en"`)
 	qs := queriesFrom(data, 4, 9)
 
-	before, err := u.SearchFiltered(qs, 10, pred)
+	before, err := u.Search(qs, mutable.SearchOpts{K: 10, Pred: pred})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +178,7 @@ func TestFilteredAttrsSurviveCompaction(t *testing.T) {
 		t.Fatal("compaction did not publish a new epoch")
 	}
 
-	after, err := u.SearchFiltered(qs, 10, pred)
+	after, err := u.Search(qs, mutable.SearchOpts{K: 10, Pred: pred})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,11 +202,11 @@ func TestFilteredModeAgreement(t *testing.T) {
 	u, data := buildFiltered(t, 3000)
 	pred := parsePred(t, `lang = "fr"`) // ~2/3 of the corpus
 	qs := queriesFrom(data, 6, 21)
-	pre, err := u.SearchFilteredMode(qs, 5, pred, filter.ModePre)
+	pre, err := u.Search(qs, mutable.SearchOpts{K: 5, Pred: pred, Mode: filter.ModePre})
 	if err != nil {
 		t.Fatal(err)
 	}
-	post, err := u.SearchFilteredMode(qs, 5, pred, filter.ModePost)
+	post, err := u.Search(qs, mutable.SearchOpts{K: 5, Pred: pred, Mode: filter.ModePost})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,10 +227,10 @@ func TestFilteredPlanningStats(t *testing.T) {
 	qs := queriesFrom(data, 3, 5)
 	// tenant = 0 is ~25% selective -> post; tenant = 0 AND lang = "en"
 	// is ~8% -> pre.
-	if _, err := u.SearchFiltered(qs, 10, parsePred(t, `tenant = 0`)); err != nil {
+	if _, err := u.Search(qs, mutable.SearchOpts{K: 10, Pred: parsePred(t, `tenant = 0`)}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := u.SearchFiltered(qs, 10, parsePred(t, `tenant = 0 AND lang = "en"`)); err != nil {
+	if _, err := u.Search(qs, mutable.SearchOpts{K: 10, Pred: parsePred(t, `tenant = 0 AND lang = "en"`)}); err != nil {
 		t.Fatal(err)
 	}
 	st := u.FilterStats()
@@ -252,10 +252,10 @@ func TestFilteredPlanningStats(t *testing.T) {
 func TestFilteredErrors(t *testing.T) {
 	u, data := buildFiltered(t, 500)
 	qs := queriesFrom(data, 1, 1)
-	if _, err := u.SearchFiltered(qs, 10, parsePred(t, `missing = 1`)); !errors.Is(err, filter.ErrInvalid) {
+	if _, err := u.Search(qs, mutable.SearchOpts{K: 10, Pred: parsePred(t, `missing = 1`)}); !errors.Is(err, filter.ErrInvalid) {
 		t.Fatalf("unknown field error %v does not wrap filter.ErrInvalid", err)
 	}
-	if _, err := u.SearchFiltered(qs, 0, parsePred(t, `tenant = 1`)); err == nil {
+	if _, err := u.Search(qs, mutable.SearchOpts{K: 0, Pred: parsePred(t, `tenant = 1`)}); err == nil {
 		t.Fatal("k=0 accepted")
 	}
 
@@ -271,7 +271,7 @@ func TestFilteredErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(bare.Close)
-	if _, err := bare.SearchFiltered(qs, 10, parsePred(t, `tenant = 1`)); !errors.Is(err, filter.ErrInvalid) {
+	if _, err := bare.Search(qs, mutable.SearchOpts{K: 10, Pred: parsePred(t, `tenant = 1`)}); !errors.Is(err, filter.ErrInvalid) {
 		t.Fatalf("schemaless filtered search error %v does not wrap filter.ErrInvalid", err)
 	}
 	if err := bare.InsertWithAttrs(1, plain.Row(0), filter.Attrs{"tenant": filter.IntValue(1)}); !errors.Is(err, mutable.ErrNoSchema) {
@@ -304,7 +304,7 @@ func TestFilteredPartiallyTaggedCorpus(t *testing.T) {
 	}
 
 	qs := vecmath.WrapMatrix(data.Row(0), 1, data.Dim)
-	res, err := u.SearchFiltered(qs, 10, parsePred(t, `tenant = 1`))
+	res, err := u.Search(qs, mutable.SearchOpts{K: 10, Pred: parsePred(t, `tenant = 1`)})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -46,7 +46,7 @@ type Config struct {
 
 	// Schema, when non-nil, enables attribute filtering: vectors may
 	// carry typed tags (set on upsert, dropped on delete) and searches
-	// may be constrained by predicates over them (SearchFiltered).
+	// may be constrained by predicates over them (SearchOpts.Pred).
 	// Attributes are held in memory alongside the index and are not part
 	// of WriteTo/Read persistence.
 	Schema *filter.Schema
@@ -362,30 +362,50 @@ func (u *UpdatableIndex) Remove(ids []int64) error {
 	return nil
 }
 
+// SearchOpts shapes one Search batch. The zero value of every field but
+// K is the plain unfiltered search.
+type SearchOpts struct {
+	// K is the number of neighbors returned per query. Unfiltered
+	// searches bound it by the engine's configured K; filtered searches
+	// (Pred != nil) bypass the engine and bound it by filter.MaxFetchK.
+	K int
+	// Pred, when non-nil, constrains results to vectors whose attributes
+	// satisfy it (requires a deployment Schema; ErrNoSchema otherwise).
+	Pred filter.Pred
+	// Mode pins the filtered execution strategy (pre / post); the zero
+	// value filter.ModeAuto lets estimated selectivity choose. Ignored
+	// when Pred is nil.
+	Mode filter.Mode
+	// Stages, when non-nil, records each pipeline stage (coarse probe,
+	// engine search, epoch-lock wait, overlay scan, filter planning,
+	// merge) with wall time and attributes, for the serving layer to
+	// replay as spans under a traced request's dispatch.
+	Stages *obs.StageLog
+}
+
 // Search answers one batch against the current epoch merged with the
-// write overlay: engine candidates are filtered through tombstones and
-// version shadowing, then the probed clusters' log entries are scanned
-// with the same fixed-scale quantized-LUT arithmetic the DPU kernels use,
-// so overlay and base distances are directly comparable. It satisfies
-// serve.Backend.
+// write overlay, under one option struct: engine candidates (or, for
+// filtered queries, host kernel candidates) are filtered through
+// tombstones and version shadowing, then the probed clusters' log
+// entries are scanned with the same fixed-scale quantized-LUT arithmetic
+// the DPU kernels use, so overlay and base distances are directly
+// comparable. It satisfies serve.Backend.
 //
 // Consistency: the engine is searched against a loaded snapshot, then the
 // snapshot is re-validated under the overlay read lock before the overlay
 // is merged. Epoch publication swaps the snapshot and truncates the
 // folded overlay atomically under the write lock, so a reader that passes
 // validation observes (epoch, overlay) as a consistent pair; if an epoch
-// swap raced the engine search, the search retries on the new epoch.
-func (u *UpdatableIndex) Search(queries *vecmath.Matrix, k int) ([][]topk.Candidate, error) {
-	return u.SearchStaged(queries, k, nil)
+// swap raced the engine search, the search switches to a swap-proof slow
+// path on a captured view.
+func (u *UpdatableIndex) Search(queries *vecmath.Matrix, o SearchOpts) ([][]topk.Candidate, error) {
+	if o.Pred != nil {
+		return u.searchFiltered(queries, o.K, o.Pred, o.Mode, o.Stages)
+	}
+	return u.searchPlain(queries, o.K, o.Stages)
 }
 
-// SearchStaged is Search with a per-request stage log: each pipeline
-// stage (coarse probe, engine search, epoch-lock wait, overlay scan,
-// merge) records its wall time and attributes into sl, for the serving
-// layer to replay as spans under the request's dispatch. sl may be nil
-// (every record call is a no-op), which is exactly Search. It satisfies
-// serve.StagedBackend.
-func (u *UpdatableIndex) SearchStaged(queries *vecmath.Matrix, k int, sl *obs.StageLog) ([][]topk.Candidate, error) {
+func (u *UpdatableIndex) searchPlain(queries *vecmath.Matrix, k int, sl *obs.StageLog) ([][]topk.Candidate, error) {
 	if queries.Dim != u.dim {
 		return nil, fmt.Errorf("mutable: query dim %d != index dim %d", queries.Dim, u.dim)
 	}
@@ -495,17 +515,51 @@ type overlayView struct {
 	cands  [][]topk.Candidate
 }
 
+// overlayScratch is the pooled working memory of one overlay scan:
+// residual, float LUT, fixed-scale quantized table, and the gather
+// position/distance blocks of the fused live-entry scan.
+type overlayScratch struct {
+	resid  []float32
+	lut    pq.LUT
+	qtab   []uint16
+	at     []int32
+	qdists []uint32
+}
+
+var overlayPool = sync.Pool{New: func() any { return &overlayScratch{} }}
+
+func (s *overlayScratch) ensure(dim, m int) {
+	if cap(s.resid) < dim {
+		s.resid = make([]float32, dim)
+	}
+	s.resid = s.resid[:dim]
+	if len(s.lut) != m*pq.CodebookSize {
+		s.lut = make(pq.LUT, m*pq.CodebookSize)
+		s.qtab = make([]uint16, m*pq.CodebookSize)
+	}
+	if cap(s.at) < pq.ScanBlock {
+		s.at = make([]int32, 0, pq.ScanBlock)
+		s.qdists = make([]uint32, pq.ScanBlock)
+	}
+}
+
 // scanOverlay scores the probed clusters' live log entries for every
 // query with the index's fixed-scale quantized-LUT arithmetic (the exact
 // arithmetic the DPU kernels use, so overlay and engine distances are
-// directly comparable). A non-nil match pushes a filter predicate into
-// the scan: entries failing it are skipped before any distance work.
-// Caller holds mu.RLock.
+// directly comparable). Live entries are collected into a gather block
+// (version shadowing, tombstones, and the optional match predicate all
+// applied up front) and their codes streamed through the blocked
+// pq.ScanQDistsAt kernel, with all scratch drawn from a pool — the
+// overlay scan allocates nothing per (query, cluster) beyond the result
+// lists. A non-nil match pushes a filter predicate into the scan:
+// entries failing it are skipped before any distance work. Caller holds
+// mu.RLock.
 func (u *UpdatableIndex) scanOverlay(snap *snapshot, queries *vecmath.Matrix, probes [][]int32, k int, match func(int64) bool) [][]topk.Candidate {
 	m := snap.ix.PQ.M
+	scale := snap.ix.QScale
 	out := make([][]topk.Candidate, queries.Rows)
-	resid := make([]float32, u.dim)
-	lut := make(pq.LUT, m*pq.CodebookSize)
+	sc := overlayPool.Get().(*overlayScratch)
+	sc.ensure(u.dim, m)
 	scanStart := time.Now()
 	var lutDur time.Duration
 	scanned, lutEntries := 0, 0
@@ -513,32 +567,59 @@ func (u *UpdatableIndex) scanOverlay(snap *snapshot, queries *vecmath.Matrix, pr
 		heap := topk.NewHeap(k)
 		for _, cl := range probes[qi] {
 			lg := &u.logs[cl]
-			if len(lg.ids) == 0 {
+			n := len(lg.ids)
+			if n == 0 {
 				continue
 			}
-			lutStart := time.Now()
-			snap.ix.Coarse.Residual(resid, queries.Row(qi), cl)
-			snap.ix.PQ.BuildLUTInto(lut, resid)
-			ql := snap.ix.PQ.QuantizeWithScale(lut, snap.ix.QScale)
-			lutDur += time.Since(lutStart)
-			lutEntries += len(lut)
-			for i, id := range lg.ids {
-				s := lg.seqs[i]
-				if ref, ok := u.latest[id]; !ok || ref.seq != s {
-					continue // superseded by a later insert of the same id
+			haveLUT := false
+			for base := 0; base < n; base += pq.ScanBlock {
+				bn := n - base
+				if bn > pq.ScanBlock {
+					bn = pq.ScanBlock
 				}
-				if ts, ok := u.tombs[id]; ok && ts > s {
-					continue // deleted after this version was written
+				at := sc.at[:0]
+				for i := base; i < base+bn; i++ {
+					id := lg.ids[i]
+					s := lg.seqs[i]
+					if ref, ok := u.latest[id]; !ok || ref.seq != s {
+						continue // superseded by a later insert of the same id
+					}
+					if ts, ok := u.tombs[id]; ok && ts > s {
+						continue // deleted after this version was written
+					}
+					if match != nil && !match(id) {
+						continue // filtered out before distance work
+					}
+					at = append(at, int32(i))
 				}
-				if match != nil && !match(id) {
-					continue // filtered out before distance work
+				sc.at = at[:0]
+				if len(at) == 0 {
+					continue
 				}
-				heap.Push(id, ql.ToFloat(ql.QDistance(lg.codes[i*m:(i+1)*m])))
-				scanned++
+				if !haveLUT {
+					lutStart := time.Now()
+					snap.ix.Coarse.Residual(sc.resid, queries.Row(qi), cl)
+					snap.ix.PQ.BuildLUTInto(sc.lut, sc.resid)
+					pq.QuantizeWithScaleInto(sc.qtab, sc.lut, scale)
+					lutDur += time.Since(lutStart)
+					lutEntries += len(sc.lut)
+					haveLUT = true
+				}
+				qd := sc.qdists[:len(at)]
+				pq.ScanQDistsAt(qd, sc.qtab, lg.codes, m, at)
+				for j, d := range qd {
+					var f float32
+					if scale != 0 {
+						f = float32(d) / scale
+					}
+					heap.Push(lg.ids[at[j]], f)
+				}
+				scanned += len(at)
 			}
 		}
 		out[qi] = heap.Sorted()
 	}
+	overlayPool.Put(sc)
 	obs.Kernel.RecordScan(scanned*m, scanned, time.Since(scanStart)-lutDur)
 	obs.Kernel.RecordLUT(lutEntries, lutDur)
 	return out

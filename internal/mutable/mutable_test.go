@@ -54,7 +54,7 @@ func buildUpdatable(t *testing.T, base *vecmath.Matrix, interval time.Duration) 
 
 func searchOne(t *testing.T, u *mutable.UpdatableIndex, vec []float32) []topk.Candidate {
 	t.Helper()
-	res, err := u.Search(vecmath.WrapMatrix(vec, 1, len(vec)), testK)
+	res, err := u.Search(vecmath.WrapMatrix(vec, 1, len(vec)), mutable.SearchOpts{K: testK})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -306,10 +306,10 @@ func TestBackgroundCompactor(t *testing.T) {
 func TestSearchValidation(t *testing.T) {
 	base := gaussMatrix(1000, testDim, 8)
 	u := buildUpdatable(t, base, 0)
-	if _, err := u.Search(gaussMatrix(1, testDim+1, 1), testK); err == nil {
+	if _, err := u.Search(gaussMatrix(1, testDim+1, 1), mutable.SearchOpts{K: testK}); err == nil {
 		t.Fatal("dimension mismatch accepted")
 	}
-	if _, err := u.Search(gaussMatrix(1, testDim, 1), testK+1); err == nil {
+	if _, err := u.Search(gaussMatrix(1, testDim, 1), mutable.SearchOpts{K: testK + 1}); err == nil {
 		t.Fatal("k above engine K accepted")
 	}
 	if err := u.Insert(1, make([]float32, testDim+2)); err == nil {

@@ -1,0 +1,143 @@
+package mutable
+
+import (
+	"testing"
+
+	"repro/internal/ivfpq"
+	"repro/internal/pq"
+	"repro/internal/topk"
+	"repro/internal/vecmath"
+	"repro/internal/xrand"
+)
+
+// The overlay-merge golden test: scanOverlay's blocked gather kernel
+// (pq.ScanQDistsAt over pooled scratch) must be bit-identical to a scalar
+// recomputation of the same live-entry walk — same shadowing and
+// tombstone decisions, same fixed-scale quantized arithmetic, same
+// distances. Runs in-package so it can drive scanOverlay directly under
+// the lock discipline it documents.
+
+func overlayTestIndex(t *testing.T, rows, dim, nlist, m int) (*UpdatableIndex, *vecmath.Matrix) {
+	t.Helper()
+	r := xrand.New(31)
+	data := vecmath.NewMatrix(rows, dim)
+	for i := range data.Data {
+		data.Data[i] = float32(r.NormFloat64())
+	}
+	ix := ivfpq.Train(data, ivfpq.Params{NList: nlist, M: m, Seed: 5})
+	ix.Add(data, 0)
+	cfg := ServingConfig(4, 10, 4, 1)
+	cfg.CheckInterval = -1 // no background compaction: the overlay must stay put
+	u, err := New(ix, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(u.Close)
+	return u, data
+}
+
+// scalarOverlayScan recomputes what scanOverlay should produce using the
+// retained per-entry scalar arithmetic (QLUT.QDistance + ToFloat), one
+// heap per query. Caller holds u.mu.RLock.
+func scalarOverlayScan(u *UpdatableIndex, snap *snapshot, queries *vecmath.Matrix, probes [][]int32, k int, match func(int64) bool) [][]topk.Candidate {
+	m := snap.ix.PQ.M
+	out := make([][]topk.Candidate, queries.Rows)
+	resid := make([]float32, u.dim)
+	for qi := range out {
+		heap := topk.NewHeap(k)
+		for _, cl := range probes[qi] {
+			lg := &u.logs[cl]
+			var ql *pq.QLUT
+			for i := range lg.ids {
+				id := lg.ids[i]
+				s := lg.seqs[i]
+				if ref, ok := u.latest[id]; !ok || ref.seq != s {
+					continue
+				}
+				if ts, ok := u.tombs[id]; ok && ts > s {
+					continue
+				}
+				if match != nil && !match(id) {
+					continue
+				}
+				if ql == nil {
+					snap.ix.Coarse.Residual(resid, queries.Row(qi), cl)
+					lut := snap.ix.PQ.BuildLUT(resid)
+					ql = snap.ix.PQ.QuantizeWithScale(lut, snap.ix.QScale)
+				}
+				heap.Push(id, ql.ToFloat(ql.QDistance(lg.codes[i*m:(i+1)*m])))
+			}
+		}
+		out[qi] = heap.Sorted()
+	}
+	return out
+}
+
+func TestScanOverlayGoldenEquivalence(t *testing.T) {
+	const (
+		rows, dim, nlist, m = 2000, 16, 12, 8
+		k                   = 10
+	)
+	u, _ := overlayTestIndex(t, rows, dim, nlist, m)
+	r := xrand.New(17)
+
+	// Build an overlay with every interesting entry state: fresh inserts,
+	// shadowed re-inserts (two versions of one id), and deletions of both
+	// base and overlay ids.
+	vec := make([]float32, dim)
+	newVec := func() []float32 {
+		for i := range vec {
+			vec[i] = float32(r.NormFloat64())
+		}
+		return vec
+	}
+	for id := int64(rows); id < rows+600; id++ {
+		if err := u.Insert(id, newVec()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for id := int64(rows); id < rows+200; id++ { // shadow: second version wins
+		if err := u.Insert(id, newVec()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for id := int64(rows + 300); id < rows+380; id++ { // overlay deletes
+		u.Delete(id)
+	}
+	for id := int64(0); id < 50; id++ { // base deletes (tombstones only)
+		u.Delete(id)
+	}
+
+	queries := vecmath.NewMatrix(6, dim)
+	for i := range queries.Data {
+		queries.Data[i] = float32(r.NormFloat64())
+	}
+	preds := []func(int64) bool{
+		nil,
+		func(id int64) bool { return id%2 == 0 },
+		func(int64) bool { return false },
+	}
+
+	u.mu.RLock()
+	defer u.mu.RUnlock()
+	snap := u.snap.Load()
+	probes := make([][]int32, queries.Rows)
+	for qi := range probes {
+		probes[qi] = snap.ix.Coarse.Probe(queries.Row(qi), 6)
+	}
+	for pi, match := range preds {
+		got := u.scanOverlay(snap, queries, probes, k, match)
+		want := scalarOverlayScan(u, snap, queries, probes, k, match)
+		for qi := range want {
+			if len(got[qi]) != len(want[qi]) {
+				t.Fatalf("pred %d query %d: %d candidates vs scalar %d", pi, qi, len(got[qi]), len(want[qi]))
+			}
+			for ci := range want[qi] {
+				if got[qi][ci] != want[qi][ci] {
+					t.Fatalf("pred %d query %d candidate %d: %+v vs scalar %+v",
+						pi, qi, ci, got[qi][ci], want[qi][ci])
+				}
+			}
+		}
+	}
+}

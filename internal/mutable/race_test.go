@@ -87,7 +87,7 @@ func TestSearchDuringSwap(t *testing.T) {
 			defer readers.Done()
 			q := vecmath.WrapMatrix(sentinel, 1, testDim)
 			for i := 0; i < 100; i++ {
-				res, err := u.Search(q, testK)
+				res, err := u.Search(q, mutable.SearchOpts{K: testK})
 				if err != nil {
 					t.Error(err)
 					return
@@ -179,7 +179,7 @@ func TestDeleteThenSearchSameKey(t *testing.T) {
 					t.Error(err)
 					return
 				}
-				res, err := u.Search(q, testK)
+				res, err := u.Search(q, mutable.SearchOpts{K: testK})
 				if err != nil {
 					t.Error(err)
 					return
@@ -189,7 +189,7 @@ func TestDeleteThenSearchSameKey(t *testing.T) {
 					return
 				}
 				u.Delete(id)
-				res, err = u.Search(q, testK)
+				res, err = u.Search(q, mutable.SearchOpts{K: testK})
 				if err != nil {
 					t.Error(err)
 					return

@@ -13,6 +13,12 @@
 // baselines) and the uint16 fixed-point form the paper stores in DPU WRAM
 // (M x 256 x 2 bytes = 8 KB for M=16). Integer LUTs make the UpANNS
 // co-occurrence partial sums bit-exact with the plain scan.
+//
+// ADCDistance and QDistanceTab are the scalar per-vector references;
+// scan.go holds the blocked batch kernels (ScanDists and friends) that
+// the host search paths actually run. Both obey the same fixed float
+// summation order, so kernel results are bit-identical to the scalar
+// forms — see the contract note in scan.go.
 package pq
 
 import (
@@ -158,11 +164,20 @@ func (q *Quantizer) BuildLUTInto(lut LUT, vec []float32) {
 	}
 }
 
-// ADCDistance sums the LUT entries selected by codes.
+// ADCDistance sums the LUT entries selected by codes. It is the scalar
+// reference for the blocked kernels in scan.go and accumulates in the
+// same canonical order — 4-entry groups summed as (e0+e1)+(e2+e3),
+// groups and tail entries chained in subspace order — so its float
+// results are bit-identical to ScanDists.
 func ADCDistance(lut LUT, codes []uint8) float32 {
 	m := len(codes)
 	var s float32
-	for mi := 0; mi < m; mi++ {
+	mi := 0
+	for ; mi+4 <= m; mi += 4 {
+		s += (lut[mi*CodebookSize+int(codes[mi])] + lut[(mi+1)*CodebookSize+int(codes[mi+1])]) +
+			(lut[(mi+2)*CodebookSize+int(codes[mi+2])] + lut[(mi+3)*CodebookSize+int(codes[mi+3])])
+	}
+	for ; mi < m; mi++ {
 		s += lut[mi*CodebookSize+int(codes[mi])]
 	}
 	return s

@@ -5,51 +5,28 @@ import (
 	"sync"
 
 	"repro/internal/core"
-	"repro/internal/filter"
 	"repro/internal/multihost"
-	"repro/internal/obs"
+	"repro/internal/mutable"
 	"repro/internal/topk"
 	"repro/internal/vecmath"
 )
 
-// Backend answers one micro-batch of queries. Implementations must be
-// safe for calls from a single worker goroutine; the adapters below add a
-// mutex so the same backend instance may also be shared across servers.
+// Backend answers one micro-batch of queries. The single Search method is
+// the one door for every request shape: opts carries the per-dispatch k,
+// the optional attribute predicate, and the optional stage log (see
+// mutable.SearchOpts). Backends that cannot answer filtered batches
+// reject opts.Pred != nil with ErrFilterUnsupported; backends without
+// internal stages simply ignore opts.Stages. internal/mutable's
+// UpdatableIndex implements the full surface natively.
+//
+// Implementations must be safe for calls from a single worker goroutine;
+// the adapters below add a mutex so the same backend instance may also be
+// shared across servers.
 type Backend interface {
-	// Search returns k candidates per query row, ascending distance.
-	Search(queries *vecmath.Matrix, k int) ([][]topk.Candidate, error)
+	// Search returns opts.K candidates per query row, ascending distance.
+	Search(queries *vecmath.Matrix, opts mutable.SearchOpts) ([][]topk.Candidate, error)
 	// Dim returns the backend's query dimensionality.
 	Dim() int
-}
-
-// FilterBackend is a Backend that can answer attribute-filtered batches.
-// internal/mutable.UpdatableIndex implements it (when deployed with a
-// schema); the server routes any request carrying a filter through it
-// and fails filtered requests with ErrFilterUnsupported otherwise.
-type FilterBackend interface {
-	Backend
-	// SearchFiltered returns k candidates per query row, all satisfying
-	// pred, ascending distance. The predicate is already parsed; the
-	// implementation validates it against its schema.
-	SearchFiltered(queries *vecmath.Matrix, k int, pred filter.Pred) ([][]topk.Candidate, error)
-}
-
-// StagedBackend is a Backend that can additionally record its internal
-// pipeline stages (probe, engine, overlay, merge, ...) into a per-batch
-// stage log while answering. The server uses it when a traced request
-// rides in the batch, replaying the recorded stages as child spans of
-// the request's dispatch. internal/mutable.UpdatableIndex implements it.
-type StagedBackend interface {
-	Backend
-	SearchStaged(queries *vecmath.Matrix, k int, sl *obs.StageLog) ([][]topk.Candidate, error)
-}
-
-// StagedFilterBackend is the filtered counterpart of StagedBackend: the
-// stage log additionally carries the filter planner's decision and the
-// estimated-vs-achieved selectivity.
-type StagedFilterBackend interface {
-	FilterBackend
-	SearchFilteredStaged(queries *vecmath.Matrix, k int, pred filter.Pred, mode filter.Mode, sl *obs.StageLog) ([][]topk.Candidate, error)
 }
 
 // EngineBackend adapts a single-host core.Engine. Engine.SearchBatch
@@ -66,10 +43,14 @@ func NewEngineBackend(e *core.Engine) *EngineBackend { return &EngineBackend{e: 
 // Dim returns the engine's index dimensionality.
 func (b *EngineBackend) Dim() int { return b.e.Index.Dim }
 
-// Search dispatches the batch to the engine and truncates to k.
-func (b *EngineBackend) Search(queries *vecmath.Matrix, k int) ([][]topk.Candidate, error) {
-	if k > b.e.Cfg.K {
-		return nil, fmt.Errorf("serve: k %d exceeds engine K %d", k, b.e.Cfg.K)
+// Search dispatches the batch to the engine and truncates to opts.K.
+// Filtered batches are unsupported.
+func (b *EngineBackend) Search(queries *vecmath.Matrix, opts mutable.SearchOpts) ([][]topk.Candidate, error) {
+	if opts.Pred != nil {
+		return nil, ErrFilterUnsupported
+	}
+	if opts.K > b.e.Cfg.K {
+		return nil, fmt.Errorf("serve: k %d exceeds engine K %d", opts.K, b.e.Cfg.K)
 	}
 	b.mu.Lock()
 	br, err := b.e.SearchBatch(queries)
@@ -77,7 +58,7 @@ func (b *EngineBackend) Search(queries *vecmath.Matrix, k int) ([][]topk.Candida
 	if err != nil {
 		return nil, err
 	}
-	return truncate(br.Results, k), nil
+	return truncate(br.Results, opts.K), nil
 }
 
 // ClusterBackend adapts a multihost.Cluster (which fans one batch out to
@@ -99,10 +80,13 @@ func NewClusterBackend(cl *multihost.Cluster, mergeK int) *ClusterBackend {
 func (b *ClusterBackend) Dim() int { return b.cl.Hosts[0].Index.Dim }
 
 // Search dispatches the batch to every host and truncates the merged
-// results to k.
-func (b *ClusterBackend) Search(queries *vecmath.Matrix, k int) ([][]topk.Candidate, error) {
-	if k > b.k {
-		return nil, fmt.Errorf("serve: k %d exceeds cluster K %d", k, b.k)
+// results to opts.K. Filtered batches are unsupported.
+func (b *ClusterBackend) Search(queries *vecmath.Matrix, opts mutable.SearchOpts) ([][]topk.Candidate, error) {
+	if opts.Pred != nil {
+		return nil, ErrFilterUnsupported
+	}
+	if opts.K > b.k {
+		return nil, fmt.Errorf("serve: k %d exceeds cluster K %d", opts.K, b.k)
 	}
 	b.mu.Lock()
 	res, err := b.cl.SearchBatch(queries)
@@ -110,11 +94,12 @@ func (b *ClusterBackend) Search(queries *vecmath.Matrix, k int) ([][]topk.Candid
 	if err != nil {
 		return nil, err
 	}
-	return truncate(res.Results, k), nil
+	return truncate(res.Results, opts.K), nil
 }
 
-// FuncBackend adapts a plain function; tests and synthetic load drivers
-// use it to exercise the scheduler without building an engine.
+// FuncBackend adapts a plain (queries, k) function; tests and synthetic
+// load drivers use it to exercise the scheduler without building an
+// engine. Filtered batches are unsupported.
 type FuncBackend struct {
 	D  int
 	Fn func(queries *vecmath.Matrix, k int) ([][]topk.Candidate, error)
@@ -123,9 +108,12 @@ type FuncBackend struct {
 // Dim returns the configured dimensionality.
 func (b *FuncBackend) Dim() int { return b.D }
 
-// Search invokes the wrapped function.
-func (b *FuncBackend) Search(queries *vecmath.Matrix, k int) ([][]topk.Candidate, error) {
-	return b.Fn(queries, k)
+// Search invokes the wrapped function with opts.K.
+func (b *FuncBackend) Search(queries *vecmath.Matrix, opts mutable.SearchOpts) ([][]topk.Candidate, error) {
+	if opts.Pred != nil {
+		return nil, ErrFilterUnsupported
+	}
+	return b.Fn(queries, opts.K)
 }
 
 // truncate trims every result list to at most k entries.

@@ -34,6 +34,11 @@ type lruCache struct {
 // both).
 type vecKeyer struct{ quantum float64 }
 
+// keyBufPool recycles the packing buffer across key calls: the
+// string(buf) conversion at the end must copy (map keys are immutable),
+// but the working buffer itself need not be reallocated per request.
+var keyBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 1024); return &b }}
+
 // key quantizes vec onto the grid and packs the cell coordinates, the
 // requested k, and the canonicalized filter identity into a string
 // usable as a map key. A request's identity is the full triple: the same
@@ -46,7 +51,12 @@ type vecKeyer struct{ quantum float64 }
 // (vector, k, filter) triples structurally impossible rather than just
 // improbable.
 func (q vecKeyer) key(vec []float32, k int, filterID string) string {
-	buf := make([]byte, 8*len(vec), 8*len(vec)+8+len(filterID))
+	bp := keyBufPool.Get().(*[]byte)
+	need := 8*len(vec) + 8 + len(filterID)
+	if cap(*bp) < need {
+		*bp = make([]byte, 0, need)
+	}
+	buf := (*bp)[:8*len(vec)]
 	inv := 1 / q.quantum
 	for i, v := range vec {
 		cell := int64(math.Round(float64(v) * inv))
@@ -56,7 +66,10 @@ func (q vecKeyer) key(vec []float32, k int, filterID string) string {
 	binary.LittleEndian.PutUint64(kb[:], uint64(k))
 	buf = append(buf, kb[:]...)
 	buf = append(buf, filterID...)
-	return string(buf)
+	key := string(buf)
+	*bp = buf[:0]
+	keyBufPool.Put(bp)
+	return key
 }
 
 type cacheEntry struct {

@@ -6,13 +6,15 @@ import (
 	"testing"
 
 	"repro/internal/filter"
+	"repro/internal/mutable"
 	"repro/internal/topk"
 	"repro/internal/vecmath"
 )
 
-// filterEchoBackend is a FilterBackend whose unfiltered answers carry
-// ID 1 and whose filtered answers carry ID 1000+len(canonical), so tests
-// can tell exactly which path (and which predicate) produced a result.
+// filterEchoBackend is a filter-capable Backend whose unfiltered answers
+// carry ID 1 and whose filtered answers carry ID 1000+len(canonical), so
+// tests can tell exactly which path (and which predicate) produced a
+// result.
 type filterEchoBackend struct {
 	dim      int
 	plain    int // unfiltered calls
@@ -21,23 +23,17 @@ type filterEchoBackend struct {
 
 func (b *filterEchoBackend) Dim() int { return b.dim }
 
-func (b *filterEchoBackend) Search(q *vecmath.Matrix, k int) ([][]topk.Candidate, error) {
-	b.plain++
-	out := make([][]topk.Candidate, q.Rows)
-	for i := range out {
-		for j := 0; j < k; j++ {
-			out[i] = append(out[i], topk.Candidate{ID: 1 + int64(j), Dist: float32(j)})
-		}
+func (b *filterEchoBackend) Search(q *vecmath.Matrix, opts mutable.SearchOpts) ([][]topk.Candidate, error) {
+	base := int64(1)
+	if opts.Pred != nil {
+		b.filtered++
+		base = 1000 + int64(len(opts.Pred.Canonical()))
+	} else {
+		b.plain++
 	}
-	return out, nil
-}
-
-func (b *filterEchoBackend) SearchFiltered(q *vecmath.Matrix, k int, pred filter.Pred) ([][]topk.Candidate, error) {
-	b.filtered++
-	base := 1000 + int64(len(pred.Canonical()))
 	out := make([][]topk.Candidate, q.Rows)
 	for i := range out {
-		for j := 0; j < k; j++ {
+		for j := 0; j < opts.K; j++ {
 			out[i] = append(out[i], topk.Candidate{ID: base + int64(j), Dist: float32(j)})
 		}
 	}
@@ -197,8 +193,8 @@ func TestMixedBatchSplitsByShape(t *testing.T) {
 }
 
 func TestFilteredRequestValidation(t *testing.T) {
-	// A plain backend (no FilterBackend) rejects filtered requests with
-	// ErrFilterUnsupported; oversized k is rejected at admission.
+	// A predicate-blind backend (FuncBackend) rejects filtered requests
+	// with ErrFilterUnsupported; oversized k is rejected at admission.
 	s, err := NewServer(Config{K: 2}, &FuncBackend{D: 4, Fn: func(q *vecmath.Matrix, k int) ([][]topk.Candidate, error) {
 		return make([][]topk.Candidate, q.Rows), nil
 	}})

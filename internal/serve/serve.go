@@ -58,8 +58,8 @@ var (
 	// range); the HTTP surface maps it — and filter.ErrInvalid — to 400.
 	ErrBadRequest = errors.New("serve: bad request")
 	// ErrFilterUnsupported reports a filtered request against a backend
-	// that does not implement FilterBackend; the HTTP surface maps it to
-	// 501.
+	// whose Search rejects a non-nil SearchOpts.Pred; the HTTP surface
+	// maps it to 501.
 	ErrFilterUnsupported = errors.New("serve: backend does not support filtered search")
 )
 

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/filter"
 	"repro/internal/metrics"
+	"repro/internal/mutable"
 	"repro/internal/obs"
 	"repro/internal/topk"
 	"repro/internal/vecmath"
@@ -103,8 +104,8 @@ type SearchOptions struct {
 	// exceed Config.MaxK.
 	K int
 	// Filter constrains results to vectors whose attributes satisfy the
-	// predicate (nil = unfiltered). The backend must implement
-	// FilterBackend, or the request fails with ErrFilterUnsupported.
+	// predicate (nil = unfiltered). A backend that cannot answer filtered
+	// batches fails the request with ErrFilterUnsupported.
 	Filter filter.Pred
 }
 
@@ -236,14 +237,42 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
+// dispatchScratch is one worker's reusable batch-formation state: the
+// grouping and coalescing maps and slices that runBatch/dispatchGroup
+// would otherwise allocate per batch. Maps are cleared, slices re-sliced
+// to zero length; steady-state dispatch therefore allocates nothing for
+// bookkeeping.
+type dispatchScratch struct {
+	queries   *vecmath.Matrix
+	groupOf   map[dispatchShape]int
+	groups    [][]*request
+	rowOf     map[string]int
+	assign    []int
+	delivered []bool
+}
+
+// dispatchShape is the (k, filter) identity of one backend call.
+type dispatchShape struct {
+	k        int
+	filterID string
+}
+
+func newDispatchScratch(maxBatch, dim int) *dispatchScratch {
+	return &dispatchScratch{
+		queries: vecmath.NewMatrix(maxBatch, dim),
+		groupOf: make(map[dispatchShape]int, 4),
+		rowOf:   make(map[string]int, maxBatch),
+	}
+}
+
 // worker owns one backend and executes dispatched batches until the work
 // channel closes. Batch formation itself lives in microBatcher (shared
 // with the write path).
 func (s *Server) worker(b Backend, dim int) {
 	defer s.wg.Done()
-	queries := vecmath.NewMatrix(s.cfg.MaxBatch, dim)
+	ds := newDispatchScratch(s.cfg.MaxBatch, dim)
 	for bt := range s.mb.work {
-		s.runBatch(b, bt, queries)
+		s.runBatch(b, bt, ds)
 	}
 }
 
@@ -253,7 +282,7 @@ func (s *Server) worker(b Backend, dim int) {
 // Homogeneous traffic (the common case: every request at the default k,
 // unfiltered) stays a single backend call exactly as before; mixed
 // traffic costs one call per distinct shape within the micro-batch.
-func (s *Server) runBatch(b Backend, bt batch[*request], scratch *vecmath.Matrix) {
+func (s *Server) runBatch(b Backend, bt batch[*request], ds *dispatchScratch) {
 	now := time.Now()
 	live := bt.items[:0]
 	for _, r := range bt.items {
@@ -282,37 +311,41 @@ func (s *Server) runBatch(b Backend, bt batch[*request], scratch *vecmath.Matrix
 			obs.Int("size", int64(len(bt.items))))
 	}
 
-	type shape struct {
-		k        int
-		filterID string
-	}
-	groupOf := make(map[shape]int, 1)
-	var groups [][]*request
+	clear(ds.groupOf)
+	groups := ds.groups[:0]
 	for _, r := range live {
-		sh := shape{r.k, r.filterID}
-		gi, ok := groupOf[sh]
+		sh := dispatchShape{r.k, r.filterID}
+		gi, ok := ds.groupOf[sh]
 		if !ok {
 			gi = len(groups)
-			groupOf[sh] = gi
+			ds.groupOf[sh] = gi
 			groups = append(groups, nil)
 		}
 		groups[gi] = append(groups[gi], r)
 	}
 	for _, g := range groups {
-		s.dispatchGroup(b, g, scratch)
+		s.dispatchGroup(b, g, ds)
 	}
+	for i := range groups {
+		groups[i] = nil // release request pointers held by the scratch
+	}
+	ds.groups = groups[:0]
 }
 
 // dispatchGroup coalesces duplicate queries within one (k, filter)
 // group, dispatches one backend batch of distinct rows, and fans results
 // back out.
-func (s *Server) dispatchGroup(b Backend, group []*request, scratch *vecmath.Matrix) {
+func (s *Server) dispatchGroup(b Backend, group []*request, ds *dispatchScratch) {
 	// Coalesce: under Zipf-skewed traffic the same hot query often appears
 	// several times in one micro-batch; one backend row answers them all.
 	// Batch-size-1 dispatch can never do this — it is part of why batched
 	// serving wins beyond the DPU-side amortization.
-	rowOf := make(map[string]int, len(group))
-	assign := make([]int, len(group))
+	clear(ds.rowOf)
+	rowOf := ds.rowOf
+	if cap(ds.assign) < len(group) {
+		ds.assign = make([]int, len(group))
+	}
+	assign := ds.assign[:len(group)]
 	distinct := group[:0:0]
 	for i, r := range group {
 		if row, ok := rowOf[r.key]; ok {
@@ -326,17 +359,7 @@ func (s *Server) dispatchGroup(b Backend, group []*request, scratch *vecmath.Mat
 	s.ctr.coalesced.Add(uint64(len(group) - len(distinct)))
 
 	k, pred := group[0].k, group[0].pred
-	var fb FilterBackend
-	if pred != nil {
-		var ok bool
-		if fb, ok = b.(FilterBackend); !ok {
-			for _, r := range group {
-				r.reply <- reply{err: ErrFilterUnsupported}
-			}
-			return
-		}
-	}
-
+	scratch := ds.queries
 	m := vecmath.WrapMatrix(scratch.Data[:len(distinct)*scratch.Dim], len(distinct), scratch.Dim)
 	for i, r := range distinct {
 		copy(m.Row(i), r.vec)
@@ -358,22 +381,7 @@ func (s *Server) dispatchGroup(b Backend, group []*request, scratch *vecmath.Mat
 		cacheGen = s.cache.generation()
 	}
 	dispStart := time.Now()
-	var res [][]topk.Candidate
-	var err error
-	switch {
-	case pred != nil:
-		if sfb, ok := fb.(StagedFilterBackend); ok && sl != nil {
-			res, err = sfb.SearchFilteredStaged(m, k, pred, filter.ModeAuto, sl)
-		} else {
-			res, err = fb.SearchFiltered(m, k, pred)
-		}
-	default:
-		if sb, ok := b.(StagedBackend); ok && sl != nil {
-			res, err = sb.SearchStaged(m, k, sl)
-		} else {
-			res, err = b.Search(m, k)
-		}
-	}
+	res, err := b.Search(m, mutable.SearchOpts{K: k, Pred: pred, Mode: filter.ModeAuto, Stages: sl})
 	// Spans must land before replies unblock waiters: the handler
 	// finalizes the trace as soon as its reply arrives.
 	dispDur := time.Since(dispStart)
@@ -406,7 +414,13 @@ func (s *Server) dispatchGroup(b Backend, group []*request, scratch *vecmath.Mat
 			s.cache.putAt(r.key, res[i], cacheGen)
 		}
 	}
-	delivered := make([]bool, len(distinct))
+	if cap(ds.delivered) < len(distinct) {
+		ds.delivered = make([]bool, len(distinct))
+	}
+	delivered := ds.delivered[:len(distinct)]
+	for i := range delivered {
+		delivered[i] = false
+	}
 	for i, r := range group {
 		cands := res[assign[i]]
 		if delivered[assign[i]] {

@@ -52,6 +52,20 @@ func (h *Heap) Worst() float32 {
 // Reset empties the heap while retaining its capacity.
 func (h *Heap) Reset() { h.items = h.items[:0] }
 
+// ResetK empties the heap and sets its capacity to k, reusing the backing
+// array when it is large enough. Preallocated search scratch uses it to
+// serve varying k without reallocation. It panics if k <= 0.
+func (h *Heap) ResetK(k int) {
+	if k <= 0 {
+		panic("topk: ResetK with k <= 0")
+	}
+	if cap(h.items) < k {
+		h.items = make([]Candidate, 0, k)
+	}
+	h.items = h.items[:0]
+	h.k = k
+}
+
 // Push offers a candidate. It returns true if the candidate was retained
 // (heap not yet full, or candidate beats the current worst).
 func (h *Heap) Push(id int64, dist float32) bool {
@@ -111,7 +125,17 @@ func (h *Heap) Items() []Candidate { return h.items }
 // Sorted returns the retained candidates in ascending distance order,
 // ties broken by ascending ID for determinism. The heap is left empty.
 func (h *Heap) Sorted() []Candidate {
-	out := make([]Candidate, len(h.items))
+	return h.AppendSorted(make([]Candidate, 0, len(h.items)))
+}
+
+// AppendSorted appends the retained candidates to dst in ascending
+// distance order (ties broken by ascending ID) and returns the extended
+// slice, leaving the heap empty. It is Sorted for allocation-free hot
+// paths: with cap(dst)-len(dst) >= Len(), no allocation occurs.
+func (h *Heap) AppendSorted(dst []Candidate) []Candidate {
+	base := len(dst)
+	dst = append(dst, h.items...)
+	out := dst[base:]
 	// Repeatedly extract the max into the tail of out.
 	for n := len(h.items); n > 0; n-- {
 		out[n-1] = h.items[0]
@@ -122,7 +146,7 @@ func (h *Heap) Sorted() []Candidate {
 	// Stabilize equal distances by ID (insertion order from heaps is
 	// arbitrary; experiments need deterministic output).
 	insertionSortTies(out)
-	return out
+	return dst
 }
 
 func insertionSortTies(s []Candidate) {

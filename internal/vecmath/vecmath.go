@@ -168,10 +168,30 @@ func (m *Matrix) TopNL2(q []float32, n int) ([]int32, []float32) {
 	if n <= 0 {
 		return nil, nil
 	}
+	return m.TopNL2Into(make([]int32, 0, n), make([]float32, 0, n), q, n)
+}
+
+// TopNL2Into is TopNL2 accumulating into caller-provided backing: ids and
+// ds are truncated and reused when their capacity covers n (no
+// allocation), and grown otherwise. n is clamped to Rows; the returned
+// slices share backing with the inputs when capacity sufficed.
+func (m *Matrix) TopNL2Into(ids []int32, ds []float32, q []float32, n int) ([]int32, []float32) {
+	if n > m.Rows {
+		n = m.Rows
+	}
+	if n <= 0 {
+		return nil, nil
+	}
+	if cap(ids) < n {
+		ids = make([]int32, 0, n)
+	}
+	if cap(ds) < n {
+		ds = make([]float32, 0, n)
+	}
 	// Bounded insertion into a sorted prefix: for the small n used in
 	// cluster filtering (nprobe << |C|) this beats a heap in practice.
-	ids := make([]int32, 0, n)
-	ds := make([]float32, 0, n)
+	ids = ids[:0]
+	ds = ds[:0]
 	for i := 0; i < m.Rows; i++ {
 		d := L2Squared(q, m.Row(i))
 		if len(ds) == n && d >= ds[n-1] {
