@@ -13,6 +13,12 @@
 // tombstone, or drift pressure crosses its threshold — without pausing
 // reads. Multi-host mode (-hosts > 1) remains read-only.
 //
+// With -tiered, the epoch base is served out of core (internal/tier):
+// cluster payloads live in an on-disk image, a frequency-driven hot set
+// is pinned in RAM under -tier-hot-mb, and probed clusters are prefetched
+// ahead of the scan. Results are bit-identical to the in-RAM deployment;
+// /metrics gains the upanns_tier_* family.
+//
 // Start against a dataset written by upanns-datagen, or a synthetic one:
 //
 //	upanns-serve -base /tmp/sift.base.fvecs -addr :8080
@@ -70,6 +76,7 @@ import (
 	"repro/internal/mutable"
 	"repro/internal/obs"
 	"repro/internal/serve"
+	"repro/internal/tier"
 	"repro/internal/vecmath"
 	"repro/internal/workload"
 )
@@ -83,6 +90,11 @@ func fail(err error) {
 // deploys every (single-host) index with it so a state restore and a
 // cold build agree on whether filtering is enabled.
 var attrSchema *filter.Schema
+
+// tierCfg is the -tiered flag family resolved once in main; when set,
+// mutableConfig deploys the epoch base out of core through
+// internal/tier instead of holding posting lists in RAM.
+var tierCfg *mutable.TierConfig
 
 func main() {
 	var (
@@ -116,6 +128,12 @@ func main() {
 		compactEvery  = flag.Duration("compact-interval", 25*time.Millisecond, "compaction pressure poll period (0 disables the background compactor)")
 		drainDeadline = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget for in-flight HTTP requests")
 		statePath     = flag.String("state", "", "durable index state: loaded at startup when present, written on graceful shutdown (single-host mode)")
+
+		tiered        = flag.Bool("tiered", false, "serve the epoch base out of core: cluster payloads live in an image file and stream through a hot-set/prefetch cluster store (single-host mode)")
+		tierDir       = flag.String("tier-dir", "", "directory for epoch image files (default: system temp dir)")
+		tierHotMB     = flag.Int("tier-hot-mb", 64, "hot-set byte budget in MiB pinned in RAM by the tiered store")
+		tierPrefetch  = flag.Int("tier-prefetch", 2, "tiered prefetch workers warming probed clusters (0 disables prefetch)")
+		tierRebalance = flag.Duration("tier-rebalance", time.Second, "hot-set rebalance period under observed probe frequencies (0 disables)")
 	)
 	flag.Parse()
 	if *statePath != "" && *hosts > 1 {
@@ -134,6 +152,24 @@ func main() {
 		}
 	}
 	attrSchema = schema
+	if *tiered {
+		if *hosts > 1 {
+			fail(fmt.Errorf("-tiered requires single-host mode (-hosts 1); the tiered store lives in the mutable deployment"))
+		}
+		if *statePath != "" {
+			// The epoch base already lives in the image file; WriteTo-style
+			// state snapshots are redundant with it and unsupported.
+			fail(fmt.Errorf("-tiered is incompatible with -state: tiered deployments keep the base in the epoch image file"))
+		}
+		tierCfg = &mutable.TierConfig{
+			Dir: *tierDir,
+			Store: tier.Config{
+				HotBytes:        int64(*tierHotMB) << 20,
+				PrefetchWorkers: *tierPrefetch,
+				RebalanceEvery:  *tierRebalance,
+			},
+		}
+	}
 
 	var backend serve.Backend
 	var updatable *mutable.UpdatableIndex
@@ -228,6 +264,9 @@ func main() {
 		if schema != nil {
 			mode = "mutable + filtered (schema " + schema.Spec() + ")"
 		}
+		if tierCfg != nil {
+			mode += fmt.Sprintf(" + tiered (hot budget %d MiB)", tierCfg.Store.HotBytes>>20)
+		}
 		nvec = updatable.Stats().BaseVectors
 	} else if base != nil {
 		nvec = int64(base.Rows)
@@ -311,6 +350,7 @@ func mutableConfig(nprobe, k, dpus int, seed uint64, compactEvery time.Duration)
 	mcfg := mutable.ServingConfig(nprobe, k, dpus, seed)
 	mcfg.CheckInterval = compactEvery
 	mcfg.Schema = attrSchema
+	mcfg.Tier = tierCfg
 	return mcfg
 }
 

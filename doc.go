@@ -28,6 +28,15 @@
 //     publication, background compaction re-placing and redeploying the
 //     index under log/tombstone/drift pressure, durable state;
 //
+//   - tiering: internal/tier — out-of-core cluster storage for the
+//     epoch base: an on-disk cluster image (ivfpq.WriteImage/OpenImage),
+//     a frequency-driven hot set pinned under a byte budget (reusing
+//     the placement greedy), an async prefetcher ahead of the probe
+//     list, and cold streaming through the blocked scan kernels;
+//     results stay bit-identical to in-RAM search, injected I/O faults
+//     surface as wrapped errors or counted skip-degraded answers, and
+//     a fault-injection + golden-equivalence harness proves both;
+//
 //   - serving: internal/serve — micro-batching, admission control,
 //     request coalescing, an LRU result cache, a mirrored write batcher,
 //     and the shard HTTP surface (wire types + handler) every serving
@@ -60,8 +69,8 @@
 //     unconditionally and a disabled tracer costs a nil check;
 //
 //   - harness: internal/bench regenerates every table and figure of the
-//     paper's evaluation plus the serving, updates, cluster, and
-//     filtered sweeps, each with self-checking machine-readable
+//     paper's evaluation plus the serving, updates, cluster, filtered,
+//     and tiered sweeps, each with self-checking machine-readable
 //     artifacts; the root-level benchmarks in bench_test.go expose one
 //     testing.B target per artifact.
 //

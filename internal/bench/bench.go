@@ -280,6 +280,7 @@ func All() []Experiment {
 		{"updates", "Streaming updates: recall and read tail under churn", (*Context).Updates},
 		{"cluster", "Distributed sharded serving: recall parity and shard-loss behavior", (*Context).Cluster},
 		{"filtered", "Filtered search: recall and tail latency vs selectivity", (*Context).Filtered},
+		{"tiered", "Out-of-core tiered serving: exactness, tail and hit rate at 4x budget pressure", (*Context).Tiered},
 	}
 }
 

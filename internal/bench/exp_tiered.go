@@ -1,0 +1,243 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/ivfpq"
+	"repro/internal/metrics"
+	"repro/internal/tier"
+	"repro/internal/topk"
+	"repro/internal/workload"
+)
+
+// The tiered experiment measures the out-of-core cluster store
+// (internal/tier) under deliberate memory pressure: the epoch image is
+// written to disk and the hot-set budget is pinned at a quarter of it,
+// so three quarters of the corpus can only be served by prefetching or
+// streaming cold. A Zipf-skewed query stream then drives the store the
+// way the paper's workload analysis (Fig. 4) says real traffic does —
+// a small fraction of clusters absorbs most probes — and the run
+// reports:
+//
+//   - exactness: every tiered result is compared against the in-RAM
+//     index under identical options; the contract is bit-identical, so
+//     the mismatch count must be zero;
+//   - tail latency: steady-state p50/p95/p99 after a warm round, with
+//     a generous absolute p99 ceiling as the regression tripwire;
+//   - hot-set effectiveness: the steady-state hit rate of the
+//     frequency-seeded hot set, which skew should keep well above the
+//     1/4 a budget-sized uniform sample would earn.
+
+// tieredP99Ceiling is the absolute steady-state p99 bound. Generous on
+// purpose: it exists to catch pathological regressions (every probe
+// going to disk, prefetch deadlock), not to benchmark the disk.
+const tieredP99Ceiling = 250 * time.Millisecond
+
+// tieredMinHitRate is the steady-state hot-set hit-rate floor. The
+// budget alone covers 1/4 of the corpus; Zipf skew plus frequency
+// seeding must beat a uniform sample's share.
+const tieredMinHitRate = 0.25
+
+// TieredArtifact is the experiment's machine-readable result
+// (BENCH_tiered.json); Violations makes it self-checking.
+type TieredArtifact struct {
+	ImageBytes     int64   `json:"image_bytes"`
+	HotBudgetBytes int64   `json:"hot_budget_bytes"`
+	CorpusToBudget float64 `json:"corpus_to_budget_ratio"`
+	NProbe         int     `json:"nprobe"`
+	K              int     `json:"k"`
+
+	Queries    int `json:"queries"`
+	Mismatches int `json:"mismatches_vs_in_ram"`
+
+	P50 float64 `json:"p50_seconds"`
+	P95 float64 `json:"p95_seconds"`
+	P99 float64 `json:"p99_seconds"`
+
+	HitRate      float64 `json:"hot_hit_rate"`
+	HotClusters  int     `json:"hot_clusters"`
+	ColdReads    uint64  `json:"cold_reads"`
+	ColdGBPerSec float64 `json:"cold_gb_per_sec"`
+	PrefetchHits uint64  `json:"prefetch_hits"`
+	Skipped      uint64  `json:"skipped_clusters"`
+}
+
+// Violations returns the acceptance-shape regressions this run exhibits
+// (empty = healthy).
+func (a *TieredArtifact) Violations() []string {
+	var v []string
+	if a.CorpusToBudget < 4 {
+		v = append(v, fmt.Sprintf("tiered: corpus/budget ratio %.2f below 4; the run never left RAM pressure", a.CorpusToBudget))
+	}
+	if a.Mismatches > 0 {
+		v = append(v, fmt.Sprintf("tiered: %d of %d queries diverged from the in-RAM index; tiered search must be bit-identical", a.Mismatches, a.Queries))
+	}
+	if a.P99 <= 0 {
+		v = append(v, "tiered: nonpositive p99; no latency was measured")
+	} else if a.P99 > tieredP99Ceiling.Seconds() {
+		v = append(v, fmt.Sprintf("tiered: steady-state p99 %.6fs exceeds the %s ceiling", a.P99, tieredP99Ceiling))
+	}
+	if a.HitRate < tieredMinHitRate {
+		v = append(v, fmt.Sprintf("tiered: steady-state hit rate %.4f below %.2f; the frequency-seeded hot set is not absorbing the skew", a.HitRate, tieredMinHitRate))
+	}
+	if a.Skipped > 0 {
+		v = append(v, fmt.Sprintf("tiered: %d clusters skipped on a healthy disk", a.Skipped))
+	}
+	return v
+}
+
+// Tiered runs the experiment and renders the report.
+func (c *Context) Tiered() (*Report, error) {
+	art, err := c.TieredRun()
+	if err != nil {
+		return nil, err
+	}
+	return tieredReport(art), nil
+}
+
+// TieredRun executes the pressure run and returns the raw artifact
+// (tests assert on it directly; Tiered renders it).
+func (c *Context) TieredRun() (*TieredArtifact, error) {
+	s := c.getSetup(dataset.SIFT1B, c.O.IVFGrid[len(c.O.IVFGrid)-1])
+	nprobe := c.O.NProbeGrid[len(c.O.NProbeGrid)-1]
+	k := c.O.K
+
+	f, err := os.CreateTemp("", "upanns-bench-tiered-*.img")
+	if err != nil {
+		return nil, err
+	}
+	defer os.Remove(f.Name())
+	defer f.Close()
+	size, err := s.ix.WriteImage(f)
+	if err != nil {
+		return nil, err
+	}
+	img, err := ivfpq.OpenImage(f, size)
+	if err != nil {
+		return nil, err
+	}
+
+	// The pressure point: the hot set may pin at most a quarter of the
+	// image, so most clusters live on disk.
+	budget := size / 4
+	store := tier.NewStore(tier.NewImageSource(img), tier.Config{
+		HotBytes:        budget,
+		PrefetchWorkers: 2,
+	})
+	defer store.Close()
+	store.SeedFrequencies(s.freqs)
+	store.Rebalance()
+	tix, err := tier.NewIndex(s.ix, store)
+	if err != nil {
+		return nil, err
+	}
+
+	opts := ivfpq.SearchOpts{NProbe: nprobe, K: k, Quantized: true}
+	qs := workload.NewQueryStream(s.queries, 1.0, c.O.Seed+77)
+
+	// Warm round: stream one pool's worth of skewed queries so the
+	// measured phase reflects steady state, then rebalance under the
+	// touch counts the warm round observed.
+	for i := 0; i < c.O.Queries; i++ {
+		if _, _, err := tix.Search(qs.Next(), opts); err != nil {
+			return nil, fmt.Errorf("tiered warm round: %w", err)
+		}
+	}
+	store.Rebalance()
+	pre := store.Stats()
+
+	total := 3 * c.O.Queries
+	lat := metrics.NewLatencyHistogram()
+	mismatches := 0
+	for i := 0; i < total; i++ {
+		q := qs.Next()
+		t0 := time.Now()
+		got, _, err := tix.Search(q, opts)
+		if err != nil {
+			return nil, fmt.Errorf("tiered query %d: %w", i, err)
+		}
+		lat.Observe(time.Since(t0).Seconds())
+		want, _ := s.ix.Search(q, opts)
+		if !tieredEqual(got, want) {
+			mismatches++
+		}
+	}
+	post := store.Stats()
+
+	snap := lat.Snapshot()
+	art := &TieredArtifact{
+		ImageBytes:     size,
+		HotBudgetBytes: budget,
+		CorpusToBudget: float64(size) / float64(budget),
+		NProbe:         nprobe,
+		K:              k,
+		Queries:        total,
+		Mismatches:     mismatches,
+		P50:            snap.P50,
+		P95:            snap.P95,
+		P99:            snap.P99,
+		HotClusters:    post.HotClusters,
+		ColdReads:      post.ColdReads,
+		PrefetchHits:   post.PrefetchHits,
+		Skipped:        post.SkippedClusters,
+	}
+	// Steady-state hit rate: delta across the measured phase only, so
+	// the warm round's unavoidable cold sweep doesn't dilute it.
+	hits := post.HotHits - pre.HotHits
+	if acc := hits + (post.HotMisses - pre.HotMisses); acc > 0 {
+		art.HitRate = float64(hits) / float64(acc)
+	}
+	if post.ColdSeconds > 0 {
+		art.ColdGBPerSec = float64(post.ColdBytes) / post.ColdSeconds / 1e9
+	}
+	return art, nil
+}
+
+// tieredEqual reports whether two result lists are bit-identical.
+func tieredEqual(got, want []topk.Candidate) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if got[i].ID != want[i].ID || got[i].Dist != want[i].Dist {
+			return false
+		}
+	}
+	return true
+}
+
+// tieredReport renders the artifact as the experiment report.
+func tieredReport(a *TieredArtifact) *Report {
+	rep := &Report{
+		ID:       "tiered",
+		Title:    "Out-of-core tiered serving: exactness, tail and hit rate at 4x budget pressure",
+		Artifact: a,
+	}
+	t := metrics.NewTable(
+		fmt.Sprintf("Tiered pressure run on %s (image %d KiB, hot budget %d KiB, nprobe %d, k %d)",
+			dataset.SIFT1B.Name, a.ImageBytes>>10, a.HotBudgetBytes>>10, a.NProbe, a.K),
+		"metric", "value")
+	t.AddRow("queries (steady state)", fmt.Sprintf("%d", a.Queries))
+	t.AddRow("mismatches vs in-RAM", fmt.Sprintf("%d", a.Mismatches))
+	t.AddRow("read p50", metrics.Seconds(a.P50))
+	t.AddRow("read p95", metrics.Seconds(a.P95))
+	t.AddRow("read p99", metrics.Seconds(a.P99))
+	t.AddRow("hot-set hit rate", fmt.Sprintf("%.4f", a.HitRate))
+	t.AddRow("hot clusters pinned", fmt.Sprintf("%d", a.HotClusters))
+	t.AddRow("cold reads", fmt.Sprintf("%d", a.ColdReads))
+	t.AddRow("cold bandwidth", fmt.Sprintf("%.3f GB/s", a.ColdGBPerSec))
+	t.AddRow("prefetch hits", fmt.Sprintf("%d", a.PrefetchHits))
+	t.AddRow("skipped clusters", fmt.Sprintf("%d", a.Skipped))
+	rep.Tables = append(rep.Tables, t)
+
+	rep.Notes = append(rep.Notes,
+		fmt.Sprintf("corpus is %.1fx the hot budget: most clusters serve from disk via prefetch or cold streaming", a.CorpusToBudget),
+		"expected shape: zero mismatches (tiered search is bit-identical to in-RAM), p99 under the absolute ceiling, hit rate above a uniform budget-sized sample's share")
+	for _, v := range a.Violations() {
+		rep.Notes = append(rep.Notes, "VIOLATION: "+v)
+	}
+	return rep
+}

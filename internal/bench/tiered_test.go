@@ -1,0 +1,39 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTieredExperiment checks the acceptance shape of the out-of-core
+// pressure run: bit-identical results against the in-RAM index, a
+// measured steady-state tail, and a hot set that actually absorbs the
+// Zipf skew. The checks themselves have one source of truth —
+// TieredArtifact.Violations, the same gate the CI bench-smoke job runs.
+func TestTieredExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive in -short mode")
+	}
+	ctx := NewContext(tinyOptions())
+	art, err := ctx.TieredRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Queries == 0 {
+		t.Fatal("no steady-state queries measured")
+	}
+	if art.ColdReads == 0 && art.PrefetchHits == 0 {
+		t.Fatalf("run never touched disk (cold=0, prefetch=0); the pressure setup is broken: %+v", art)
+	}
+	if v := art.Violations(); len(v) != 0 {
+		t.Errorf("tiered artifact violations: %v", v)
+	}
+
+	rep := tieredReport(art)
+	if len(rep.Tables) == 0 || len(rep.Tables[0].Rows) == 0 {
+		t.Fatal("tiered report malformed")
+	}
+	if !strings.Contains(rep.String(), "tiered") {
+		t.Fatal("tiered report render missing id")
+	}
+}

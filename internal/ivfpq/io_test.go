@@ -154,3 +154,138 @@ func TestFoldedIndexRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// --- cluster-image (WriteImage/OpenImage) coverage ---
+
+// writeImage serializes ix's image into memory and opens it back.
+func writeImage(t *testing.T, ix *Index) ([]byte, *Image) {
+	t.Helper()
+	var buf bytes.Buffer
+	n, err := ix.WriteImage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteImage reported %d bytes, wrote %d", n, buf.Len())
+	}
+	b := buf.Bytes()
+	im, err := OpenImage(bytes.NewReader(b), int64(len(b)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, im
+}
+
+func TestImageRoundTrip(t *testing.T) {
+	ix, _ := buildIndex(t, 41, 3000, 32, 16, 8)
+	_, im := writeImage(t, ix)
+
+	if im.NList() != ix.NList() || im.NTotal() != ix.NTotal || im.M() != ix.PQ.M {
+		t.Fatalf("image shape %d/%d/%d, index %d/%d/%d",
+			im.NList(), im.NTotal(), im.M(), ix.NList(), ix.NTotal, ix.PQ.M)
+	}
+	if err := im.Matches(ix); err != nil {
+		t.Fatal(err)
+	}
+	m := ix.PQ.M
+	var scratch []byte
+	for c := 0; c < ix.NList(); c++ {
+		l := &ix.Lists[c]
+		if im.ClusterLen(int32(c)) != l.Len() {
+			t.Fatalf("cluster %d: image len %d, index %d", c, im.ClusterLen(int32(c)), l.Len())
+		}
+		if l.Len() == 0 {
+			continue
+		}
+		// Whole-cluster read.
+		ids := make([]int64, l.Len())
+		codes := make([]uint8, l.Len()*m)
+		var err error
+		if scratch, err = im.ReadIDs(ids, scratch, int32(c), 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := im.ReadCodes(codes, int32(c), 0); err != nil {
+			t.Fatal(err)
+		}
+		for i := range ids {
+			if ids[i] != l.IDs[i] {
+				t.Fatalf("cluster %d id %d: %d != %d", c, i, ids[i], l.IDs[i])
+			}
+		}
+		if !bytes.Equal(codes, l.Codes) {
+			t.Fatalf("cluster %d: codes differ", c)
+		}
+		// Offset window read (the cold path's chunked access pattern).
+		if l.Len() >= 3 {
+			base, n := 1, l.Len()-2
+			wids := make([]int64, n)
+			wcodes := make([]uint8, n*m)
+			if scratch, err = im.ReadIDs(wids, scratch, int32(c), base); err != nil {
+				t.Fatal(err)
+			}
+			if err := im.ReadCodes(wcodes, int32(c), base); err != nil {
+				t.Fatal(err)
+			}
+			for i := range wids {
+				if wids[i] != l.IDs[base+i] {
+					t.Fatalf("cluster %d window id %d differs", c, i)
+				}
+			}
+			if !bytes.Equal(wcodes, l.Codes[base*m:(base+n)*m]) {
+				t.Fatalf("cluster %d: window codes differ", c)
+			}
+		}
+	}
+}
+
+func TestOpenImageRejectsGarbage(t *testing.T) {
+	ix, _ := buildIndex(t, 43, 800, 16, 8, 4)
+	good, _ := writeImage(t, ix)
+
+	badMagic := append([]byte(nil), good...)
+	copy(badMagic, "NOPE")
+	badVersion := append([]byte(nil), good...)
+	badVersion[4] = 99
+
+	cases := map[string][]byte{
+		"empty":             nil,
+		"header only":       good[:20],
+		"bad magic":         badMagic,
+		"future version":    badVersion,
+		"truncated counts":  good[:imageHeaderBytes+4],
+		"truncated payload": good[:len(good)-7],
+		"padded payload":    append(append([]byte(nil), good...), 0, 0, 0),
+	}
+	for name, b := range cases {
+		if _, err := OpenImage(bytes.NewReader(b), int64(len(b))); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}
+
+func TestImageMatchesRejectsShapeSkew(t *testing.T) {
+	ix, _ := buildIndex(t, 45, 800, 16, 8, 4)
+	_, im := writeImage(t, ix)
+	other, _ := buildIndex(t, 45, 800, 16, 8, 8) // different M
+	if err := im.Matches(other); err == nil {
+		t.Fatal("no error pairing image with a different-shape index")
+	}
+}
+
+func TestImageRejectsOutOfRangeReads(t *testing.T) {
+	ix, _ := buildIndex(t, 47, 800, 16, 8, 4)
+	_, im := writeImage(t, ix)
+	n := im.ClusterLen(0)
+	if _, err := im.ReadIDs(make([]int64, n+1), nil, 0, 0); err == nil {
+		t.Error("no error for over-long id read")
+	}
+	if err := im.ReadCodes(make([]uint8, (n+1)*im.M()), 0, 0); err == nil {
+		t.Error("no error for over-long code read")
+	}
+	if err := im.ReadCodes(make([]uint8, 3), 0, 0); err == nil {
+		t.Error("no error for non-multiple-of-M code buffer")
+	}
+	if _, err := im.ReadIDs(make([]int64, 1), nil, int32(im.NList()), 0); err == nil {
+		t.Error("no error for out-of-range cluster")
+	}
+}

@@ -83,6 +83,10 @@ func (u *UpdatableIndex) capture(force bool) *foldCapture {
 	for id, r := range u.latest {
 		c.latest[id] = r
 	}
+	// The fold reads the captured epoch's base without locks; in tiered
+	// mode the pin keeps its image file alive even though searches may
+	// meanwhile run against newer epochs. Compact unpins when done.
+	c.snap.pin()
 	return c
 }
 
@@ -124,26 +128,48 @@ func (u *UpdatableIndex) Compact(force bool) (bool, error) {
 	if fc == nil {
 		return false, nil
 	}
+	defer fc.snap.unpin()
 	u.compacting.Store(true)
 	defer u.compacting.Store(false)
 	start := time.Now()
 
 	// ---- Fold (no locks): base entries that survived, then the live log
-	// versions, cluster by cluster. ----
+	// versions, cluster by cluster. A tiered base streams from the pinned
+	// epoch's image in bounded chunks; an engine base reads its in-RAM
+	// lists directly. ----
 	m := fc.snap.ix.PQ.M
 	newIx := fc.snap.ix.CloneStructure()
 	folded := uint64(0)
 	for c := 0; c < u.nlist; c++ {
-		base := &fc.snap.ix.Lists[c]
-		for i := 0; i < base.Len(); i++ {
-			id := base.IDs[i]
-			if _, dead := fc.tombs[id]; dead {
-				continue
+		if fc.snap.tix != nil {
+			err := fc.snap.tix.Store().ScanCluster(int32(c), func(ids []int64, codes []uint8) error {
+				for i, id := range ids {
+					if _, dead := fc.tombs[id]; dead {
+						continue
+					}
+					if _, shadowed := fc.latest[id]; shadowed {
+						continue
+					}
+					newIx.AppendEncoded(int32(c), id, codes[i*m:(i+1)*m])
+				}
+				return nil
+			})
+			if err != nil {
+				u.compactErrs.Add(1)
+				return false, fmt.Errorf("mutable: folding tiered cluster %d of epoch %d: %w", c, fc.snap.epoch, err)
 			}
-			if _, shadowed := fc.latest[id]; shadowed {
-				continue
+		} else {
+			base := &fc.snap.ix.Lists[c]
+			for i := 0; i < base.Len(); i++ {
+				id := base.IDs[i]
+				if _, dead := fc.tombs[id]; dead {
+					continue
+				}
+				if _, shadowed := fc.latest[id]; shadowed {
+					continue
+				}
+				newIx.AppendEncoded(int32(c), id, base.Code(i, m))
 			}
-			newIx.AppendEncoded(int32(c), id, base.Code(i, m))
 		}
 		lg := &fc.logs[c]
 		for i := 0; i < fc.logLens[c]; i++ {
@@ -159,19 +185,30 @@ func (u *UpdatableIndex) Compact(force bool) (bool, error) {
 		}
 	}
 
-	// ---- Deploy the next epoch on a fresh system (no locks; the old
-	// epoch keeps serving). ----
-	eng, err := core.Build(newIx, pim.NewSystem(u.cfg.Spec), fc.freqs, u.cfg.Engine)
-	if err != nil {
-		u.compactErrs.Add(1)
-		return false, fmt.Errorf("mutable: deploying epoch %d: %w", fc.snap.epoch+1, err)
-	}
-	next := &snapshot{
-		epoch: fc.snap.epoch + 1,
-		ix:    newIx,
-		eng:   eng,
-		freqs: fc.freqs,
-		baseN: newIx.NTotal,
+	// ---- Deploy the next epoch on a fresh system — or, tiered, on a
+	// fresh image file and tier store (no locks; the old epoch keeps
+	// serving). ----
+	var next *snapshot
+	if u.cfg.Tier != nil {
+		tnext, err := deployTiered(newIx, fc.freqs, fc.snap.epoch+1, u.cfg.Tier)
+		if err != nil {
+			u.compactErrs.Add(1)
+			return false, err
+		}
+		next = tnext
+	} else {
+		eng, err := core.Build(newIx, pim.NewSystem(u.cfg.Spec), fc.freqs, u.cfg.Engine)
+		if err != nil {
+			u.compactErrs.Add(1)
+			return false, fmt.Errorf("mutable: deploying epoch %d: %w", fc.snap.epoch+1, err)
+		}
+		next = &snapshot{
+			epoch: fc.snap.epoch + 1,
+			ix:    newIx,
+			eng:   eng,
+			freqs: fc.freqs,
+			baseN: newIx.NTotal,
+		}
 	}
 
 	// ---- Publish: swap the snapshot and retire the folded overlay in
@@ -218,6 +255,11 @@ func (u *UpdatableIndex) Compact(force bool) (bool, error) {
 	}
 	u.lastTrigger = fc.trigger
 	u.mu.Unlock()
+
+	// The replaced epoch is retired after publication: readers that pinned
+	// it under the overlay lock keep its image alive until they finish;
+	// once the last unpins, the tier store closes and the file is deleted.
+	fc.snap.retire()
 
 	ns := time.Since(start).Nanoseconds()
 	u.lastCompactNs.Store(ns)

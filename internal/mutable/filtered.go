@@ -188,9 +188,13 @@ func (u *UpdatableIndex) searchFiltered(queries *vecmath.Matrix, k int, pred fil
 	// Capture a consistent (snapshot, overlay) cut, like Search's
 	// swap-proof slow path: the overlay candidates are materialized and
 	// the filter maps copied under the read lock, then the captured epoch
-	// (immutable forever) is scanned lock-free.
+	// (immutable forever) is scanned lock-free. The pin keeps a tiered
+	// epoch's image file alive through the scan even if a racing
+	// compaction retires it (no-op for engine epochs).
 	u.mu.RLock()
 	snap := u.snap.Load()
+	snap.pin()
+	defer snap.unpin()
 	view := overlayView{
 		tombs:  make(map[int64]uint64, len(u.tombs)),
 		latest: make(map[int64]entryRef, len(u.latest)),
@@ -217,16 +221,22 @@ func (u *UpdatableIndex) searchFiltered(queries *vecmath.Matrix, k int, pred fil
 	base := make([][]topk.Candidate, nq)
 	for qi := 0; qi < nq; qi++ {
 		if plan.Mode == filter.ModePre {
-			cands, s := snap.ix.Search(queries.Row(qi), ivfpq.SearchOpts{
+			cands, s, err := snap.searchBase(queries.Row(qi), ivfpq.SearchOpts{
 				NProbe: nprobe, K: k, Allow: allow, Quantized: true,
 			})
+			if err != nil {
+				return nil, err
+			}
 			st.Add(s)
 			base[qi] = cands
 			continue
 		}
-		cands, s := snap.ix.Search(queries.Row(qi), ivfpq.SearchOpts{
+		cands, s, err := snap.searchBase(queries.Row(qi), ivfpq.SearchOpts{
 			NProbe: nprobe, K: plan.FetchK, Quantized: true,
 		})
+		if err != nil {
+			return nil, err
+		}
 		st.Add(s)
 		fetchedN += len(cands)
 		kept := cands[:0]

@@ -45,6 +45,9 @@ func (cw *countingWriter) Write(p []byte) (int, error) {
 // read lock, so a concurrent compaction cannot publish between reading
 // the overlay and choosing the base. It implements io.WriterTo.
 func (u *UpdatableIndex) WriteTo(w io.Writer) (int64, error) {
+	if u.cfg.Tier != nil {
+		return 0, fmt.Errorf("mutable: tiered deployments do not support WriteTo: the base already lives in the epoch image file")
+	}
 	// Freeze a consistent (snapshot, overlay) pair. Slice headers are
 	// safe to retain: log entries are append-only, the base immutable.
 	u.mu.RLock()

@@ -2,6 +2,7 @@ package mutable
 
 import (
 	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pim"
 	"repro/internal/pq"
+	"repro/internal/tier"
 	"repro/internal/topk"
 	"repro/internal/vecmath"
 )
@@ -50,6 +52,13 @@ type Config struct {
 	// Attributes are held in memory alongside the index and are not part
 	// of WriteTo/Read persistence.
 	Schema *filter.Schema
+
+	// Tier, when non-nil, serves each epoch's base out of core: the
+	// folded base is written as a cluster image file and searched through
+	// an internal/tier store (hot-set pinning, prefetch, cold streaming)
+	// instead of a PIM engine deployment. The write overlay stays in RAM.
+	// Tiered deployments do not support WriteTo persistence.
+	Tier *TierConfig
 }
 
 // DefaultConfig returns the streaming-update defaults described on each
@@ -104,9 +113,10 @@ func (c Config) withDefaults(nlist int) Config {
 }
 
 // snapshot is one published epoch: an immutable index deployed on its own
-// PIM system. Readers load it through an atomic pointer and never observe
+// PIM system — or, in tiered mode, on a tier store over an epoch image
+// file. Readers load it through an atomic pointer and never observe
 // mutation; the engine mutex serializes SearchBatch, which reuses per-DPU
-// scratch and is not reentrant.
+// scratch and is not reentrant. Exactly one of eng/tix is non-nil.
 type snapshot struct {
 	epoch uint64
 	ix    *ivfpq.Index
@@ -114,6 +124,15 @@ type snapshot struct {
 	engMu sync.Mutex
 	freqs []float64 // placement frequencies this epoch was deployed with
 	baseN int64
+
+	// Tiered-mode state (see tiered.go): the tier executor, the epoch's
+	// image file, and the reference count governing their lifetime. The
+	// count starts at 1 (the publisher); readers pin/unpin around
+	// lock-free base scans and the last reference reclaims file + store.
+	tix     *tier.Index
+	refs    atomic.Int64
+	img     *os.File
+	imgPath string
 }
 
 // clusterLog is one cluster's append log: ids, write sequence numbers and
@@ -168,9 +187,10 @@ type UpdatableIndex struct {
 	compactMu   sync.Mutex // one compaction at a time
 	lastTrigger string     // guarded by mu
 
-	stopc    chan struct{}
-	stopOnce sync.Once
-	wg       sync.WaitGroup
+	stopc      chan struct{}
+	stopOnce   sync.Once
+	retireOnce sync.Once
+	wg         sync.WaitGroup
 
 	inserts, deletes         atomic.Uint64
 	compactions, compactErrs atomic.Uint64
@@ -205,10 +225,6 @@ func newIndex(ix *ivfpq.Index, freqs []float64, cfg Config) (*UpdatableIndex, er
 			freqs[i] = 1
 		}
 	}
-	eng, err := core.Build(ix, pim.NewSystem(cfg.Spec), freqs, cfg.Engine)
-	if err != nil {
-		return nil, fmt.Errorf("mutable: deploying epoch 0: %w", err)
-	}
 	u := &UpdatableIndex{
 		cfg:    cfg,
 		dim:    ix.Dim,
@@ -221,6 +237,18 @@ func newIndex(ix *ivfpq.Index, freqs []float64, cfg Config) (*UpdatableIndex, er
 	}
 	if cfg.Schema != nil {
 		u.attrs = filter.NewStore(cfg.Schema)
+	}
+	if cfg.Tier != nil {
+		snap, err := deployTiered(ix, freqs, 0, cfg.Tier)
+		if err != nil {
+			return nil, err
+		}
+		u.snap.Store(snap)
+		return u, nil
+	}
+	eng, err := core.Build(ix, pim.NewSystem(cfg.Spec), freqs, cfg.Engine)
+	if err != nil {
+		return nil, fmt.Errorf("mutable: deploying epoch 0: %w", err)
 	}
 	u.snap.Store(&snapshot{ix: ix, eng: eng, freqs: freqs, baseN: ix.NTotal})
 	return u, nil
@@ -235,10 +263,21 @@ func (u *UpdatableIndex) startCompactor() {
 }
 
 // Close stops the background compactor and waits for an in-flight
-// compaction to finish. Idempotent.
+// compaction to finish; a tiered deployment then retires the final epoch
+// (its image file is deleted once the last in-flight search unpins it).
+// Idempotent.
 func (u *UpdatableIndex) Close() {
 	u.stopOnce.Do(func() { close(u.stopc) })
 	u.wg.Wait()
+	if u.cfg.Tier != nil {
+		u.retireOnce.Do(func() {
+			// compactMu excludes an explicit Compact racing the shutdown —
+			// publication inside it would leak the epoch we retire here.
+			u.compactMu.Lock()
+			u.snap.Load().retire()
+			u.compactMu.Unlock()
+		})
+	}
 }
 
 // Dim returns the index dimensionality (serve.Backend).
@@ -428,6 +467,12 @@ func (u *UpdatableIndex) searchPlain(queries *vecmath.Matrix, k int, sl *obs.Sta
 	}
 	sl.Record("mutable.probe", probeStart,
 		obs.Int("queries", int64(nq)), obs.Int("nprobe", int64(u.cfg.Engine.NProbe)))
+
+	// Tiered deployments have no engine; the base streams from the epoch
+	// image through the tier store on a pinned snapshot.
+	if u.cfg.Tier != nil {
+		return u.searchTiered(queries, probes, k, sl)
+	}
 
 	// Fast path: search the engine first, then validate that no epoch was
 	// published in between (publication holds the write lock, so holding

@@ -28,6 +28,12 @@ func (u *UpdatableIndex) WriteMetrics(w *obs.PromWriter) {
 	}
 	w.Gauge("upanns_index_compacting", "1 while an epoch compaction is in flight.", compacting)
 
+	if ts := u.TierStats(); ts != nil {
+		w.Gauge("upanns_tier_hot_clusters", "Clusters pinned in the current epoch's hot set.", float64(ts.HotClusters))
+		w.Gauge("upanns_tier_hot_bytes", "Bytes pinned in the current epoch's hot set.", float64(ts.HotBytes))
+		w.Gauge("upanns_tier_hot_budget_bytes", "Hot-set byte budget of the current epoch's tier store.", float64(ts.HotBudgetBytes))
+	}
+
 	fs := u.FilterStats()
 	if fs == nil {
 		return

@@ -10,8 +10,10 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/mutable"
+	"repro/internal/tier"
 	"repro/internal/vecmath"
 )
 
@@ -207,5 +209,90 @@ func TestDeleteThenSearchSameKey(t *testing.T) {
 
 	if u.Stats().Compactions == 0 {
 		t.Fatal("no compaction overlapped the delete/search cycles")
+	}
+}
+
+// TestTieredSearchDuringSwapAndRebalance hammers the tiered read path
+// while three things churn underneath it: the hot set rebalances every
+// millisecond under a budget too small for the corpus (constant
+// promotion/eviction), the prefetcher races the scans, and forced
+// compactions rewrite the epoch image and delete the old file. Every
+// search must stay full-sized and keep the sentinel; epoch pinning is
+// what keeps a retiring image alive under the readers' feet.
+func TestTieredSearchDuringSwapAndRebalance(t *testing.T) {
+	base := gaussMatrix(1500, testDim, 14)
+	cfg := tieredConfig(t, 0, tier.Config{
+		HotBytes:        4 << 10, // a handful of clusters; rebalances always churn
+		PrefetchWorkers: 2,
+		PrefetchDepth:   4, // tiny queue; overflow drops exercised under load
+		RebalanceEvery:  time.Millisecond,
+	})
+	u := buildTiered(t, base, cfg)
+
+	sentinel := gaussMatrix(1, testDim, 410).Row(0)
+	const sentinelID = int64(920_000)
+	if err := u.Insert(sentinelID, sentinel); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var churnWG sync.WaitGroup
+	churnWG.Add(1)
+	var swaps atomic.Uint64
+	go func() {
+		defer churnWG.Done()
+		churn := gaussMatrix(64, testDim, 411)
+		next := int64(930_000)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for i := 0; i < churn.Rows; i++ {
+				if err := u.Insert(next, churn.Row(i)); err != nil {
+					t.Error(err)
+					return
+				}
+				next++
+			}
+			// Each swap folds the tiered base by streaming the pinned old
+			// image and then deletes it once readers let go.
+			if _, err := u.Compact(true); err != nil {
+				t.Error(err)
+				return
+			}
+			swaps.Add(1)
+		}
+	}()
+
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			q := vecmath.WrapMatrix(sentinel, 1, testDim)
+			for i := 0; i < 60; i++ {
+				res, err := u.Search(q, mutable.SearchOpts{K: testK})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if len(res[0]) != testK {
+					t.Errorf("reader %d: %d results, want %d", r, len(res[0]), testK)
+					return
+				}
+				if !hasID(res[0], sentinelID) {
+					t.Errorf("reader %d: sentinel lost during tiered swap", r)
+					return
+				}
+			}
+		}(r)
+	}
+	readers.Wait()
+	close(stop)
+	churnWG.Wait()
+	if swaps.Load() == 0 {
+		t.Fatal("no epoch swap overlapped the tiered readers; race window untested")
 	}
 }

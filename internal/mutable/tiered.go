@@ -1,0 +1,194 @@
+package mutable
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/ivfpq"
+	"repro/internal/obs"
+	"repro/internal/tier"
+	"repro/internal/topk"
+	"repro/internal/vecmath"
+)
+
+// Tiered deployments serve each epoch's base out of core: compaction
+// writes the folded base as a cluster image file, strips the in-RAM
+// posting lists, and searches the base through an internal/tier store
+// (hot-set pinning, async prefetch, cold streaming) instead of a PIM
+// engine. The write overlay stays in RAM and merges exactly as in the
+// engine path, with the same fixed-scale quantized arithmetic on both
+// sides of the merge.
+//
+// Epoch lifetime is reference-counted: a snapshot is born holding the
+// publisher's reference, every reader pins it under the overlay read
+// lock before scanning lock-free, and the image file plus tier store are
+// reclaimed when the last reference drops — so a compaction can publish
+// and retire an epoch while searches still stream from its image.
+
+// TierConfig enables out-of-core serving when set on Config.Tier.
+type TierConfig struct {
+	// Dir is where epoch image files are written (os.TempDir() when
+	// empty). Each epoch gets its own file, removed when the epoch's last
+	// reader finishes.
+	Dir string
+	// Store tunes each epoch's tier store (hot budget, prefetch,
+	// rebalance period, fault policy).
+	Store tier.Config
+}
+
+// pin takes a reference on a tiered snapshot; no-op for engine
+// snapshots. Callers must pin under the overlay read lock: publication
+// also holds the overlay lock, so a snapshot loaded and pinned there can
+// never have been retired in between.
+func (s *snapshot) pin() {
+	if s.tix != nil {
+		s.refs.Add(1)
+	}
+}
+
+// unpin drops a reference; the last one out closes the tier store and
+// deletes the epoch's image file.
+func (s *snapshot) unpin() {
+	if s.tix == nil {
+		return
+	}
+	if s.refs.Add(-1) != 0 {
+		return
+	}
+	s.tix.Store().Close()
+	s.img.Close()
+	os.Remove(s.imgPath)
+}
+
+// retire drops the publisher's reference, after the snapshot has been
+// replaced. Resources go when the last pinned reader unpins.
+func (s *snapshot) retire() { s.unpin() }
+
+// deployTiered turns a folded index into a tiered epoch snapshot: the
+// cluster payloads go to an image file, the in-RAM lists are stripped
+// (the quantizers stay — they are the compute state every epoch shares),
+// and a tier store is seeded with the epoch's placement frequencies so
+// its first hot set matches the observed workload.
+func deployTiered(ix *ivfpq.Index, freqs []float64, epoch uint64, tc *TierConfig) (*snapshot, error) {
+	dir := tc.Dir
+	if dir == "" {
+		dir = os.TempDir()
+	}
+	f, err := os.CreateTemp(dir, fmt.Sprintf("upanns-epoch-%d-*.img", epoch))
+	if err != nil {
+		return nil, fmt.Errorf("mutable: creating epoch %d image: %w", epoch, err)
+	}
+	fail := func(err error) (*snapshot, error) {
+		f.Close()
+		os.Remove(f.Name())
+		return nil, err
+	}
+	n, err := ix.WriteImage(f)
+	if err != nil {
+		return fail(fmt.Errorf("mutable: writing epoch %d image: %w", epoch, err))
+	}
+	img, err := ivfpq.OpenImage(f, n)
+	if err != nil {
+		return fail(fmt.Errorf("mutable: reopening epoch %d image: %w", epoch, err))
+	}
+	baseN := ix.NTotal
+	// The image is the base payload now; dropping the lists is what makes
+	// the deployment out-of-core. Shared quantizers are untouched.
+	ix.Lists = make([]ivfpq.List, ix.NList())
+	st := tier.NewStore(tier.NewImageSource(img), tc.Store)
+	st.SeedFrequencies(freqs)
+	st.Rebalance()
+	tix, err := tier.NewIndex(ix, st)
+	if err != nil {
+		st.Close()
+		return fail(fmt.Errorf("mutable: deploying epoch %d tier: %w", epoch, err))
+	}
+	snap := &snapshot{
+		epoch:   epoch,
+		ix:      ix,
+		tix:     tix,
+		freqs:   freqs,
+		baseN:   baseN,
+		img:     f,
+		imgPath: f.Name(),
+	}
+	snap.refs.Store(1)
+	return snap, nil
+}
+
+// searchBase runs one base-epoch query on whichever executor the
+// snapshot carries: the tier store in tiered mode, the in-RAM host
+// kernels otherwise. Tiered callers must hold a pin.
+func (s *snapshot) searchBase(q []float32, o ivfpq.SearchOpts) ([]topk.Candidate, ivfpq.SearchStats, error) {
+	if s.tix != nil {
+		cands, st, err := s.tix.Search(q, o)
+		return cands, st.SearchStats, err
+	}
+	cands, st := s.ix.Search(q, o)
+	return cands, st, nil
+}
+
+// searchTiered is the unfiltered read path of a tiered deployment. It is
+// structurally Search's swap-proof slow path: one overlay read lock
+// critical section loads and pins the epoch, copies the shadowing maps
+// and scans the overlay; then the pinned base streams through the tier
+// store lock-free — racing compactions can publish and retire epochs
+// freely, the pin keeps this one's image alive until the merge is done.
+func (u *UpdatableIndex) searchTiered(queries *vecmath.Matrix, probes [][]int32, k int, sl *obs.StageLog) ([][]topk.Candidate, error) {
+	u.mu.RLock()
+	snap := u.snap.Load()
+	snap.pin()
+	view := overlayView{
+		tombs:  make(map[int64]uint64, len(u.tombs)),
+		latest: make(map[int64]entryRef, len(u.latest)),
+	}
+	for id, s := range u.tombs {
+		view.tombs[id] = s
+	}
+	for id, r := range u.latest {
+		view.latest[id] = r
+	}
+	ovStart := time.Now()
+	view.cands = u.scanOverlay(snap, queries, probes, k, nil)
+	sl.Record("mutable.overlay", ovStart,
+		obs.Int("pending", int64(u.logCount)), obs.Str("path", "tiered"))
+	u.mu.RUnlock()
+	defer snap.unpin()
+
+	baseStart := time.Now()
+	base := make([][]topk.Candidate, queries.Rows)
+	hot, cold, skipped := 0, 0, 0
+	for qi := 0; qi < queries.Rows; qi++ {
+		cands, st, err := snap.tix.Search(queries.Row(qi), ivfpq.SearchOpts{
+			NProbe: u.cfg.Engine.NProbe, K: k, Quantized: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		hot += st.HotClusters
+		cold += st.ColdClusters
+		skipped += st.SkippedClusters
+		base[qi] = cands
+	}
+	sl.Record("mutable.base", baseStart,
+		obs.Int("epoch", int64(snap.epoch)), obs.Str("path", "tiered"),
+		obs.Int("hot_clusters", int64(hot)), obs.Int("cold_clusters", int64(cold)),
+		obs.Int("skipped_clusters", int64(skipped)))
+
+	mergeStart := time.Now()
+	out := mergeResults(&view, base, k)
+	sl.Record("mutable.merge", mergeStart)
+	return out, nil
+}
+
+// TierStats snapshots the current epoch's tier store counters (nil for
+// engine deployments).
+func (u *UpdatableIndex) TierStats() *tier.Stats {
+	snap := u.snap.Load()
+	if snap.tix == nil {
+		return nil
+	}
+	st := snap.tix.Store().Stats()
+	return &st
+}

@@ -1,0 +1,266 @@
+package mutable_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/filter"
+	"repro/internal/ivfpq"
+	"repro/internal/mutable"
+	"repro/internal/tier"
+	"repro/internal/topk"
+	"repro/internal/vecmath"
+)
+
+// Tiered-deployment coverage: the out-of-core base must behave exactly
+// like the engine deployment through inserts, deletes, compactions, and
+// filtered search, while epoch image files come and go on disk.
+
+func tieredConfig(t *testing.T, interval time.Duration, store tier.Config) mutable.Config {
+	t.Helper()
+	cfg := testConfig(interval)
+	cfg.Tier = &mutable.TierConfig{Dir: t.TempDir(), Store: store}
+	return cfg
+}
+
+// buildTiered trains a small index over base and deploys it tiered.
+func buildTiered(t *testing.T, base *vecmath.Matrix, cfg mutable.Config) *mutable.UpdatableIndex {
+	t.Helper()
+	ix := ivfpq.Train(base, ivfpq.Params{NList: testNList, M: 4, KSub: 16, Seed: 7})
+	ix.Add(base, 0)
+	u, err := mutable.New(ix, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(u.Close)
+	return u
+}
+
+func imageFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []string
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".img") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	return files
+}
+
+func TestTieredInsertDeleteSearchCompact(t *testing.T) {
+	base := gaussMatrix(2000, testDim, 21)
+	cfg := tieredConfig(t, 0, tier.Config{HotBytes: 16 << 10, PrefetchWorkers: 1})
+	u := buildTiered(t, base, cfg)
+	dir := cfg.Tier.Dir
+
+	if got := len(imageFiles(t, dir)); got != 1 {
+		t.Fatalf("epoch 0 left %d image files, want 1", got)
+	}
+
+	v := gaussMatrix(1, testDim, 99).Row(0)
+	const id = int64(1_000_000)
+	if err := u.Insert(id, v); err != nil {
+		t.Fatal(err)
+	}
+	if !hasID(searchOne(t, u, v), id) {
+		t.Fatal("insert not visible through the tiered read path")
+	}
+
+	if ok, err := u.Compact(true); err != nil || !ok {
+		t.Fatalf("compact: ok=%v err=%v", ok, err)
+	}
+	if u.Epoch() != 1 {
+		t.Fatalf("epoch %d after compaction, want 1", u.Epoch())
+	}
+	// The old epoch has no pinned readers left, so exactly the new image
+	// remains on disk.
+	if got := len(imageFiles(t, dir)); got != 1 {
+		t.Fatalf("%d image files after compaction, want 1 (old epoch not retired)", got)
+	}
+	if !hasID(searchOne(t, u, v), id) {
+		t.Fatal("folded insert lost by tiered compaction")
+	}
+
+	u.Delete(id)
+	if hasID(searchOne(t, u, v), id) {
+		t.Fatal("deleted id visible through the tiered read path")
+	}
+	if ok, err := u.Compact(true); err != nil || !ok {
+		t.Fatalf("second compact: ok=%v err=%v", ok, err)
+	}
+	if hasID(searchOne(t, u, v), id) {
+		t.Fatal("deleted id resurrected by tiered compaction")
+	}
+
+	ts := u.TierStats()
+	if ts == nil {
+		t.Fatal("TierStats nil on a tiered deployment")
+	}
+	if ts.HotHits+ts.HotMisses == 0 {
+		t.Fatalf("tier store saw no accesses: %+v", ts)
+	}
+
+	u.Close()
+	if got := len(imageFiles(t, dir)); got != 0 {
+		t.Fatalf("%d image files survive Close, want 0", got)
+	}
+}
+
+func TestTieredWriteToRejected(t *testing.T) {
+	base := gaussMatrix(800, testDim, 22)
+	u := buildTiered(t, base, tieredConfig(t, 0, tier.Config{}))
+	if _, err := u.WriteTo(nullWriter{}); err == nil {
+		t.Fatal("WriteTo accepted a tiered deployment")
+	}
+}
+
+type nullWriter struct{}
+
+func (nullWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+func sameResults(t *testing.T, label string, got, want []topk.Candidate) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results vs %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i].ID != want[i].ID || got[i].Dist != want[i].Dist {
+			t.Fatalf("%s: result %d = {%d %v}, want {%d %v}",
+				label, i, got[i].ID, got[i].Dist, want[i].ID, want[i].Dist)
+		}
+	}
+}
+
+// TestTieredMatchesEngineDeployment deploys identically trained indexes
+// tiered and on the engine, applies the same update stream to both, and
+// demands bit-identical search results — through the initial epoch and
+// across a compaction on each side. Both paths run the same fixed-scale
+// quantized arithmetic, so exact equality is the contract, not a
+// tolerance.
+func TestTieredMatchesEngineDeployment(t *testing.T) {
+	base := gaussMatrix(2500, testDim, 23)
+	tiered := buildTiered(t, base, tieredConfig(t, 0, tier.Config{HotBytes: 32 << 10, PrefetchWorkers: 2}))
+	engine := buildUpdatable(t, base, 0)
+
+	updates := gaussMatrix(200, testDim, 24)
+	for i := 0; i < updates.Rows; i++ {
+		id := int64(500_000 + i)
+		for _, u := range []*mutable.UpdatableIndex{tiered, engine} {
+			if err := u.Insert(id, updates.Row(i)); err != nil {
+				t.Fatal(err)
+			}
+			if i%5 == 0 {
+				u.Delete(id)
+			}
+		}
+	}
+
+	queries := gaussMatrix(30, testDim, 25)
+	check := func(stage string) {
+		t.Helper()
+		for qi := 0; qi < queries.Rows; qi++ {
+			q := vecmath.WrapMatrix(queries.Row(qi), 1, testDim)
+			gotRes, err := tiered.Search(q, mutable.SearchOpts{K: testK})
+			if err != nil {
+				t.Fatalf("%s: tiered search: %v", stage, err)
+			}
+			wantRes, err := engine.Search(q, mutable.SearchOpts{K: testK})
+			if err != nil {
+				t.Fatalf("%s: engine search: %v", stage, err)
+			}
+			sameResults(t, stage, gotRes[0], wantRes[0])
+		}
+	}
+	check("pre-compaction")
+
+	for _, u := range []*mutable.UpdatableIndex{tiered, engine} {
+		if ok, err := u.Compact(true); err != nil || !ok {
+			t.Fatalf("compact: ok=%v err=%v", ok, err)
+		}
+	}
+	check("post-compaction")
+}
+
+// TestTieredFilteredSearch runs the filtered path against tiered and
+// engine deployments of the same corpus; both execute on the host
+// kernels, so results must be bit-identical at every selectivity.
+func TestTieredFilteredSearch(t *testing.T) {
+	n := 2000
+	data := gaussMatrix(n, testDim, 26)
+	mkIx := func() *ivfpq.Index {
+		ix := ivfpq.Train(data, ivfpq.Params{NList: testNList, M: 4, KSub: 16, Seed: 7})
+		ix.Add(data, 0)
+		return ix
+	}
+	ids := make([]int64, n)
+	attrs := make([]filter.Attrs, n)
+	for i := range ids {
+		ids[i] = int64(i)
+		attrs[i] = attrsOf(int64(i))
+	}
+
+	mk := func(cfgTier *mutable.TierConfig) *mutable.UpdatableIndex {
+		cfg := mutable.ServingConfig(4, 10, 4, 1)
+		cfg.CheckInterval = -1
+		cfg.Schema = filteredSchema(t)
+		cfg.Tier = cfgTier
+		u, err := mutable.New(mkIx(), nil, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(u.Close)
+		if err := u.LoadAttrs(ids, attrs); err != nil {
+			t.Fatal(err)
+		}
+		return u
+	}
+	tiered := mk(&mutable.TierConfig{Dir: t.TempDir(), Store: tier.Config{HotBytes: 8 << 10, PrefetchWorkers: 1}})
+	engine := mk(nil)
+
+	preds := []string{
+		`tenant = 1`,
+		`lang = "en"`,
+		`tenant = 2 and lang = "fr"`,
+	}
+	queries := gaussMatrix(10, testDim, 27)
+	for _, expr := range preds {
+		pred := parsePred(t, expr)
+		for _, mode := range []filter.Mode{filter.ModeAuto, filter.ModePre, filter.ModePost} {
+			for qi := 0; qi < queries.Rows; qi++ {
+				q := vecmath.WrapMatrix(queries.Row(qi), 1, testDim)
+				o := mutable.SearchOpts{K: 10, Pred: pred, Mode: mode}
+				gotRes, err := tiered.Search(q, o)
+				if err != nil {
+					t.Fatalf("%s: tiered filtered search: %v", expr, err)
+				}
+				wantRes, err := engine.Search(q, o)
+				if err != nil {
+					t.Fatalf("%s: engine filtered search: %v", expr, err)
+				}
+				sameResults(t, expr+"/"+mode.String(), gotRes[0], wantRes[0])
+			}
+		}
+	}
+}
+
+// TestTieredSkipFaultySurfacesInStats pins the degraded-mode contract end
+// to end: with SkipFaulty set and a healthy disk nothing is skipped, and
+// the skip counter is reachable through TierStats.
+func TestTieredSkipFaultyStats(t *testing.T) {
+	base := gaussMatrix(1000, testDim, 28)
+	u := buildTiered(t, base, tieredConfig(t, 0, tier.Config{SkipFaulty: true}))
+	q := gaussMatrix(1, testDim, 29).Row(0)
+	if got := searchOne(t, u, q); len(got) != testK {
+		t.Fatalf("%d results, want %d", len(got), testK)
+	}
+	if ts := u.TierStats(); ts.SkippedClusters != 0 {
+		t.Fatalf("healthy deployment skipped %d clusters", ts.SkippedClusters)
+	}
+}

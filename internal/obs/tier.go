@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// TierCounters accumulates the out-of-core tier's activity across every
+// tier store in the process (internal/tier): hot-set hits and misses,
+// cold-read volume and wall time (their ratio is the achieved cold-read
+// bandwidth), prefetcher effectiveness (how often a warmed cluster was
+// ready before the scan wanted it, and by how much), hot-set churn, and
+// clusters skipped after I/O failures. /metrics snapshots it next to the
+// kernel bandwidth block.
+type TierCounters struct {
+	hotHits   atomic.Uint64
+	hotMisses atomic.Uint64
+
+	coldReads atomic.Uint64
+	coldBytes atomic.Uint64
+	coldNanos atomic.Int64
+
+	prefetchesIssued atomic.Uint64
+	prefetchHits     atomic.Uint64
+	prefetchLeadNs   atomic.Int64
+
+	promotions atomic.Uint64
+	evictions  atomic.Uint64
+
+	skippedClusters atomic.Uint64
+}
+
+// Tier is the process-global tier counter block. Every tier store
+// records into it; /metrics snapshots it.
+var Tier TierCounters
+
+// RecordAccess accounts one probed-cluster access: hit means the cluster
+// was served from resident memory (the pinned hot set, a source-resident
+// slab, or a prefetched warm slab), miss means the cold path streamed it.
+func (t *TierCounters) RecordAccess(hit bool) {
+	if hit {
+		t.hotHits.Add(1)
+	} else {
+		t.hotMisses.Add(1)
+	}
+}
+
+// RecordColdRead accounts one cold read from the backing device: bytes
+// transferred and the wall time the read took.
+func (t *TierCounters) RecordColdRead(bytes int, d time.Duration) {
+	if bytes <= 0 {
+		return
+	}
+	t.coldReads.Add(1)
+	t.coldBytes.Add(uint64(bytes))
+	t.coldNanos.Add(int64(d))
+}
+
+// RecordPrefetchIssued accounts one cluster handed to the async
+// prefetcher.
+func (t *TierCounters) RecordPrefetchIssued() { t.prefetchesIssued.Add(1) }
+
+// RecordPrefetchHit accounts a search claiming a prefetched cluster:
+// lead is how long the warm slab sat ready before it was wanted (zero
+// when the search had to wait for the fetch to finish).
+func (t *TierCounters) RecordPrefetchHit(lead time.Duration) {
+	t.prefetchHits.Add(1)
+	if lead > 0 {
+		t.prefetchLeadNs.Add(int64(lead))
+	}
+}
+
+// RecordHotSetChange accounts one rebalance pass's churn.
+func (t *TierCounters) RecordHotSetChange(promoted, evicted int) {
+	if promoted > 0 {
+		t.promotions.Add(uint64(promoted))
+	}
+	if evicted > 0 {
+		t.evictions.Add(uint64(evicted))
+	}
+}
+
+// RecordSkippedCluster accounts one probed cluster abandoned after an
+// I/O failure under the skip-faulty policy.
+func (t *TierCounters) RecordSkippedCluster() { t.skippedClusters.Add(1) }
+
+// TierSnapshot is a point-in-time view of the tier counters with the
+// derived rates alongside.
+type TierSnapshot struct {
+	HotHits   uint64 `json:"hot_hits"`
+	HotMisses uint64 `json:"hot_misses"`
+	// HitRate is hits over all accesses (0 until any access).
+	HitRate float64 `json:"hot_hit_rate"`
+
+	ColdReads   uint64  `json:"cold_reads"`
+	ColdBytes   uint64  `json:"cold_read_bytes"`
+	ColdSeconds float64 `json:"cold_read_seconds"`
+	// ColdGBps is cumulative cold bytes over cumulative cold-read wall
+	// time, in GB/s (0 until any cold read).
+	ColdGBps float64 `json:"cold_read_gbps"`
+
+	PrefetchesIssued    uint64  `json:"prefetches_issued"`
+	PrefetchHits        uint64  `json:"prefetch_hits"`
+	PrefetchLeadSeconds float64 `json:"prefetch_lead_seconds"`
+	// AvgPrefetchLeadMs is mean ready-before-use time per prefetch hit.
+	AvgPrefetchLeadMs float64 `json:"avg_prefetch_lead_ms"`
+
+	Promotions      uint64 `json:"promotions"`
+	Evictions       uint64 `json:"evictions"`
+	SkippedClusters uint64 `json:"skipped_clusters"`
+}
+
+// Snapshot returns the current counters and derived rates.
+func (t *TierCounters) Snapshot() TierSnapshot {
+	s := TierSnapshot{
+		HotHits:             t.hotHits.Load(),
+		HotMisses:           t.hotMisses.Load(),
+		ColdReads:           t.coldReads.Load(),
+		ColdBytes:           t.coldBytes.Load(),
+		ColdSeconds:         float64(t.coldNanos.Load()) / 1e9,
+		PrefetchesIssued:    t.prefetchesIssued.Load(),
+		PrefetchHits:        t.prefetchHits.Load(),
+		PrefetchLeadSeconds: float64(t.prefetchLeadNs.Load()) / 1e9,
+		Promotions:          t.promotions.Load(),
+		Evictions:           t.evictions.Load(),
+		SkippedClusters:     t.skippedClusters.Load(),
+	}
+	if total := s.HotHits + s.HotMisses; total > 0 {
+		s.HitRate = float64(s.HotHits) / float64(total)
+	}
+	if s.ColdSeconds > 0 {
+		s.ColdGBps = float64(s.ColdBytes) / s.ColdSeconds / 1e9
+	}
+	if s.PrefetchHits > 0 {
+		s.AvgPrefetchLeadMs = s.PrefetchLeadSeconds / float64(s.PrefetchHits) * 1e3
+	}
+	return s
+}
+
+// WriteMetrics renders the tier counters into w.
+func (t *TierCounters) WriteMetrics(w *PromWriter) {
+	s := t.Snapshot()
+	w.Counter("upanns_tier_hot_hits_total", "Probed clusters served from resident memory (hot set, source-resident, or prefetched).", float64(s.HotHits))
+	w.Counter("upanns_tier_hot_misses_total", "Probed clusters streamed through the cold path.", float64(s.HotMisses))
+	w.Gauge("upanns_tier_hot_hit_rate", "Hot-set hit rate, cumulative hits over all tier accesses.", s.HitRate)
+	w.Counter("upanns_tier_cold_read_bytes_total", "Bytes read from the cold tier (ids + PQ codes).", float64(s.ColdBytes))
+	w.Counter("upanns_tier_cold_reads_total", "Cold-tier read operations.", float64(s.ColdReads))
+	w.Counter("upanns_tier_cold_read_seconds_total", "Wall time spent in cold-tier reads.", s.ColdSeconds)
+	w.Gauge("upanns_tier_cold_read_gbps", "Achieved cold-read bandwidth, cumulative bytes over cumulative read time.", s.ColdGBps)
+	w.Counter("upanns_tier_prefetches_total", "Clusters handed to the async prefetcher.", float64(s.PrefetchesIssued))
+	w.Counter("upanns_tier_prefetch_hits_total", "Searches served from a prefetched warm slab.", float64(s.PrefetchHits))
+	w.Counter("upanns_tier_prefetch_lead_seconds_total", "Cumulative time prefetched slabs sat ready before use.", s.PrefetchLeadSeconds)
+	w.Gauge("upanns_tier_prefetch_lead_ms", "Mean prefetch lead time per hit, milliseconds.", s.AvgPrefetchLeadMs)
+	w.Counter("upanns_tier_promotions_total", "Clusters pinned into the hot set by rebalances.", float64(s.Promotions))
+	w.Counter("upanns_tier_evictions_total", "Clusters evicted from the hot set by rebalances.", float64(s.Evictions))
+	w.Counter("upanns_tier_skipped_clusters_total", "Probed clusters abandoned after I/O failures (skip-faulty policy).", float64(s.SkippedClusters))
+}

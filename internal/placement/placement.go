@@ -182,6 +182,54 @@ func Place(sizes []int, freqs []float64, ndpu int, order []int, params Params) *
 	return p
 }
 
+// HotSet selects the clusters an out-of-core tier should pin resident
+// under a byte budget — the host-storage analogue of Algorithm 1's
+// WRAM-side priority. The workload model W_i = s_i * f_i says a
+// cluster's scan cost is paid in full on every probe, so greedily
+// pinning by access frequency (ties: smaller cluster first, so the
+// budget stretches over more probes) maximizes the scan bytes served
+// from fast memory per budget byte. Clusters whose observed frequency is
+// zero are never pinned, and a cluster that does not fit in the
+// remaining budget is skipped rather than ending the sweep. sizes are
+// cluster byte sizes; freqs are the access frequencies the drift
+// detector observed (or the historical seed). The result is the pinned
+// cluster ids in ascending order.
+func HotSet(sizes []int64, freqs []float64, budget int64) []int32 {
+	if len(freqs) != len(sizes) {
+		panic("placement: sizes and freqs length mismatch")
+	}
+	if budget <= 0 {
+		return nil
+	}
+	order := make([]int32, 0, len(sizes))
+	for i := range sizes {
+		if sizes[i] > 0 && freqs[i] > 0 {
+			order = append(order, int32(i))
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ca, cb := order[a], order[b]
+		if freqs[ca] != freqs[cb] {
+			return freqs[ca] > freqs[cb]
+		}
+		if sizes[ca] != sizes[cb] {
+			return sizes[ca] < sizes[cb]
+		}
+		return ca < cb
+	})
+	var picked []int32
+	used := int64(0)
+	for _, c := range order {
+		if used+sizes[c] > budget {
+			continue
+		}
+		picked = append(picked, c)
+		used += sizes[c]
+	}
+	sort.Slice(picked, func(a, b int) bool { return picked[a] < picked[b] })
+	return picked
+}
+
 func maxInt(s []int) int {
 	m := 0
 	for _, v := range s {

@@ -310,3 +310,40 @@ func TestPlaceBenchWorkloadTerminates(t *testing.T) {
 		t.Fatal("Place did not terminate on the benchmark workload")
 	}
 }
+
+// TestHotSet pins the budgeted hot-set selection: highest-frequency
+// clusters first, never over budget, zero-frequency clusters excluded,
+// and a too-big cluster skipped without ending the sweep.
+func TestHotSet(t *testing.T) {
+	sizes := []int64{100, 400, 50, 300, 200}
+	freqs := []float64{5, 4, 3, 2, 0}
+
+	got := HotSet(sizes, freqs, 550)
+	want := []int32{0, 1, 2}
+	if len(got) != len(want) {
+		t.Fatalf("HotSet = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("HotSet = %v, want %v", got, want)
+		}
+	}
+
+	// Cluster 1 (400B) does not fit in 250B; the sweep keeps going and
+	// picks the smaller high-frequency clusters around it.
+	got = HotSet(sizes, freqs, 250)
+	want = []int32{0, 2}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("HotSet(250) = %v, want %v", got, want)
+	}
+
+	if got := HotSet(sizes, freqs, 0); got != nil {
+		t.Fatalf("zero budget pinned %v", got)
+	}
+	// Cluster 4 has frequency 0: never pinned, whatever the budget.
+	for _, c := range HotSet(sizes, freqs, 1<<30) {
+		if c == 4 {
+			t.Fatal("zero-frequency cluster pinned")
+		}
+	}
+}

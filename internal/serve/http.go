@@ -193,6 +193,7 @@ func (h *Handler) collectMetrics(w *obs.PromWriter) {
 	obs.Process().WriteMetrics(w)
 	h.cfg.Tracer.WriteMetrics(w)
 	obs.Kernel.WriteMetrics(w)
+	obs.Tier.WriteMetrics(w)
 	h.srv.Stats().WriteMetrics(w)
 	if h.cfg.Writer != nil {
 		h.cfg.Writer.Stats().WriteMetrics(w)

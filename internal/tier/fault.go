@@ -1,0 +1,111 @@
+package tier
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the default error FaultReaderAt returns from an
+// injected-error region.
+var ErrInjected = errors.New("tier: injected I/O fault")
+
+// faultRule describes one injected behavior over a byte range of the
+// backing reader. Exactly one of err, short, delay is active.
+type faultRule struct {
+	lo, hi int64 // [lo, hi)
+	err    error
+	short  bool
+	delay  time.Duration
+}
+
+func (r *faultRule) overlaps(off int64, n int) bool {
+	return off < r.hi && off+int64(n) > r.lo
+}
+
+// FaultReaderAt wraps an io.ReaderAt and injects failures into reads
+// that overlap configured byte ranges: hard errors (EIO analogue),
+// short reads, and slow reads. It is the VFS shim the fault-injection
+// suite mounts under an ImageSource; with no rules installed it is a
+// transparent passthrough. Safe for concurrent use.
+type FaultReaderAt struct {
+	R io.ReaderAt
+
+	mu    sync.Mutex
+	rules []faultRule
+}
+
+// NewFaultReaderAt wraps r with no rules installed.
+func NewFaultReaderAt(r io.ReaderAt) *FaultReaderAt { return &FaultReaderAt{R: r} }
+
+// InjectError makes reads overlapping [lo, hi) fail with err
+// (ErrInjected when err is nil).
+func (f *FaultReaderAt) InjectError(lo, hi int64, err error) {
+	if err == nil {
+		err = ErrInjected
+	}
+	f.add(faultRule{lo: lo, hi: hi, err: err})
+}
+
+// InjectShortRead makes reads overlapping [lo, hi) return roughly half
+// the requested bytes with io.ErrUnexpectedEOF, the way a truncated
+// device read surfaces.
+func (f *FaultReaderAt) InjectShortRead(lo, hi int64) {
+	f.add(faultRule{lo: lo, hi: hi, short: true})
+}
+
+// InjectSlow delays reads overlapping [lo, hi) by d before serving them
+// normally — a stalling-device model for prefetch and latency tests.
+func (f *FaultReaderAt) InjectSlow(lo, hi int64, d time.Duration) {
+	f.add(faultRule{lo: lo, hi: hi, delay: d})
+}
+
+// Clear removes every installed rule.
+func (f *FaultReaderAt) Clear() {
+	f.mu.Lock()
+	f.rules = nil
+	f.mu.Unlock()
+}
+
+func (f *FaultReaderAt) add(r faultRule) {
+	f.mu.Lock()
+	f.rules = append(f.rules, r)
+	f.mu.Unlock()
+}
+
+// ReadAt applies the first rule overlapping the request, then (for slow
+// rules or no rule) forwards to the backing reader.
+func (f *FaultReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	f.mu.Lock()
+	var hit *faultRule
+	for i := range f.rules {
+		if f.rules[i].overlaps(off, len(p)) {
+			hit = &f.rules[i]
+			break
+		}
+	}
+	var (
+		err   error
+		short bool
+		delay time.Duration
+	)
+	if hit != nil {
+		err, short, delay = hit.err, hit.short, hit.delay
+	}
+	f.mu.Unlock()
+
+	switch {
+	case err != nil:
+		return 0, err
+	case short:
+		n, rerr := f.R.ReadAt(p[:(len(p)+1)/2], off)
+		if rerr == nil {
+			rerr = io.ErrUnexpectedEOF
+		}
+		return n, rerr
+	case delay > 0:
+		time.Sleep(delay)
+	}
+	return f.R.ReadAt(p, off)
+}

@@ -1,0 +1,126 @@
+package tier
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/ivfpq"
+)
+
+// ClusterSource is where a tier store gets cluster payloads from: the
+// in-RAM slabs of an ivfpq.Index, or an out-of-core image file. All
+// methods must be safe for concurrent use.
+type ClusterSource interface {
+	// NumClusters returns the cluster count.
+	NumClusters() int
+	// M returns the PQ code width in bytes.
+	M() int
+	// Len returns cluster c's vector count.
+	Len(c int32) int
+	// NTotal returns the total vector count.
+	NTotal() int64
+	// ReadInto fills ids and codes with cluster c's vectors
+	// [base, base+len(ids)); len(codes) must be len(ids)*M().
+	ReadInto(ids []int64, codes []uint8, c int32, base int) error
+	// Resident returns zero-copy views of cluster c's payload when it is
+	// already memory-resident (the RAM tier); streaming sources return
+	// ok == false and callers go through the store's hot set or cold
+	// path instead.
+	Resident(c int32) (ids []int64, codes []uint8, ok bool)
+}
+
+// RAMSource serves an index's in-RAM posting lists — the resident tier.
+// The lists must not be mutated while the source serves them (the same
+// immutability epoch snapshots already guarantee).
+type RAMSource struct {
+	lists  []ivfpq.List
+	m      int
+	ntotal int64
+}
+
+// NewRAMSource wraps ix's posting lists.
+func NewRAMSource(ix *ivfpq.Index) *RAMSource {
+	return &RAMSource{lists: ix.Lists, m: ix.PQ.M, ntotal: ix.NTotal}
+}
+
+// NumClusters returns the cluster count.
+func (s *RAMSource) NumClusters() int { return len(s.lists) }
+
+// M returns the PQ code width in bytes.
+func (s *RAMSource) M() int { return s.m }
+
+// Len returns cluster c's vector count.
+func (s *RAMSource) Len(c int32) int { return s.lists[c].Len() }
+
+// NTotal returns the total vector count.
+func (s *RAMSource) NTotal() int64 { return s.ntotal }
+
+// ReadInto copies the requested range out of the resident lists.
+func (s *RAMSource) ReadInto(ids []int64, codes []uint8, c int32, base int) error {
+	n := len(ids)
+	l := &s.lists[c]
+	if base < 0 || base+n > l.Len() {
+		return fmt.Errorf("tier: cluster %d range [%d, %d) outside its %d entries", c, base, base+n, l.Len())
+	}
+	if len(codes) != n*s.m {
+		return fmt.Errorf("tier: cluster %d: %d code bytes for %d ids (M %d)", c, len(codes), n, s.m)
+	}
+	copy(ids, l.IDs[base:base+n])
+	copy(codes, l.Codes[base*s.m:(base+n)*s.m])
+	return nil
+}
+
+// Resident returns the cluster's slices directly — always ok.
+func (s *RAMSource) Resident(c int32) ([]int64, []uint8, bool) {
+	l := &s.lists[c]
+	return l.IDs, l.Codes, true
+}
+
+// ImageSource serves a cluster image opened with ivfpq.OpenImage — the
+// out-of-core tier. Reads pread the backing io.ReaderAt; nothing is
+// resident.
+type ImageSource struct {
+	img *ivfpq.Image
+	// idBuf pools the raw byte scratch id decoding goes through, so
+	// concurrent cold scans allocate nothing per read.
+	idBuf sync.Pool
+}
+
+// NewImageSource wraps an opened cluster image.
+func NewImageSource(img *ivfpq.Image) *ImageSource {
+	return &ImageSource{img: img, idBuf: sync.Pool{New: func() any { b := []byte(nil); return &b }}}
+}
+
+// Image returns the backing image (fault harnesses use its cluster
+// extents to target reads).
+func (s *ImageSource) Image() *ivfpq.Image { return s.img }
+
+// NumClusters returns the cluster count.
+func (s *ImageSource) NumClusters() int { return s.img.NList() }
+
+// M returns the PQ code width in bytes.
+func (s *ImageSource) M() int { return s.img.M() }
+
+// Len returns cluster c's vector count.
+func (s *ImageSource) Len(c int32) int { return s.img.ClusterLen(c) }
+
+// NTotal returns the total vector count.
+func (s *ImageSource) NTotal() int64 { return s.img.NTotal() }
+
+// ReadInto preads the requested range from the image.
+func (s *ImageSource) ReadInto(ids []int64, codes []uint8, c int32, base int) error {
+	if len(codes) != len(ids)*s.img.M() {
+		return fmt.Errorf("tier: cluster %d: %d code bytes for %d ids (M %d)", c, len(codes), len(ids), s.img.M())
+	}
+	buf := s.idBuf.Get().(*[]byte)
+	grown, err := s.img.ReadIDs(ids, *buf, c, base)
+	*buf = grown
+	s.idBuf.Put(buf)
+	if err != nil {
+		return err
+	}
+	return s.img.ReadCodes(codes, c, base)
+}
+
+// Resident always reports false: image payloads are never resident.
+func (s *ImageSource) Resident(int32) ([]int64, []uint8, bool) { return nil, nil, false }

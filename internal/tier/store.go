@@ -1,0 +1,470 @@
+package tier
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/placement"
+)
+
+// Config tunes a Store.
+type Config struct {
+	// HotBytes is the byte budget for the pinned hot set, the
+	// WRAM-analogue tier. Zero pins nothing.
+	HotBytes int64
+	// PrefetchWorkers is how many background goroutines warm
+	// coarse-quantization-named clusters. Zero disables prefetch.
+	PrefetchWorkers int
+	// PrefetchDepth bounds the prefetch queue; requests beyond it are
+	// dropped (the search streams cold instead). Defaults to 64.
+	PrefetchDepth int
+	// RebalanceEvery, when positive, re-derives the hot set from decayed
+	// access frequencies on this period. Zero leaves rebalancing to
+	// explicit Rebalance calls.
+	RebalanceEvery time.Duration
+	// SkipFaulty makes searches abandon a cluster whose cold read fails
+	// — counted in SearchStats.SkippedClusters and on /metrics — instead
+	// of failing the whole search. Results degrade visibly, never
+	// silently.
+	SkipFaulty bool
+}
+
+// slab is one cluster's payload pinned in memory.
+type slab struct {
+	ids   []int64
+	codes []uint8
+}
+
+func (sl *slab) bytes() int64 { return int64(len(sl.ids))*8 + int64(len(sl.codes)) }
+
+// warmEntry tracks one in-flight (or finished) prefetch. ready closes
+// exactly once, after slab/err/readyAt are set.
+type warmEntry struct {
+	ready   chan struct{}
+	slab    *slab
+	err     error
+	readyAt time.Time
+}
+
+type prefetchReq struct {
+	c int32
+	e *warmEntry
+}
+
+var (
+	errPrefetchDropped = errors.New("tier: prefetch queue full")
+	errStoreClosed     = errors.New("tier: store closed")
+)
+
+// Store layers residency management over a ClusterSource: a pinned hot
+// set chosen by access frequency under Config.HotBytes, an async
+// prefetcher warming the clusters a query probes, and a cold streaming
+// path for everything else. All methods are safe for concurrent use;
+// Close must not race with searches (epoch snapshots already serialize
+// that).
+type Store struct {
+	src ClusterSource
+	cfg Config
+	m   int
+
+	hot  []atomic.Pointer[slab]
+	freq []atomic.Uint64
+
+	warmMu sync.Mutex
+	warm   map[int32]*warmEntry
+	closed bool
+	reqc   chan prefetchReq
+
+	stopc    chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	hotCount atomic.Int64
+	hotBytes atomic.Int64
+
+	hotHits     atomic.Uint64
+	hotMisses   atomic.Uint64
+	coldReads   atomic.Uint64
+	coldBytes   atomic.Uint64
+	coldNanos   atomic.Int64
+	prefIssued  atomic.Uint64
+	prefHits    atomic.Uint64
+	prefLeadNs  atomic.Int64
+	prefDropped atomic.Uint64
+	promotions  atomic.Uint64
+	evictions   atomic.Uint64
+	skipped     atomic.Uint64
+}
+
+// NewStore builds a store over src and starts its prefetch workers and
+// rebalance loop per cfg.
+func NewStore(src ClusterSource, cfg Config) *Store {
+	if cfg.PrefetchDepth <= 0 {
+		cfg.PrefetchDepth = 64
+	}
+	s := &Store{
+		src:   src,
+		cfg:   cfg,
+		m:     src.M(),
+		hot:   make([]atomic.Pointer[slab], src.NumClusters()),
+		freq:  make([]atomic.Uint64, src.NumClusters()),
+		warm:  make(map[int32]*warmEntry),
+		reqc:  make(chan prefetchReq, cfg.PrefetchDepth),
+		stopc: make(chan struct{}),
+	}
+	for i := 0; i < cfg.PrefetchWorkers; i++ {
+		s.wg.Add(1)
+		go s.prefetchWorker()
+	}
+	if cfg.RebalanceEvery > 0 {
+		s.wg.Add(1)
+		go s.rebalanceLoop()
+	}
+	return s
+}
+
+// Source returns the backing cluster source.
+func (s *Store) Source() ClusterSource { return s.src }
+
+// NumClusters returns the cluster count.
+func (s *Store) NumClusters() int { return len(s.hot) }
+
+// Len returns cluster c's vector count.
+func (s *Store) Len(c int32) int { return s.src.Len(c) }
+
+// SeedFrequencies primes the access counters from externally observed
+// probe frequencies (the drift detector's histogram), so the first
+// rebalance pins a sensible hot set before any tiered search runs.
+func (s *Store) SeedFrequencies(freqs []float64) {
+	n := len(freqs)
+	if n > len(s.freq) {
+		n = len(s.freq)
+	}
+	for i := 0; i < n; i++ {
+		if freqs[i] > 0 {
+			s.freq[i].Store(uint64(freqs[i] * 1024))
+		}
+	}
+}
+
+// Touch accounts one probe of cluster c toward future rebalances.
+func (s *Store) Touch(c int32) { s.freq[c].Add(1) }
+
+// Prefetch hands the not-yet-resident clusters in probes to the
+// background warmers. Duplicate and already-resident clusters are
+// skipped; when the queue is full the request is dropped and the search
+// will stream that cluster cold. Never blocks.
+func (s *Store) Prefetch(probes []int32) {
+	if s.cfg.PrefetchWorkers == 0 {
+		return
+	}
+	for _, c := range probes {
+		if s.hot[c].Load() != nil {
+			continue
+		}
+		if _, _, ok := s.src.Resident(c); ok {
+			continue
+		}
+		s.warmMu.Lock()
+		if s.closed {
+			s.warmMu.Unlock()
+			return
+		}
+		if _, dup := s.warm[c]; dup {
+			s.warmMu.Unlock()
+			continue
+		}
+		e := &warmEntry{ready: make(chan struct{})}
+		s.warm[c] = e
+		// Send while still holding warmMu: Close flips s.closed under the
+		// same lock before draining reqc, so an enqueued request can never
+		// slip in after the drain and strand a claimer.
+		select {
+		case s.reqc <- prefetchReq{c: c, e: e}:
+			s.warmMu.Unlock()
+			s.prefIssued.Add(1)
+			obs.Tier.RecordPrefetchIssued()
+		default:
+			delete(s.warm, c)
+			s.warmMu.Unlock()
+			e.err = errPrefetchDropped
+			close(e.ready)
+			s.prefDropped.Add(1)
+		}
+	}
+}
+
+func (s *Store) prefetchWorker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stopc:
+			return
+		case req := <-s.reqc:
+			sl, err := s.readCluster(req.c)
+			req.e.slab, req.e.err = sl, err
+			req.e.readyAt = time.Now()
+			close(req.e.ready)
+		}
+	}
+}
+
+// claimWarm removes cluster c's prefetch entry, waits for it, and
+// returns it. ok is false when no prefetch was in flight.
+func (s *Store) claimWarm(c int32) (*warmEntry, bool) {
+	s.warmMu.Lock()
+	e := s.warm[c]
+	if e != nil {
+		delete(s.warm, c)
+	}
+	s.warmMu.Unlock()
+	if e == nil {
+		return nil, false
+	}
+	<-e.ready
+	return e, true
+}
+
+// acquire returns cluster c's payload if it can be served from memory:
+// the pinned hot set, a source-resident slab, or a finished prefetch.
+// ok == false means the caller must stream the cluster cold.
+func (s *Store) acquire(c int32) (ids []int64, codes []uint8, ok bool) {
+	if sl := s.hot[c].Load(); sl != nil {
+		s.hotHits.Add(1)
+		obs.Tier.RecordAccess(true)
+		return sl.ids, sl.codes, true
+	}
+	if ids, codes, ok := s.src.Resident(c); ok {
+		s.hotHits.Add(1)
+		obs.Tier.RecordAccess(true)
+		return ids, codes, true
+	}
+	if e, claimed := s.claimWarm(c); claimed && e.err == nil {
+		lead := time.Since(e.readyAt)
+		if lead < 0 {
+			lead = 0
+		}
+		s.prefHits.Add(1)
+		s.prefLeadNs.Add(int64(lead))
+		obs.Tier.RecordPrefetchHit(lead)
+		s.hotHits.Add(1)
+		obs.Tier.RecordAccess(true)
+		return e.slab.ids, e.slab.codes, true
+	}
+	// A failed prefetch falls through here too: the cold path retries the
+	// read and surfaces the error through normal search handling.
+	s.hotMisses.Add(1)
+	obs.Tier.RecordAccess(false)
+	return nil, nil, false
+}
+
+// readRange streams cluster c's rows [base, base+len(ids)) from the
+// source, accounting the transfer as a cold read.
+func (s *Store) readRange(ids []int64, codes []uint8, c int32, base int) error {
+	t0 := time.Now()
+	if err := s.src.ReadInto(ids, codes, c, base); err != nil {
+		return err
+	}
+	d := time.Since(t0)
+	n := len(ids)*8 + len(codes)
+	s.coldReads.Add(1)
+	s.coldBytes.Add(uint64(n))
+	s.coldNanos.Add(int64(d))
+	obs.Tier.RecordColdRead(n, d)
+	return nil
+}
+
+// readCluster materializes cluster c as a fresh slab.
+func (s *Store) readCluster(c int32) (*slab, error) {
+	n := s.src.Len(c)
+	sl := &slab{ids: make([]int64, n), codes: make([]uint8, n*s.m)}
+	if n == 0 {
+		return sl, nil
+	}
+	if err := s.readRange(sl.ids, sl.codes, c, 0); err != nil {
+		return nil, err
+	}
+	return sl, nil
+}
+
+// recordSkipped accounts one cluster abandoned after an I/O failure.
+func (s *Store) recordSkipped() {
+	s.skipped.Add(1)
+	obs.Tier.RecordSkippedCluster()
+}
+
+// Rebalance re-derives the hot set: rank non-resident clusters by
+// decayed access frequency, pin greedily under the byte budget, evict
+// what fell out, then halve the counters so the set tracks the current
+// workload rather than all history. Clusters whose promotion read fails
+// are simply left unpinned.
+func (s *Store) Rebalance() {
+	nc := len(s.hot)
+	sizes := make([]int64, nc)
+	freqs := make([]float64, nc)
+	for i := 0; i < nc; i++ {
+		c := int32(i)
+		if _, _, ok := s.src.Resident(c); ok {
+			continue // already served from RAM; pinning would double it
+		}
+		sizes[i] = int64(s.src.Len(c)) * int64(8+s.m)
+		freqs[i] = float64(s.freq[i].Load())
+	}
+	want := placement.HotSet(sizes, freqs, s.cfg.HotBytes)
+	wanted := make([]bool, nc)
+	for _, c := range want {
+		wanted[c] = true
+	}
+
+	promoted, evicted := 0, 0
+	for i := 0; i < nc; i++ {
+		cur := s.hot[i].Load()
+		switch {
+		case cur != nil && !wanted[i]:
+			s.hot[i].Store(nil)
+			s.hotCount.Add(-1)
+			s.hotBytes.Add(-cur.bytes())
+			evicted++
+		case cur == nil && wanted[i]:
+			sl, err := s.readCluster(int32(i))
+			if err != nil {
+				continue
+			}
+			s.hot[i].Store(sl)
+			s.hotCount.Add(1)
+			s.hotBytes.Add(sl.bytes())
+			promoted++
+		}
+	}
+	for i := 0; i < nc; i++ {
+		s.freq[i].Store(s.freq[i].Load() / 2)
+	}
+	if promoted > 0 {
+		s.promotions.Add(uint64(promoted))
+	}
+	if evicted > 0 {
+		s.evictions.Add(uint64(evicted))
+	}
+	obs.Tier.RecordHotSetChange(promoted, evicted)
+}
+
+func (s *Store) rebalanceLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.RebalanceEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopc:
+			return
+		case <-t.C:
+			s.Rebalance()
+		}
+	}
+}
+
+// scanChunk is how many rows ScanCluster streams per cold read when a
+// cluster is not resident. Sized well above pq.ScanBlock so fold-time
+// sequential reads amortize syscall overhead.
+const scanChunk = 4096
+
+// ScanCluster feeds cluster c's payload to fn, in one call when the
+// cluster is resident and in bounded chunks streamed from the source
+// otherwise. Compaction folds a tiered base through this without ever
+// materializing a full cluster.
+func (s *Store) ScanCluster(c int32, fn func(ids []int64, codes []uint8) error) error {
+	n := s.src.Len(c)
+	if n == 0 {
+		return nil
+	}
+	if ids, codes, ok := s.acquire(c); ok {
+		return fn(ids, codes)
+	}
+	ids := make([]int64, scanChunk)
+	codes := make([]uint8, scanChunk*s.m)
+	for base := 0; base < n; base += scanChunk {
+		cn := n - base
+		if cn > scanChunk {
+			cn = scanChunk
+		}
+		if err := s.readRange(ids[:cn], codes[:cn*s.m], c, base); err != nil {
+			return err
+		}
+		if err := fn(ids[:cn], codes[:cn*s.m]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats is a point-in-time view of one store's residency state and
+// counters (the process-global aggregate lives in obs.Tier).
+type Stats struct {
+	HotClusters    int     `json:"hot_clusters"`
+	HotBytes       int64   `json:"hot_bytes"`
+	HotBudgetBytes int64   `json:"hot_budget_bytes"`
+	HotHits        uint64  `json:"hot_hits"`
+	HotMisses      uint64  `json:"hot_misses"`
+	HitRate        float64 `json:"hot_hit_rate"`
+
+	ColdReads   uint64  `json:"cold_reads"`
+	ColdBytes   uint64  `json:"cold_read_bytes"`
+	ColdSeconds float64 `json:"cold_read_seconds"`
+
+	PrefetchIssued      uint64  `json:"prefetches_issued"`
+	PrefetchHits        uint64  `json:"prefetch_hits"`
+	PrefetchLeadSeconds float64 `json:"prefetch_lead_seconds"`
+	PrefetchDropped     uint64  `json:"prefetches_dropped"`
+
+	Promotions      uint64 `json:"promotions"`
+	Evictions       uint64 `json:"evictions"`
+	SkippedClusters uint64 `json:"skipped_clusters"`
+}
+
+// Stats returns the store's current counters.
+func (s *Store) Stats() Stats {
+	st := Stats{
+		HotClusters:         int(s.hotCount.Load()),
+		HotBytes:            s.hotBytes.Load(),
+		HotBudgetBytes:      s.cfg.HotBytes,
+		HotHits:             s.hotHits.Load(),
+		HotMisses:           s.hotMisses.Load(),
+		ColdReads:           s.coldReads.Load(),
+		ColdBytes:           s.coldBytes.Load(),
+		ColdSeconds:         float64(s.coldNanos.Load()) / 1e9,
+		PrefetchIssued:      s.prefIssued.Load(),
+		PrefetchHits:        s.prefHits.Load(),
+		PrefetchLeadSeconds: float64(s.prefLeadNs.Load()) / 1e9,
+		PrefetchDropped:     s.prefDropped.Load(),
+		Promotions:          s.promotions.Load(),
+		Evictions:           s.evictions.Load(),
+		SkippedClusters:     s.skipped.Load(),
+	}
+	if total := st.HotHits + st.HotMisses; total > 0 {
+		st.HitRate = float64(st.HotHits) / float64(total)
+	}
+	return st
+}
+
+// Close stops the workers and fails any queued prefetches so no claimer
+// blocks forever. Idempotent; must not race with in-flight searches.
+func (s *Store) Close() {
+	s.stopOnce.Do(func() {
+		s.warmMu.Lock()
+		s.closed = true
+		s.warmMu.Unlock()
+		close(s.stopc)
+		s.wg.Wait()
+		for {
+			select {
+			case req := <-s.reqc:
+				req.e.err = errStoreClosed
+				close(req.e.ready)
+			default:
+				return
+			}
+		}
+	})
+}
