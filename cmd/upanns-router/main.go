@@ -21,8 +21,13 @@
 //
 // Observability: GET /metrics serves the router's Prometheus families
 // (upanns_router_*, per-shard labeled series, tracer and process
-// counters), GET /trace/recent the recent and slow/error fanout traces,
-// and GET /debug/pprof/ the standard Go profiles. A request carrying a
+// counters), GET /slo the fleet burn-rate rollup (the router's own
+// availability/latency/integrity objectives plus every reachable
+// shard's snapshot, with a worst-of verdict), GET /trace/recent the
+// recent and slow/error fanout traces, GET /debug/bundle a postmortem
+// tar.gz (flight record with breaker/health transitions, traces,
+// metrics, aggregated stats, profiles), and GET /debug/pprof/ the
+// standard Go profiles. A request carrying a
 // traceparent header joins a distributed trace: the router propagates
 // the header to every shard in the fanout and grafts each shard's
 // span-tree reply annotation under its shard.request span, so one trace
@@ -91,6 +96,11 @@ func main() {
 		traceSample = flag.Int("trace-sample", 1, "head-sample every Nth fanout into GET /trace/recent (1 = all, 0 disables tracing; incoming traceparent headers override)")
 		traceSlow   = flag.Duration("trace-slow", 50*time.Millisecond, "latency above which a finished fanout trace is retained in the slow-query log")
 
+		sloAvail     = flag.Float64("slo-availability", 0.999, "availability objective: fraction of fanouts that must answer (0 disables the SLO tracker)")
+		sloIntegrity = flag.Float64("slo-integrity", 0.99, "integrity objective: fraction of answered fanouts that must not be degraded by missing shards")
+		sloLatency   = flag.Float64("slo-latency", 0.99, "latency objective: fraction of answered fanouts within -slo-latency-threshold")
+		sloLatThr    = flag.Duration("slo-latency-threshold", 50*time.Millisecond, "latency SLI boundary for the latency objective")
+
 		drainDeadline = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget for in-flight HTTP requests")
 	)
 	flag.Parse()
@@ -112,6 +122,16 @@ func main() {
 			SlowThreshold: *traceSlow,
 		})
 	}
+	var slo *obs.SLOTracker
+	if *sloAvail > 0 {
+		slo = obs.NewSLOTracker(obs.SLOConfig{
+			Name:               "router",
+			AvailabilityTarget: *sloAvail,
+			IntegrityTarget:    *sloIntegrity,
+			LatencyTarget:      *sloLatency,
+			LatencyThreshold:   *sloLatThr,
+		})
+	}
 	r, err := cluster.New(urls, cluster.Config{
 		K:                 *k,
 		MaxK:              *maxK,
@@ -126,6 +146,7 @@ func main() {
 		BreakerCooldown:   *breakCooldown,
 		NoOwnershipFilter: *noOwnership,
 		Tracer:            tracer,
+		SLO:               slo,
 	})
 	if err != nil {
 		fail(err)

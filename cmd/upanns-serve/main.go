@@ -40,7 +40,10 @@
 //	GET  /stats                                -> shard id + serving/write/index/filter counters (JSON)
 //	GET  /healthz                              -> 200 while serving; 503 while draining
 //	GET  /metrics                              -> Prometheus text exposition (process, tracer, kernel, serving families)
+//	GET  /slo                                  -> burn-rate snapshot of the availability/latency objectives (see -slo-*)
 //	GET  /trace/recent                         -> recent + slow/error span trees (see -trace-sample, -trace-slow)
+//	GET  /debug/costly                         -> per-query cost heat ring (most expensive queries by bytes moved)
+//	GET  /debug/bundle                         -> postmortem tar.gz: flight record, traces, metrics, SLO, profiles
 //	GET  /debug/pprof/                         -> standard Go profiling endpoints
 //
 // Under overload the server sheds with 503; requests that miss their
@@ -123,6 +126,11 @@ func main() {
 		traceSample = flag.Int("trace-sample", 1, "head-sample every Nth request into GET /trace/recent (1 = all, 0 disables tracing; incoming traceparent headers override)")
 		traceSlow   = flag.Duration("trace-slow", 50*time.Millisecond, "latency above which a finished trace is retained in the slow-query log")
 
+		sloAvail   = flag.Float64("slo-availability", 0.999, "availability objective: fraction of requests that must not fail server-side (0 disables the SLO tracker)")
+		sloLatency = flag.Float64("slo-latency", 0.99, "latency objective: fraction of successful requests answering within -slo-latency-threshold")
+		sloLatThr  = flag.Duration("slo-latency-threshold", 50*time.Millisecond, "latency SLI boundary for the latency objective")
+		costTopK   = flag.Int("cost-top", 32, "per-query cost heat-ring size served at GET /debug/costly (0 disables cost accounting)")
+
 		writeBatch    = flag.Int("write-batch", 64, "write micro-batch size cap")
 		writeLinger   = flag.Duration("write-linger", time.Millisecond, "max wait to fill a write batch")
 		compactEvery  = flag.Duration("compact-interval", 25*time.Millisecond, "compaction pressure poll period (0 disables the background compactor)")
@@ -164,11 +172,17 @@ func main() {
 		tierCfg = &mutable.TierConfig{
 			Dir: *tierDir,
 			Store: tier.Config{
+				ShardID:         *shardID,
 				HotBytes:        int64(*tierHotMB) << 20,
 				PrefetchWorkers: *tierPrefetch,
 				RebalanceEvery:  *tierRebalance,
 			},
 		}
+	}
+
+	var costs *obs.CostTracker
+	if *costTopK > 0 {
+		costs = obs.NewCostTracker(*costTopK)
 	}
 
 	var backend serve.Backend
@@ -200,6 +214,7 @@ func main() {
 		QueueDepth:     *queue,
 		DefaultTimeout: *timeout,
 		CacheSize:      *cache,
+		Costs:          costs,
 	}, backend)
 	if err != nil {
 		fail(err)
@@ -217,11 +232,19 @@ func main() {
 		}, updatable)
 	}
 
-	hcfg := serve.HandlerConfig{ShardID: *shardID, Writer: writer}
+	hcfg := serve.HandlerConfig{ShardID: *shardID, Writer: writer, Costs: costs}
 	if *traceSample > 0 {
 		hcfg.Tracer = obs.NewTracer(obs.TracerConfig{
 			SampleEvery:   *traceSample,
 			SlowThreshold: *traceSlow,
+		})
+	}
+	if *sloAvail > 0 {
+		hcfg.SLO = obs.NewSLOTracker(obs.SLOConfig{
+			Name:               *shardID,
+			AvailabilityTarget: *sloAvail,
+			LatencyTarget:      *sloLatency,
+			LatencyThreshold:   *sloLatThr,
 		})
 	}
 	if updatable != nil {

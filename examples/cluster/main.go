@@ -22,7 +22,14 @@
 //  4. observability — a query carrying a traceparent header comes back
 //     with a distributed span tree (router fanout, grafted shard-side
 //     dispatch stages), and /metrics on the router and a surviving shard
-//     parses as Prometheus text with a nonzero achieved-scan-GB/s gauge.
+//     parses as Prometheus text with a nonzero achieved-scan-GB/s gauge;
+//
+//  5. health plane — the router's /slo rollup shows the kill drill
+//     burning the integrity error budget, the killed shard restarts and
+//     the prober re-admits it (a shard_rejoin flight event after the
+//     shard_lost), the /debug/bundle postmortem artifact unpacks with
+//     the whole story inside, and a shard's /debug/costly heat ring
+//     attributes the drill's per-query bytes.
 //
 // The demo exits non-zero if any acceptance shape breaks, so CI runs it
 // as a smoke test:
@@ -32,6 +39,8 @@
 package main
 
 import (
+	"archive/tar"
+	"compress/gzip"
 	"context"
 	"encoding/json"
 	"flag"
@@ -87,7 +96,7 @@ func main() {
 	fmt.Printf("booting %d shards (hash-partitioned, mutable, HTTP on loopback)...\n", *shards)
 	fleet, err := cluster.StartLocalShards(ds.Vectors, cluster.LocalOptions{
 		Shards: *shards, NList: *nlist, NProbe: *nprobe, K: *k, DPUs: *dpus, Seed: *seed,
-		Trace: true,
+		Trace: true, Obs: true,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -110,6 +119,10 @@ func main() {
 		HealthTimeout:   5 * time.Second,
 		BreakerCooldown: 500 * time.Millisecond,
 		Tracer:          obs.NewTracer(obs.TracerConfig{}),
+		// The integrity objective is what a kill drill burns: degraded
+		// fanouts answer 200, so without it the drill would be invisible
+		// to the SLO plane.
+		SLO: obs.NewSLOTracker(obs.SLOConfig{Name: "router", IntegrityTarget: 0.99}),
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -220,6 +233,71 @@ func main() {
 	if gbps <= 0 || roof <= 0 {
 		log.Fatalf("phase 4: kernel bandwidth gauges achieved=%.3f roofline=%.3f, want both > 0", gbps, roof)
 	}
+
+	// ---- Phase 5: health plane — /slo burn, shard rejoin, postmortem bundle ----
+	fmt.Println("\nphase 5: health plane — /slo burn rate, shard rejoin, postmortem bundle")
+	var fleetSLO cluster.FleetSLO
+	fetchJSON(front.URL+"/slo", &fleetSLO)
+	integ := findObjective(fleetSLO.Router, "integrity")
+	fmt.Printf("  fleet /slo: state %q, router integrity burn fast %.1f / slow %.1f, %d shard snapshots\n",
+		fleetSLO.State, integ.FastBurn, integ.SlowBurn, len(fleetSLO.Shards))
+	if fleetSLO.State == "ok" || integ.FastBurn <= 0 {
+		log.Fatal("phase 5: the kill drill burned no visible SLO budget")
+	}
+	if len(fleetSLO.Shards) == 0 {
+		log.Fatal("phase 5: fleet rollup gathered no shard snapshots")
+	}
+
+	if err := victim.Restart(); err != nil {
+		log.Fatalf("phase 5: restarting shard %s: %v", victim.ID, err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for router.HealthyShards() < router.NumShards() {
+		if time.Now().After(deadline) {
+			log.Fatalf("phase 5: shard %s not re-admitted within 10s of restarting", victim.ID)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	fmt.Printf("  shard %s restarted and re-admitted (%d/%d healthy)\n",
+		victim.ID, router.HealthyShards(), router.NumShards())
+
+	files := fetchBundle(front.URL + "/debug/bundle")
+	for _, name := range []string{"flight.json", "metrics.txt", "slo.json", "stats.json", "traces.json"} {
+		if _, ok := files[name]; !ok {
+			log.Fatalf("phase 5: postmortem bundle is missing %s", name)
+		}
+	}
+	var events []obs.FlightEvent
+	if err := json.Unmarshal(files["flight.json"], &events); err != nil {
+		log.Fatalf("phase 5: bundle flight.json: %v", err)
+	}
+	var lostSeq, rejoinSeq uint64
+	for _, ev := range events {
+		if ev.Attrs["url"] != victim.URL {
+			continue
+		}
+		switch ev.Kind {
+		case "shard_lost":
+			lostSeq = ev.Seq
+		case "shard_rejoin":
+			if ev.Seq > rejoinSeq {
+				rejoinSeq = ev.Seq
+			}
+		}
+	}
+	fmt.Printf("  postmortem bundle: %d sections, %d flight events (shard_lost seq %d -> shard_rejoin seq %d)\n",
+		len(files), len(events), lostSeq, rejoinSeq)
+	if lostSeq == 0 || rejoinSeq <= lostSeq {
+		log.Fatal("phase 5: flight record does not tell the kill/rejoin story")
+	}
+
+	var costly obs.CostlyPayload
+	fetchJSON(fleet[0].URL+"/debug/costly", &costly)
+	if costly.Queries == 0 || costly.TotalBytes == 0 || len(costly.Top) == 0 {
+		log.Fatalf("phase 5: shard s0 cost ring is empty (%d queries, %d bytes)", costly.Queries, costly.TotalBytes)
+	}
+	fmt.Printf("  shard s0 /debug/costly: %d queries, %.1f MB moved, hottest query %.1f KB\n",
+		costly.Queries, float64(costly.TotalBytes)/1e6, float64(costly.Top[0].TotalBytes)/1e3)
 
 	st := router.Stats()
 	fmt.Printf("\nrouter stats: %d searches (%d degraded), %d stale drops, %d writes\n",
@@ -350,6 +428,66 @@ func scrapeMetrics(url string) map[string]float64 {
 		log.Fatalf("%s served no samples", url)
 	}
 	return samples
+}
+
+// fetchJSON GETs a JSON endpoint into v, failing the demo on any error.
+func fetchJSON(url string, v any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatalf("fetching %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("fetching %s: HTTP %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		log.Fatalf("decoding %s: %v", url, err)
+	}
+}
+
+// fetchBundle GETs a /debug/bundle artifact and unpacks the gzipped tar
+// in memory into section name -> body.
+func fetchBundle(url string) map[string][]byte {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatalf("fetching %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("fetching %s: HTTP %d", url, resp.StatusCode)
+	}
+	gz, err := gzip.NewReader(resp.Body)
+	if err != nil {
+		log.Fatalf("bundle gzip: %v", err)
+	}
+	files := map[string][]byte{}
+	tr := tar.NewReader(gz)
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			log.Fatalf("bundle tar: %v", err)
+		}
+		body, err := io.ReadAll(tr)
+		if err != nil {
+			log.Fatalf("bundle tar body: %v", err)
+		}
+		files[hdr.Name] = body
+	}
+	return files
+}
+
+// findObjective returns the named objective from a snapshot (zero value
+// if absent — the caller's burn assertions then fail loudly).
+func findObjective(s obs.SLOSnapshot, name string) obs.SLOObjective {
+	for _, o := range s.Objectives {
+		if o.Objective == name {
+			return o
+		}
+	}
+	return obs.SLOObjective{}
 }
 
 // vectorJSON renders a query row as a JSON array.

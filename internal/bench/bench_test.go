@@ -154,6 +154,16 @@ func TestServingExperiment(t *testing.T) {
 	if tracing.MeanOffSeconds <= 0 || tracing.MeanOnSeconds <= 0 {
 		t.Fatalf("tracing pair measured nonpositive mean: %+v", tracing)
 	}
+	// The full health-plane pair rides the same harness as tracing.
+	obsPair, err := ctx.ServingObsOverhead()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obsPair.P99OffSeconds <= 0 || obsPair.P99OnSeconds <= 0 ||
+		obsPair.MeanOffSeconds <= 0 || obsPair.MeanOnSeconds <= 0 {
+		t.Fatalf("obs pair measured nonpositive latency: %+v", obsPair)
+	}
+
 	if !raceEnabled {
 		// The 5% mean-overhead budget is a wall-clock ratio; under race
 		// instrumentation the harness runs a single round, too noisy for
@@ -161,12 +171,13 @@ func TestServingExperiment(t *testing.T) {
 		// there (the uninstrumented bench-smoke job owns the budget).
 		art := servingArtifact(points)
 		art.Tracing = tracing
+		art.Obs = obsPair
 		if v := art.Violations(); len(v) != 0 {
-			t.Errorf("serving artifact violations with tracing pair: %v", v)
+			t.Errorf("serving artifact violations with overhead pairs: %v", v)
 		}
 	}
 
-	rep := servingReport(points, tracing)
+	rep := servingReport(points, tracing, obsPair)
 	if len(rep.Tables) == 0 || len(rep.Tables[0].Rows) != len(policies) {
 		t.Fatal("serving report malformed")
 	}

@@ -59,7 +59,11 @@ func (c *Context) Serving() (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	return servingReport(points, tracing), nil
+	obsPair, err := c.ServingObsOverhead()
+	if err != nil {
+		return nil, err
+	}
+	return servingReport(points, tracing, obsPair), nil
 }
 
 // ServingPointArtifact is one policy's machine-readable measurement.
@@ -97,11 +101,29 @@ type ServingTracingArtifact struct {
 	OverheadPct float64 `json:"mean_overhead_pct"`
 }
 
+// ServingObsArtifact is the health-plane overhead measurement: the
+// batch=8 policy driven with the full observability plane off (no
+// tracer, no SLO tracker, no cost tracker — every obs call no-ops on a
+// nil receiver) and on (tracing, per-request SLO classification, and
+// per-dispatch cost accounting all live), under identical closed-loop
+// load. It is the evidence that the always-on health plane is free
+// enough to deploy by default.
+type ServingObsArtifact struct {
+	P99OffSeconds  float64 `json:"p99_off_seconds"`
+	P99OnSeconds   float64 `json:"p99_on_seconds"`
+	MeanOffSeconds float64 `json:"mean_off_seconds"`
+	MeanOnSeconds  float64 `json:"mean_on_seconds"`
+	// OverheadPct is the relative mean-latency cost of the full plane,
+	// (on/off - 1) * 100. Violations budgets both the mean and the p99.
+	OverheadPct float64 `json:"mean_overhead_pct"`
+}
+
 // ServingArtifact is the serving sweep's machine-readable result
 // (BENCH_serving.json); Violations makes it self-checking.
 type ServingArtifact struct {
 	Points  []ServingPointArtifact  `json:"points"`
 	Tracing *ServingTracingArtifact `json:"tracing,omitempty"`
+	Obs     *ServingObsArtifact     `json:"obs,omitempty"`
 }
 
 // Violations returns acceptance-shape regressions: the sweep must be
@@ -158,6 +180,24 @@ func (a *ServingArtifact) Violations() []string {
 				a.Tracing.OverheadPct, a.Tracing.MeanOffSeconds, a.Tracing.MeanOnSeconds))
 		}
 	}
+	if a.Obs != nil {
+		// The full health plane gets the same 5% budget as tracing alone:
+		// SLO classification is two atomic-free counter bumps under a
+		// short lock, and cost accounting is one struct share per batch
+		// plus an atomic floor check per request, so the plane should be
+		// indistinguishable from the tracer it rides with. The absolute
+		// terms are the smoke-scale noise floors (see the tracing budget
+		// above); p99 gets a wider one because at smoke scale it rides on
+		// a handful of samples.
+		if limit := a.Obs.MeanOffSeconds*1.05 + 500e-6; a.Obs.MeanOnSeconds > limit {
+			v = append(v, fmt.Sprintf("serving: obs mean overhead %.1f%% (%.6fs -> %.6fs) exceeds the 5%% budget",
+				a.Obs.OverheadPct, a.Obs.MeanOffSeconds, a.Obs.MeanOnSeconds))
+		}
+		if limit := a.Obs.P99OffSeconds*1.05 + 2e-3; a.Obs.P99OnSeconds > limit {
+			v = append(v, fmt.Sprintf("serving: obs p99 %.6fs -> %.6fs exceeds the 5%% budget",
+				a.Obs.P99OffSeconds, a.Obs.P99OnSeconds))
+		}
+	}
 	return v
 }
 
@@ -183,11 +223,12 @@ func servingArtifact(points []ServingPoint) *ServingArtifact {
 	return a
 }
 
-// servingReport renders measured serving points (and, when measured, the
-// tracing-overhead pair) as the experiment report.
-func servingReport(points []ServingPoint, tracing *ServingTracingArtifact) *Report {
+// servingReport renders measured serving points (and, when measured,
+// the tracing- and obs-overhead pairs) as the experiment report.
+func servingReport(points []ServingPoint, tracing *ServingTracingArtifact, obsPair *ServingObsArtifact) *Report {
 	art := servingArtifact(points)
 	art.Tracing = tracing
+	art.Obs = obsPair
 	rep := &Report{
 		ID:       "serving",
 		Title:    "Online serving: micro-batching and caching vs QPS and tail latency",
@@ -226,6 +267,13 @@ func servingReport(points []ServingPoint, tracing *ServingTracingArtifact) *Repo
 			metrics.Seconds(tracing.MeanOffSeconds), metrics.Seconds(tracing.MeanOnSeconds),
 			tracing.OverheadPct,
 			metrics.Seconds(tracing.P99OffSeconds), metrics.Seconds(tracing.P99OnSeconds)))
+	}
+	if obsPair != nil {
+		rep.Notes = append(rep.Notes, fmt.Sprintf(
+			"full health plane (tracer + SLO + cost): mean %s (off) -> %s (on), %.1f%% overhead (budget 5%%); p99 %s -> %s",
+			metrics.Seconds(obsPair.MeanOffSeconds), metrics.Seconds(obsPair.MeanOnSeconds),
+			obsPair.OverheadPct,
+			metrics.Seconds(obsPair.P99OffSeconds), metrics.Seconds(obsPair.P99OnSeconds)))
 	}
 	return rep
 }
@@ -267,7 +315,7 @@ func (c *Context) ServingCurve(policies []ServingPolicy) ([]ServingPoint, error)
 	points := make([]ServingPoint, len(policies))
 	for round := 0; round < rounds; round++ {
 		for i, p := range policies {
-			pt, err := c.runServingPolicy(e, s.queries, p, perClient, nil)
+			pt, err := c.runServingPolicy(e, s.queries, p, perClient, servingObs{})
 			if err != nil {
 				return nil, fmt.Errorf("serving policy %q: %w", p.Name, err)
 			}
@@ -285,84 +333,122 @@ func (c *Context) ServingCurve(policies []ServingPolicy) ([]ServingPoint, error)
 // live — so every request pays span allocation, stage recording, and the
 // ring push). The artifact's Violations pins the mean overhead under 5%.
 func (c *Context) ServingTracingOverhead() (*ServingTracingArtifact, error) {
+	p := ServingPolicy{Name: "batch=8 (tracing pair)", MaxBatch: 8, Linger: 200 * time.Microsecond}
+	meanOff, meanOn, p99Off, p99On, err := c.servingOverheadPair(p, "tracing", func() servingObs {
+		return servingObs{tracer: obs.NewTracer(obs.TracerConfig{})}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ServingTracingArtifact{
+		MeanOffSeconds: meanOff, MeanOnSeconds: meanOn,
+		P99OffSeconds: p99Off, P99OnSeconds: p99On,
+		OverheadPct: (meanOn/meanOff - 1) * 100,
+	}, nil
+}
+
+// ServingObsOverhead measures the cost of the whole health plane: the
+// batch=8 policy driven with everything off, then with a live tracer,
+// an SLO tracker classifying every request, and a cost tracker fed by
+// every dispatch — the full always-on configuration of a production
+// shard. The artifact's Violations pins mean and p99 overhead under 5%.
+func (c *Context) ServingObsOverhead() (*ServingObsArtifact, error) {
+	p := ServingPolicy{Name: "batch=8 (obs pair)", MaxBatch: 8, Linger: 200 * time.Microsecond}
+	meanOff, meanOn, p99Off, p99On, err := c.servingOverheadPair(p, "obs", func() servingObs {
+		return servingObs{
+			tracer: obs.NewTracer(obs.TracerConfig{}),
+			slo:    obs.NewSLOTracker(obs.SLOConfig{Name: "bench"}),
+			costs:  obs.NewCostTracker(0),
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ServingObsArtifact{
+		MeanOffSeconds: meanOff, MeanOnSeconds: meanOn,
+		P99OffSeconds: p99Off, P99OnSeconds: p99On,
+		OverheadPct: (meanOn/meanOff - 1) * 100,
+	}, nil
+}
+
+// servingOverheadPair drives policy p under identical closed-loop load
+// with instrumentation off and on (a fresh `on` configuration per rep,
+// so retention rings never carry over) and returns the best means and
+// p99s of each side. Off/on passes interleave and each side keeps its
+// best (lowest) numbers: on a shared host a noisy phase hitting only
+// one side would swamp the 5% budget these pairs are checked against,
+// and the within-round order alternates (off/on, then on/off) so a
+// monotone load ramp penalizes both sides equally instead of whichever
+// runs second. Best-of keeps the ratio a property of the code rather
+// than of the machine's moment. Under the race detector one round
+// suffices: the run only feeds structural checks there, and every
+// extra round costs seconds of instrumented serving.
+func (c *Context) servingOverheadPair(p ServingPolicy, label string, on func() servingObs) (meanOff, meanOn, p99Off, p99On float64, err error) {
 	s := c.getSetup(dataset.SIFT1B, c.O.IVFGrid[0])
 	cfg := c.upannsConfig(c.O.NProbeGrid[0])
 	e, err := c.getEngine(s, cfg, buildKey(cfg), c.O.DPUs)
 	if err != nil {
-		return nil, err
+		return 0, 0, 0, 0, err
 	}
 	total := 10 * c.O.Queries
 	if total < 400 {
 		total = 400
 	}
 	perClient := (total + servingClients - 1) / servingClients
-	p := ServingPolicy{Name: "batch=8 (tracing pair)", MaxBatch: 8, Linger: 200 * time.Microsecond}
 
-	// Interleave off/on passes and keep each side's best (lowest) mean:
-	// on a shared host a noisy phase hitting only one side would swamp
-	// the 5% budget this artifact is checked against. The within-round
-	// order alternates (off/on, then on/off) so a monotone load ramp on
-	// the host penalizes both sides equally instead of whichever runs
-	// second. Best-of keeps the ratio a property of the code rather than
-	// of the machine's moment; the best p99s ride along for visibility.
-	// Under the race detector one round suffices: the run only feeds
-	// structural checks there, and every extra round costs seconds of
-	// instrumented serving.
-	tracingReps := 5
+	reps := 5
 	if raceEnabled {
-		tracingReps = 1
+		reps = 1
 	}
-	art := &ServingTracingArtifact{
-		MeanOffSeconds: -1, MeanOnSeconds: -1, P99OffSeconds: -1, P99OnSeconds: -1,
-	}
-	runOff := func() error {
-		off, err := c.runServingPolicy(e, s.queries, p, perClient, nil)
+	meanOff, meanOn, p99Off, p99On = -1, -1, -1, -1
+	run := func(o servingObs, mean, p99 *float64) error {
+		pt, err := c.runServingPolicy(e, s.queries, p, perClient, o)
 		if err != nil {
-			return fmt.Errorf("serving tracing-off run: %w", err)
+			return fmt.Errorf("serving %s pair run: %w", label, err)
 		}
-		if art.MeanOffSeconds < 0 || off.Stats.Latency.Mean < art.MeanOffSeconds {
-			art.MeanOffSeconds = off.Stats.Latency.Mean
+		if *mean < 0 || pt.Stats.Latency.Mean < *mean {
+			*mean = pt.Stats.Latency.Mean
 		}
-		if art.P99OffSeconds < 0 || off.Stats.Latency.P99 < art.P99OffSeconds {
-			art.P99OffSeconds = off.Stats.Latency.P99
+		if *p99 < 0 || pt.Stats.Latency.P99 < *p99 {
+			*p99 = pt.Stats.Latency.P99
 		}
 		return nil
 	}
-	runOn := func() error {
-		on, err := c.runServingPolicy(e, s.queries, p, perClient, obs.NewTracer(obs.TracerConfig{}))
-		if err != nil {
-			return fmt.Errorf("serving tracing-on run: %w", err)
-		}
-		if art.MeanOnSeconds < 0 || on.Stats.Latency.Mean < art.MeanOnSeconds {
-			art.MeanOnSeconds = on.Stats.Latency.Mean
-		}
-		if art.P99OnSeconds < 0 || on.Stats.Latency.P99 < art.P99OnSeconds {
-			art.P99OnSeconds = on.Stats.Latency.P99
-		}
-		return nil
-	}
-	for i := 0; i < tracingReps; i++ {
+	runOff := func() error { return run(servingObs{}, &meanOff, &p99Off) }
+	runOn := func() error { return run(on(), &meanOn, &p99On) }
+	for i := 0; i < reps; i++ {
 		first, second := runOff, runOn
 		if i%2 == 1 {
 			first, second = runOn, runOff
 		}
 		if err := first(); err != nil {
-			return nil, err
+			return 0, 0, 0, 0, err
 		}
 		if err := second(); err != nil {
-			return nil, err
+			return 0, 0, 0, 0, err
 		}
 	}
-	art.OverheadPct = (art.MeanOnSeconds/art.MeanOffSeconds - 1) * 100
-	return art, nil
+	return meanOff, meanOn, p99Off, p99On, nil
 }
 
-// runServingPolicy drives one policy with closed-loop Zipfian clients and
-// returns the measured point. A non-nil tracer traces every request
-// (span instrumentation active through the whole serve path plus ring
-// retention); nil leaves the request contexts bare, so all span calls
-// no-op on nil receivers — the tracing-off baseline.
-func (c *Context) runServingPolicy(e *core.Engine, pool *vecmath.Matrix, p ServingPolicy, perClient int, tracer *obs.Tracer) (ServingPoint, error) {
+// servingObs is one side of an instrumentation overhead pair: which
+// parts of the observability plane a serving run wires in. The zero
+// value is the fully-off baseline — every obs call no-ops on a nil
+// receiver.
+type servingObs struct {
+	tracer *obs.Tracer
+	slo    *obs.SLOTracker
+	costs  *obs.CostTracker
+}
+
+// runServingPolicy drives one policy with closed-loop Zipfian clients
+// and returns the measured point. o selects the instrumentation: a
+// non-nil tracer traces every request (span instrumentation active
+// through the whole serve path plus ring retention), a non-nil SLO
+// tracker classifies every completion the way the HTTP handler does,
+// and a non-nil cost tracker makes every dispatch account its cost
+// vector.
+func (c *Context) runServingPolicy(e *core.Engine, pool *vecmath.Matrix, p ServingPolicy, perClient int, o servingObs) (ServingPoint, error) {
 	srv, err := serve.NewServer(serve.Config{
 		K:              c.O.K,
 		MaxBatch:       p.MaxBatch,
@@ -370,6 +456,7 @@ func (c *Context) runServingPolicy(e *core.Engine, pool *vecmath.Matrix, p Servi
 		QueueDepth:     4096,
 		DefaultTimeout: 60 * time.Second,
 		CacheSize:      p.CacheSize,
+		Costs:          o.costs,
 	}, serve.NewEngineBackend(e))
 	if err != nil {
 		return ServingPoint{}, err
@@ -387,9 +474,11 @@ func (c *Context) runServingPolicy(e *core.Engine, pool *vecmath.Matrix, p Servi
 			// per-client seeds decorrelate the streams.
 			stream := workload.NewQueryStream(pool, 1.0, c.O.Seed+uint64(w)*7919)
 			for i := 0; i < perClient; i++ {
-				tr := tracer.Start("serve.request")
+				tr := o.tracer.Start("serve.request")
+				reqStart := time.Now()
 				_, err := srv.Search(obs.WithTrace(context.Background(), tr), stream.Next())
-				tracer.Finish(tr, err)
+				o.tracer.Finish(tr, err)
+				o.slo.Record(err != nil, false, time.Since(reqStart))
 				if err != nil {
 					errMu.Lock()
 					if firstErr == nil {

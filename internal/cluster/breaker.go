@@ -28,6 +28,11 @@ type breaker struct {
 	state    string
 	openedAt time.Time
 	probing  bool // a half-open probe is in flight
+
+	// notify, when non-nil, is invoked outside the lock on every state
+	// transition — the router points it at the flight recorder so breaker
+	// trips and recoveries land in the postmortem record.
+	notify func(from, to string)
 }
 
 func newBreaker(threshold int, cooldown time.Duration) *breaker {
@@ -40,22 +45,30 @@ func newBreaker(threshold int, cooldown time.Duration) *breaker {
 // every Allow with the request and its Success/Failure report.
 func (b *breaker) Allow(now time.Time) bool {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	switch b.state {
 	case breakerClosed:
+		b.mu.Unlock()
 		return true
 	case breakerOpen:
 		if now.Sub(b.openedAt) < b.cooldown {
+			b.mu.Unlock()
 			return false
 		}
 		b.state = breakerHalfOpen
 		b.probing = true
+		notify := b.notify
+		b.mu.Unlock()
+		if notify != nil {
+			notify(breakerOpen, breakerHalfOpen)
+		}
 		return true
 	default: // half-open
 		if b.probing {
+			b.mu.Unlock()
 			return false
 		}
 		b.probing = true
+		b.mu.Unlock()
 		return true
 	}
 }
@@ -64,10 +77,15 @@ func (b *breaker) Allow(now time.Time) bool {
 // the consecutive-failure count.
 func (b *breaker) Success() {
 	b.mu.Lock()
+	from := b.state
 	b.failures = 0
 	b.state = breakerClosed
 	b.probing = false
+	notify := b.notify
 	b.mu.Unlock()
+	if notify != nil && from != breakerClosed {
+		notify(from, breakerClosed)
+	}
 }
 
 // Cancel reports a request that finished without a shard-attributable
@@ -84,13 +102,19 @@ func (b *breaker) Cancel() {
 // (or any half-open probe failure) opens the breaker.
 func (b *breaker) Failure(now time.Time) {
 	b.mu.Lock()
+	from := b.state
 	b.failures++
 	if b.state == breakerHalfOpen || b.failures >= b.threshold {
 		b.state = breakerOpen
 		b.openedAt = now
 	}
+	to := b.state
+	notify := b.notify
 	b.probing = false
 	b.mu.Unlock()
+	if notify != nil && from != to {
+		notify(from, to)
+	}
 }
 
 // State returns the breaker state name for stats ("closed", "open",

@@ -219,6 +219,10 @@ func (s *shard) hedgedSearch(ctx context.Context, vec []float32, k int, filterEx
 			// outcome decides.
 		case <-timer.C:
 			s.ctr.hedges.Add(1)
+			// Throttled: a tail-latency episode becomes one flight entry per
+			// second, marking when hedging started firing against the shard.
+			obs.Flight.RecordEvery(time.Second, "hedge",
+				obs.Int("shard", int64(s.index)), obs.Str("url", s.url))
 			inflight++
 			go launch(true)
 		case <-ctx.Done():
@@ -280,6 +284,28 @@ func (s *shard) probeHealth(ctx context.Context) bool {
 
 // fetchStats GETs the shard's /stats payload raw (the router's
 // aggregated stats embeds it verbatim).
+// fetchSLO pulls one shard's GET /slo burn-rate snapshot for the
+// router's fleet rollup.
+func (s *shard) fetchSLO(ctx context.Context) (*obs.SLOSnapshot, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.url+"/slo", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := s.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, &shardError{Status: resp.StatusCode, Msg: readErrorBody(resp.Body)}
+	}
+	var snap obs.SLOSnapshot
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&snap); err != nil {
+		return nil, err
+	}
+	return &snap, nil
+}
+
 func (s *shard) fetchStats(ctx context.Context) (json.RawMessage, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.url+"/stats", nil)
 	if err != nil {

@@ -40,7 +40,17 @@ func NewHandler(r *Router) *Handler {
 	h.mux.HandleFunc("POST /delete", func(w http.ResponseWriter, req *http.Request) { h.handleWrite(false, w, req) })
 	h.mux.HandleFunc("GET /stats", h.handleStats)
 	h.mux.HandleFunc("GET /healthz", h.handleHealthz)
-	serve.MountObs(h.mux, r.cfg.Tracer, h.collectMetrics)
+	serve.MountObs(h.mux, serve.ObsConfig{
+		Tracer: r.cfg.Tracer,
+		SLO:    r.cfg.SLO,
+		// The router's /slo answers for the whole fleet: its own snapshot,
+		// every reachable shard's, and the worst-of verdict.
+		SLOPayload: func() any {
+			return r.FleetSLO(context.Background(), h.statsTimeout)
+		},
+		Collect: h.collectMetrics,
+		Bundle:  h.bundleSections,
+	})
 	return h
 }
 
@@ -51,6 +61,18 @@ func (h *Handler) collectMetrics(w *obs.PromWriter) {
 	obs.Process().WriteMetrics(w)
 	h.r.cfg.Tracer.WriteMetrics(w)
 	h.r.Stats().WriteMetrics(w)
+	h.r.cfg.SLO.WriteMetrics(w)
+	obs.Flight.WriteMetrics(w)
+}
+
+// bundleSections appends the router's own postmortem section: the
+// aggregated router + per-shard stats view.
+func (h *Handler) bundleSections() []obs.BundleSection {
+	return []obs.BundleSection{
+		obs.JSONSection("stats.json", func() any {
+			return h.r.AggregatedStats(context.Background(), h.statsTimeout)
+		}),
+	}
 }
 
 // ServeHTTP implements http.Handler.

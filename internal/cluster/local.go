@@ -54,6 +54,15 @@ type LocalOptions struct {
 	// span trees and each shard's GET /trace/recent is populated. Off by
 	// default: bench experiments measure tracing overhead explicitly.
 	Trace bool
+	// Obs, when true, wires the full health plane into each shard: an
+	// SLO burn-rate tracker served at GET /slo, and a per-query cost
+	// tracker shared between the serving layer (which fills it) and
+	// GET /debug/costly (which serves it).
+	Obs bool
+	// SLOFastWindow overrides the shards' fast burn window when Obs is
+	// set (0 = the obs default, 5m). Kill drills use sub-second windows
+	// so budget burn becomes visible within a test run.
+	SLOFastWindow time.Duration
 }
 
 func (o LocalOptions) withDefaults(dim int) LocalOptions {
@@ -103,19 +112,50 @@ type LocalShard struct {
 	Server  *serve.Server
 	Writer  *serve.WriteBatcher
 	Handler *serve.Handler
+	// SLO and Costs are the shard's health-plane trackers (nil unless
+	// LocalOptions.Obs was set).
+	SLO   *obs.SLOTracker
+	Costs *obs.CostTracker
 
+	addr   string
 	hs     *http.Server
 	killed bool
 }
 
 // Kill abruptly stops the shard's HTTP server — listener closed, active
 // connections dropped — simulating a crash. The in-memory deployment is
-// left for Close; a killed shard never rejoins (its port is gone).
+// left for Close (or for Restart, which rebinds the shard's address).
 func (s *LocalShard) Kill() {
 	if !s.killed {
 		s.killed = true
 		s.hs.Close() //nolint:errcheck // crash semantics: drop everything
 	}
+}
+
+// Restart re-listens on the killed shard's original address with the
+// same handler and deployment — the "process came back on its port" half
+// of a kill/rejoin drill. The freed loopback port can take a moment to
+// become bindable again, so binding is retried briefly. No-op on a live
+// shard.
+func (s *LocalShard) Restart() error {
+	if !s.killed {
+		return nil
+	}
+	var ln net.Listener
+	var err error
+	for attempt := 0; attempt < 20; attempt++ {
+		if ln, err = net.Listen("tcp", s.addr); err == nil {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if err != nil {
+		return fmt.Errorf("cluster: restarting shard %s on %s: %w", s.ID, s.addr, err)
+	}
+	s.hs = &http.Server{Handler: s.Handler}
+	s.killed = false
+	go s.hs.Serve(ln) //nolint:errcheck // exits on Kill/Close
+	return nil
 }
 
 // Close shuts the shard down: HTTP first, then the serving layers in
@@ -181,8 +221,16 @@ func StartLocalShards(base *vecmath.Matrix, o LocalOptions) ([]*LocalShard, erro
 				return fail(fmt.Errorf("cluster: shard %d attrs: %w", sh, err))
 			}
 		}
+		id := fmt.Sprintf("s%d", sh)
+		var slo *obs.SLOTracker
+		var costs *obs.CostTracker
+		if o.Obs {
+			slo = obs.NewSLOTracker(obs.SLOConfig{Name: id, FastWindow: o.SLOFastWindow})
+			costs = obs.NewCostTracker(0)
+		}
 		srv, err := serve.NewServer(serve.Config{
 			K: o.K, MaxK: o.MaxK, CacheSize: o.CacheSize, DefaultTimeout: o.RequestTimeout,
+			Costs: costs,
 		}, u)
 		if err != nil {
 			u.Close()
@@ -192,12 +240,13 @@ func StartLocalShards(base *vecmath.Matrix, o LocalOptions) ([]*LocalShard, erro
 			OnApplied:      srv.InvalidateCache,
 			DefaultTimeout: o.RequestTimeout,
 		}, u)
-		id := fmt.Sprintf("s%d", sh)
 		hcfg := serve.HandlerConfig{
 			ShardID:    id,
 			Writer:     writer,
 			IndexStats: func() any { return u.Stats() },
 			Metrics:    u.WriteMetrics,
+			SLO:        slo,
+			Costs:      costs,
 		}
 		if o.Trace {
 			hcfg.Tracer = obs.NewTracer(obs.TracerConfig{})
@@ -225,6 +274,9 @@ func StartLocalShards(base *vecmath.Matrix, o LocalOptions) ([]*LocalShard, erro
 			Server:   srv,
 			Writer:   writer,
 			Handler:  handler,
+			SLO:      slo,
+			Costs:    costs,
+			addr:     ln.Addr().String(),
 			hs:       hs,
 		})
 	}

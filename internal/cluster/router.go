@@ -91,6 +91,16 @@ type Config struct {
 	// span trees grafted in, and finished traces land in the router's
 	// GET /trace/recent. Nil disables tracing.
 	Tracer *obs.Tracer
+
+	// SLO, when non-nil, records every fanout outcome into the router's
+	// burn-rate tracker: a fanout that fails outright (no shards, or all
+	// shards failed) burns the availability budget; one that answered with
+	// shards missing burns the integrity budget (clients saw 200s with
+	// degraded recall — the failure mode a shard-loss drill produces); and
+	// latency is judged on successful fanouts. The HTTP handler serves it
+	// at GET /slo rolled up with the per-shard trackers. Deploy it with a
+	// nonzero IntegrityTarget, or shard loss stays invisible to paging.
+	SLO *obs.SLOTracker
 }
 
 func (c Config) withDefaults() Config {
@@ -179,11 +189,21 @@ func New(urls []string, cfg Config) (*Router, error) {
 		stopc: make(chan struct{}),
 	}
 	for i, u := range urls {
+		br := newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
+		index, url := i, strings.TrimRight(u, "/")
+		// Breaker transitions are exactly the rare control-plane moments a
+		// postmortem reconstructs ("when did we stop sending to s2, and
+		// when did it rejoin") — each lands in the flight record.
+		br.notify = func(from, to string) {
+			obs.Flight.Record("breaker",
+				obs.Int("shard", int64(index)), obs.Str("url", url),
+				obs.Str("from", from), obs.Str("to", to))
+		}
 		r.shards = append(r.shards, &shard{
-			index: i,
-			url:   strings.TrimRight(u, "/"),
+			index: index,
+			url:   url,
 			hc:    cfg.Client,
-			br:    newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+			br:    br,
 			lat:   metrics.NewLatencyHistogram(),
 		})
 	}
@@ -252,7 +272,10 @@ func (r *Router) healthLoop() {
 	}
 }
 
-// probeAll runs one concurrent health pass over every shard.
+// probeAll runs one concurrent health pass over every shard. Health
+// transitions — a shard leaving or rejoining the fanout set — are
+// recorded in the flight recorder: they are the moments that explain a
+// recall dip or its recovery after the fact.
 func (r *Router) probeAll() {
 	var wg sync.WaitGroup
 	for _, s := range r.shards {
@@ -261,7 +284,15 @@ func (r *Router) probeAll() {
 			defer wg.Done()
 			ctx, cancel := context.WithTimeout(context.Background(), r.cfg.HealthTimeout)
 			defer cancel()
-			s.healthy.Store(s.probeHealth(ctx))
+			ok := s.probeHealth(ctx)
+			if prev := s.healthy.Swap(ok); prev != ok {
+				kind := "shard_rejoin"
+				if !ok {
+					kind = "shard_lost"
+				}
+				obs.Flight.Record(kind,
+					obs.Int("shard", int64(s.index)), obs.Str("url", s.url))
+			}
 		}(s)
 	}
 	wg.Wait()
@@ -324,6 +355,7 @@ func (r *Router) SearchOpts(ctx context.Context, vec []float32, opts SearchOptio
 	}
 	if len(targets) == 0 {
 		r.ctr.noShards.Add(1)
+		r.cfg.SLO.Record(true, false, time.Since(start))
 		return nil, ErrNoShards
 	}
 
@@ -393,9 +425,11 @@ func (r *Router) SearchOpts(ctx context.Context, vec []float32, opts SearchOptio
 	}
 	if len(hits) == 0 {
 		r.ctr.allFailed.Add(1)
+		r.cfg.SLO.Record(true, false, time.Since(start))
 		return nil, fmt.Errorf("%w: %w", ErrAllShardsFailed, firstErr)
 	}
-	if len(hits) < len(r.shards) {
+	degraded := len(hits) < len(r.shards)
+	if degraded {
 		r.ctr.degraded.Add(1)
 	}
 
@@ -425,6 +459,9 @@ func (r *Router) SearchOpts(ctx context.Context, vec []float32, opts SearchOptio
 		obs.Int("shards_answered", int64(len(hits))), obs.Int("k", int64(k)))
 	r.ctr.answered.Add(1)
 	r.lat.Observe(time.Since(start).Seconds())
+	// A degraded fanout answered 200 — clients saw no error, only worse
+	// recall — so it burns the integrity budget, not availability.
+	r.cfg.SLO.Record(false, degraded, time.Since(start))
 	return merged, nil
 }
 

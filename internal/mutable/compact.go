@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/pim"
 )
 
@@ -156,6 +157,8 @@ func (u *UpdatableIndex) Compact(force bool) (bool, error) {
 			})
 			if err != nil {
 				u.compactErrs.Add(1)
+				obs.Flight.Record("compaction_error",
+					obs.Int("epoch", int64(fc.snap.epoch)), obs.Str("stage", "fold"), obs.Str("err", err.Error()))
 				return false, fmt.Errorf("mutable: folding tiered cluster %d of epoch %d: %w", c, fc.snap.epoch, err)
 			}
 		} else {
@@ -193,6 +196,8 @@ func (u *UpdatableIndex) Compact(force bool) (bool, error) {
 		tnext, err := deployTiered(newIx, fc.freqs, fc.snap.epoch+1, u.cfg.Tier)
 		if err != nil {
 			u.compactErrs.Add(1)
+			obs.Flight.Record("compaction_error",
+				obs.Int("epoch", int64(fc.snap.epoch+1)), obs.Str("stage", "deploy"), obs.Str("err", err.Error()))
 			return false, err
 		}
 		next = tnext
@@ -200,6 +205,8 @@ func (u *UpdatableIndex) Compact(force bool) (bool, error) {
 		eng, err := core.Build(newIx, pim.NewSystem(u.cfg.Spec), fc.freqs, u.cfg.Engine)
 		if err != nil {
 			u.compactErrs.Add(1)
+			obs.Flight.Record("compaction_error",
+				obs.Int("epoch", int64(fc.snap.epoch+1)), obs.Str("stage", "deploy"), obs.Str("err", err.Error()))
 			return false, fmt.Errorf("mutable: deploying epoch %d: %w", fc.snap.epoch+1, err)
 		}
 		next = &snapshot{
@@ -269,6 +276,12 @@ func (u *UpdatableIndex) Compact(force bool) (bool, error) {
 	u.totalCompactNs.Add(ns)
 	u.foldedEntries.Add(folded)
 	u.compactions.Add(1)
+	obs.Flight.Record("epoch_swap",
+		obs.Int("epoch", int64(next.epoch)),
+		obs.Str("trigger", fc.trigger),
+		obs.Int("folded", int64(folded)),
+		obs.Int("base_n", next.baseN),
+		obs.Float("seconds", float64(ns)/1e9))
 	return true, nil
 }
 

@@ -127,7 +127,7 @@ func (u *UpdatableIndex) FilterStats() *filter.StatsSnapshot {
 // log's filter.plan stage carries the planner's decision and, after the
 // scan, the base stage reports the estimated against the achieved
 // selectivity so estimator drift is visible per trace.
-func (u *UpdatableIndex) searchFiltered(queries *vecmath.Matrix, k int, pred filter.Pred, mode filter.Mode, sl *obs.StageLog) ([][]topk.Candidate, error) {
+func (u *UpdatableIndex) searchFiltered(queries *vecmath.Matrix, k int, pred filter.Pred, mode filter.Mode, sl *obs.StageLog, cost *obs.Cost) ([][]topk.Candidate, error) {
 	if queries.Dim != u.dim {
 		return nil, fmt.Errorf("mutable: query dim %d != index dim %d", queries.Dim, u.dim)
 	}
@@ -206,7 +206,7 @@ func (u *UpdatableIndex) searchFiltered(queries *vecmath.Matrix, k int, pred fil
 		view.latest[id] = r
 	}
 	ovStart := time.Now()
-	view.cands = u.scanOverlay(snap, queries, probes, k, allow)
+	view.cands = u.scanOverlay(snap, queries, probes, k, allow, cost)
 	sl.Record("mutable.overlay", ovStart, obs.Int("pending", int64(u.logCount)))
 	u.mu.RUnlock()
 
@@ -223,7 +223,7 @@ func (u *UpdatableIndex) searchFiltered(queries *vecmath.Matrix, k int, pred fil
 		if plan.Mode == filter.ModePre {
 			cands, s, err := snap.searchBase(queries.Row(qi), ivfpq.SearchOpts{
 				NProbe: nprobe, K: k, Allow: allow, Quantized: true,
-			})
+			}, cost)
 			if err != nil {
 				return nil, err
 			}
@@ -233,7 +233,7 @@ func (u *UpdatableIndex) searchFiltered(queries *vecmath.Matrix, k int, pred fil
 		}
 		cands, s, err := snap.searchBase(queries.Row(qi), ivfpq.SearchOpts{
 			NProbe: nprobe, K: plan.FetchK, Quantized: true,
-		})
+		}, cost)
 		if err != nil {
 			return nil, err
 		}
@@ -261,6 +261,7 @@ func (u *UpdatableIndex) searchFiltered(queries *vecmath.Matrix, k int, pred fil
 		obs.Int("codes_scanned", int64(st.CodesScanned)),
 		obs.Float("est_selectivity", plan.Selectivity),
 		obs.Float("actual_selectivity", actual))
+	cost.AddScan(int64(st.CodesScanned), int64(st.CodeBytes), int64(st.LUTEntries))
 
 	mergeStart := time.Now()
 	out := mergeResults(&view, base, k)

@@ -420,6 +420,11 @@ type SearchOpts struct {
 	// merge) with wall time and attributes, for the serving layer to
 	// replay as spans under a traced request's dispatch.
 	Stages *obs.StageLog
+	// Cost, when non-nil, accumulates the batch's resource vector —
+	// codes scanned, LUT bytes built, overlay entries scored, cold-tier
+	// bytes streamed — for per-query cost accounting. The serving layer
+	// divides it across the batch's distinct queries.
+	Cost *obs.Cost
 }
 
 // Search answers one batch against the current epoch merged with the
@@ -439,12 +444,12 @@ type SearchOpts struct {
 // path on a captured view.
 func (u *UpdatableIndex) Search(queries *vecmath.Matrix, o SearchOpts) ([][]topk.Candidate, error) {
 	if o.Pred != nil {
-		return u.searchFiltered(queries, o.K, o.Pred, o.Mode, o.Stages)
+		return u.searchFiltered(queries, o.K, o.Pred, o.Mode, o.Stages, o.Cost)
 	}
-	return u.searchPlain(queries, o.K, o.Stages)
+	return u.searchPlain(queries, o.K, o.Stages, o.Cost)
 }
 
-func (u *UpdatableIndex) searchPlain(queries *vecmath.Matrix, k int, sl *obs.StageLog) ([][]topk.Candidate, error) {
+func (u *UpdatableIndex) searchPlain(queries *vecmath.Matrix, k int, sl *obs.StageLog, cost *obs.Cost) ([][]topk.Candidate, error) {
 	if queries.Dim != u.dim {
 		return nil, fmt.Errorf("mutable: query dim %d != index dim %d", queries.Dim, u.dim)
 	}
@@ -471,7 +476,25 @@ func (u *UpdatableIndex) searchPlain(queries *vecmath.Matrix, k int, sl *obs.Sta
 	// Tiered deployments have no engine; the base streams from the epoch
 	// image through the tier store on a pinned snapshot.
 	if u.cfg.Tier != nil {
-		return u.searchTiered(queries, probes, k, sl)
+		return u.searchTiered(queries, probes, k, sl, cost)
+	}
+
+	// The engine scans every probed cluster's full posting list; its
+	// batch result carries no per-query counters, so the base-scan cost
+	// is derived from the probed list sizes — the exact row counts the
+	// ADC kernels visit.
+	if cost != nil {
+		ix := u.snap.Load().ix
+		var codes int64
+		for qi := 0; qi < nq; qi++ {
+			for _, c := range probes[qi] {
+				if n := ix.Lists[c].Len(); n > 0 {
+					codes += int64(n)
+					cost.AddScan(0, 0, int64(ix.PQ.M*pq.CodebookSize))
+				}
+			}
+		}
+		cost.AddScan(codes, codes*int64(ix.PQ.M), 0)
 	}
 
 	// Fast path: search the engine first, then validate that no epoch was
@@ -502,7 +525,7 @@ func (u *UpdatableIndex) searchPlain(queries *vecmath.Matrix, k int, sl *obs.Sta
 		if u.snap.Load() == snap {
 			view := overlayView{tombs: u.tombs, latest: u.latest}
 			ovStart := time.Now()
-			view.cands = u.scanOverlay(snap, queries, probes, k, nil)
+			view.cands = u.scanOverlay(snap, queries, probes, k, nil, cost)
 			sl.Record("mutable.overlay", ovStart, obs.Int("pending", int64(u.logCount)))
 			mergeStart := time.Now()
 			out := mergeResults(&view, br.Results, k)
@@ -530,7 +553,7 @@ func (u *UpdatableIndex) searchPlain(queries *vecmath.Matrix, k int, sl *obs.Sta
 		view.latest[id] = r
 	}
 	ovStart := time.Now()
-	view.cands = u.scanOverlay(snap, queries, probes, k, nil)
+	view.cands = u.scanOverlay(snap, queries, probes, k, nil, cost)
 	sl.Record("mutable.overlay", ovStart,
 		obs.Int("pending", int64(u.logCount)), obs.Str("path", "slow"))
 	u.mu.RUnlock()
@@ -599,7 +622,7 @@ func (s *overlayScratch) ensure(dim, m int) {
 // lists. A non-nil match pushes a filter predicate into the scan:
 // entries failing it are skipped before any distance work. Caller holds
 // mu.RLock.
-func (u *UpdatableIndex) scanOverlay(snap *snapshot, queries *vecmath.Matrix, probes [][]int32, k int, match func(int64) bool) [][]topk.Candidate {
+func (u *UpdatableIndex) scanOverlay(snap *snapshot, queries *vecmath.Matrix, probes [][]int32, k int, match func(int64) bool, cost *obs.Cost) [][]topk.Candidate {
 	m := snap.ix.PQ.M
 	scale := snap.ix.QScale
 	out := make([][]topk.Candidate, queries.Rows)
@@ -667,6 +690,8 @@ func (u *UpdatableIndex) scanOverlay(snap *snapshot, queries *vecmath.Matrix, pr
 	overlayPool.Put(sc)
 	obs.Kernel.RecordScan(scanned*m, scanned, time.Since(scanStart)-lutDur)
 	obs.Kernel.RecordLUT(lutEntries, lutDur)
+	cost.AddScan(int64(scanned), int64(scanned*m), int64(lutEntries))
+	cost.AddOverlay(int64(scanned))
 	return out
 }
 

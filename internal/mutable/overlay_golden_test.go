@@ -126,7 +126,7 @@ func TestScanOverlayGoldenEquivalence(t *testing.T) {
 		probes[qi] = snap.ix.Coarse.Probe(queries.Row(qi), 6)
 	}
 	for pi, match := range preds {
-		got := u.scanOverlay(snap, queries, probes, k, match)
+		got := u.scanOverlay(snap, queries, probes, k, match, nil)
 		want := scalarOverlayScan(u, snap, queries, probes, k, match)
 		for qi := range want {
 			if len(got[qi]) != len(want[qi]) {

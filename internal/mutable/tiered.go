@@ -120,9 +120,10 @@ func deployTiered(ix *ivfpq.Index, freqs []float64, epoch uint64, tc *TierConfig
 // searchBase runs one base-epoch query on whichever executor the
 // snapshot carries: the tier store in tiered mode, the in-RAM host
 // kernels otherwise. Tiered callers must hold a pin.
-func (s *snapshot) searchBase(q []float32, o ivfpq.SearchOpts) ([]topk.Candidate, ivfpq.SearchStats, error) {
+func (s *snapshot) searchBase(q []float32, o ivfpq.SearchOpts, cost *obs.Cost) ([]topk.Candidate, ivfpq.SearchStats, error) {
 	if s.tix != nil {
 		cands, st, err := s.tix.Search(q, o)
+		cost.AddColdBytes(int64(st.ColdBytes))
 		return cands, st.SearchStats, err
 	}
 	cands, st := s.ix.Search(q, o)
@@ -135,7 +136,7 @@ func (s *snapshot) searchBase(q []float32, o ivfpq.SearchOpts) ([]topk.Candidate
 // and scans the overlay; then the pinned base streams through the tier
 // store lock-free — racing compactions can publish and retire epochs
 // freely, the pin keeps this one's image alive until the merge is done.
-func (u *UpdatableIndex) searchTiered(queries *vecmath.Matrix, probes [][]int32, k int, sl *obs.StageLog) ([][]topk.Candidate, error) {
+func (u *UpdatableIndex) searchTiered(queries *vecmath.Matrix, probes [][]int32, k int, sl *obs.StageLog, cost *obs.Cost) ([][]topk.Candidate, error) {
 	u.mu.RLock()
 	snap := u.snap.Load()
 	snap.pin()
@@ -150,7 +151,7 @@ func (u *UpdatableIndex) searchTiered(queries *vecmath.Matrix, probes [][]int32,
 		view.latest[id] = r
 	}
 	ovStart := time.Now()
-	view.cands = u.scanOverlay(snap, queries, probes, k, nil)
+	view.cands = u.scanOverlay(snap, queries, probes, k, nil, cost)
 	sl.Record("mutable.overlay", ovStart,
 		obs.Int("pending", int64(u.logCount)), obs.Str("path", "tiered"))
 	u.mu.RUnlock()
@@ -169,6 +170,8 @@ func (u *UpdatableIndex) searchTiered(queries *vecmath.Matrix, probes [][]int32,
 		hot += st.HotClusters
 		cold += st.ColdClusters
 		skipped += st.SkippedClusters
+		cost.AddScan(int64(st.CodesScanned), int64(st.CodeBytes), int64(st.LUTEntries))
+		cost.AddColdBytes(int64(st.ColdBytes))
 		base[qi] = cands
 	}
 	sl.Record("mutable.base", baseStart,

@@ -1,0 +1,236 @@
+package obs
+
+import (
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// cost.go makes per-query cost a first-class observable. The paper's
+// premise is that ADC search is bandwidth-bound, so the system's true
+// currency is bytes moved per query — codes scanned, LUT tables built,
+// overlay entries gathered, cold-tier bytes streamed — plus the
+// scheduling time the serving layer added around the scan. A Cost
+// vector rides through mutable/tier/serve alongside the existing
+// StageLog, and a concurrent top-K "query heat" ring (surfaced at
+// /debug/costly and in the slow-query log) answers "which queries are
+// eating the machine" without sampling.
+
+// Cost is one query's resource vector. Backend fields (codes, bytes)
+// are filled by the index layers; scheduling fields by the serving
+// layer. All accumulation methods are nil-safe so un-instrumented
+// paths pay nothing.
+type Cost struct {
+	// CodesScanned counts encoded vectors visited by ADC scans (base +
+	// overlay + cold tier).
+	CodesScanned int64 `json:"codes_scanned,omitempty"`
+	// CodeBytes is the PQ code bytes those scans streamed.
+	CodeBytes int64 `json:"code_bytes,omitempty"`
+	// LUTBytes is the bytes of distance lookup tables built for the
+	// query (float LUT + fixed-scale quantized table).
+	LUTBytes int64 `json:"lut_bytes,omitempty"`
+	// OverlayCodes counts live write-log entries scored by the overlay
+	// merge (a subset of CodesScanned).
+	OverlayCodes int64 `json:"overlay_codes,omitempty"`
+	// ColdBytes is bytes streamed from the cold tier for this query (a
+	// subset of CodeBytes plus cold ID blocks).
+	ColdBytes int64 `json:"cold_bytes,omitempty"`
+	// QueueSeconds is time spent waiting for a micro-batch slot.
+	QueueSeconds float64 `json:"queue_seconds,omitempty"`
+	// DispatchSeconds is the backend dispatch the request rode in.
+	DispatchSeconds float64 `json:"dispatch_seconds,omitempty"`
+	// CacheHit marks a request answered from the result cache (backend
+	// fields all zero).
+	CacheHit bool `json:"cache_hit,omitempty"`
+	// Coalesced marks a request that shared another identical in-flight
+	// query's dispatch.
+	Coalesced bool `json:"coalesced,omitempty"`
+}
+
+// lutEntryBytes is the bytes materialized per LUT cell: a float32
+// entry plus its uint16 fixed-scale quantization.
+const lutEntryBytes = 4 + 2
+
+// AddScan accounts an ADC scan: codes visited, their code bytes, and
+// LUT cells built.
+func (c *Cost) AddScan(codes, codeBytes, lutEntries int64) {
+	if c == nil {
+		return
+	}
+	c.CodesScanned += codes
+	c.CodeBytes += codeBytes
+	c.LUTBytes += lutEntries * lutEntryBytes
+}
+
+// AddOverlay accounts overlay live-log entries scored (also counted as
+// scanned codes).
+func (c *Cost) AddOverlay(codes int64) {
+	if c == nil {
+		return
+	}
+	c.OverlayCodes += codes
+}
+
+// AddColdBytes accounts bytes streamed from the cold tier.
+func (c *Cost) AddColdBytes(n int64) {
+	if c == nil {
+		return
+	}
+	c.ColdBytes += n
+}
+
+// TotalBytes is the heat metric the top-K ring ranks by: every byte
+// the query moved through the memory system.
+func (c Cost) TotalBytes() int64 {
+	return c.CodeBytes + c.LUTBytes + c.ColdBytes
+}
+
+// Share divides the batch-level backend counters evenly across the n
+// distinct queries of one dispatch, keeping the scheduling fields
+// (which are already per-request) untouched.
+func (c Cost) Share(n int) Cost {
+	if n > 1 {
+		c.CodesScanned /= int64(n)
+		c.CodeBytes /= int64(n)
+		c.LUTBytes /= int64(n)
+		c.OverlayCodes /= int64(n)
+		c.ColdBytes /= int64(n)
+	}
+	return c
+}
+
+// CostEntry is one completed query in the heat ring.
+type CostEntry struct {
+	TraceID        string    `json:"trace_id,omitempty"`
+	Start          time.Time `json:"start"`
+	LatencySeconds float64   `json:"latency_seconds"`
+	TotalBytes     int64     `json:"total_bytes"`
+	Cost           Cost      `json:"cost"`
+}
+
+// CostTracker keeps running totals and the top-K most expensive
+// queries by TotalBytes. Observe is called on every request
+// completion, so the common case — a query cheaper than the current
+// K-th — must stay off the mutex: an atomic floor check rejects it
+// with one load. Nil-safe.
+type CostTracker struct {
+	queries   atomic.Uint64
+	bytes     atomic.Int64
+	coldBytes atomic.Int64
+	floor     atomic.Int64 // min TotalBytes in a full ring; entries below skip the lock
+
+	capacity int
+	mu       sync.Mutex
+	top      []CostEntry // min-heap on TotalBytes
+}
+
+// NewCostTracker builds a tracker keeping the top k entries (default
+// 32).
+func NewCostTracker(k int) *CostTracker {
+	if k <= 0 {
+		k = 32
+	}
+	return &CostTracker{capacity: k}
+}
+
+// Observe records one completed query. Nil-safe.
+func (t *CostTracker) Observe(e CostEntry) {
+	if t == nil {
+		return
+	}
+	e.TotalBytes = e.Cost.TotalBytes()
+	t.queries.Add(1)
+	t.bytes.Add(e.TotalBytes)
+	t.coldBytes.Add(e.Cost.ColdBytes)
+	if e.TotalBytes <= t.floor.Load() {
+		return // cheaper than everything retained; skip the lock
+	}
+	t.mu.Lock()
+	if len(t.top) < t.capacity {
+		t.top = append(t.top, e)
+		t.up(len(t.top) - 1)
+	} else if e.TotalBytes > t.top[0].TotalBytes {
+		t.top[0] = e
+		t.down(0)
+	}
+	if len(t.top) == t.capacity {
+		t.floor.Store(t.top[0].TotalBytes)
+	}
+	t.mu.Unlock()
+}
+
+func (t *CostTracker) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if t.top[p].TotalBytes <= t.top[i].TotalBytes {
+			return
+		}
+		t.top[p], t.top[i] = t.top[i], t.top[p]
+		i = p
+	}
+}
+
+func (t *CostTracker) down(i int) {
+	n := len(t.top)
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && t.top[l].TotalBytes < t.top[min].TotalBytes {
+			min = l
+		}
+		if r < n && t.top[r].TotalBytes < t.top[min].TotalBytes {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		t.top[i], t.top[min] = t.top[min], t.top[i]
+		i = min
+	}
+}
+
+// CostlyPayload is the /debug/costly JSON body.
+type CostlyPayload struct {
+	Queries    uint64      `json:"queries"`
+	TotalBytes int64       `json:"total_bytes"`
+	ColdBytes  int64       `json:"cold_bytes"`
+	Top        []CostEntry `json:"top"`
+}
+
+// Payload snapshots the totals and the heat ring, most expensive
+// first. Nil-safe.
+func (t *CostTracker) Payload() CostlyPayload {
+	if t == nil {
+		return CostlyPayload{}
+	}
+	p := CostlyPayload{
+		Queries:    t.queries.Load(),
+		TotalBytes: t.bytes.Load(),
+		ColdBytes:  t.coldBytes.Load(),
+	}
+	t.mu.Lock()
+	p.Top = append(p.Top, t.top...)
+	t.mu.Unlock()
+	sort.Slice(p.Top, func(i, j int) bool { return p.Top[i].TotalBytes > p.Top[j].TotalBytes })
+	return p
+}
+
+// WriteMetrics emits the upanns_cost_* totals. Nil-safe.
+func (t *CostTracker) WriteMetrics(w *PromWriter) {
+	if t == nil {
+		return
+	}
+	w.Counter("upanns_cost_queries_total", "Queries with a cost vector recorded.", float64(t.queries.Load()))
+	w.Counter("upanns_cost_bytes_total", "Total bytes moved by accounted queries.", float64(t.bytes.Load()))
+	w.Counter("upanns_cost_cold_bytes_total", "Cold-tier bytes attributed to queries.", float64(t.coldBytes.Load()))
+}
+
+// Handler serves the heat ring as the /debug/costly JSON endpoint.
+// Safe on a nil tracker (empty payload).
+func (t *CostTracker) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, t.Payload())
+	})
+}

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCostAccumulation(t *testing.T) {
+	var c Cost
+	c.AddScan(100, 800, 256) // 100 codes, 800 code bytes, 256 LUT cells
+	c.AddOverlay(10)
+	c.AddColdBytes(4096)
+	if c.CodesScanned != 100 || c.CodeBytes != 800 || c.OverlayCodes != 10 {
+		t.Fatalf("counters: %+v", c)
+	}
+	if c.LUTBytes != 256*lutEntryBytes {
+		t.Fatalf("LUT bytes %d, want %d", c.LUTBytes, 256*lutEntryBytes)
+	}
+	if got, want := c.TotalBytes(), int64(800+256*lutEntryBytes+4096); got != want {
+		t.Fatalf("TotalBytes %d, want %d", got, want)
+	}
+
+	// Share divides backend counters but not scheduling fields.
+	c.QueueSeconds = 0.5
+	s := c.Share(4)
+	if s.CodesScanned != 25 || s.CodeBytes != 200 || s.ColdBytes != 1024 {
+		t.Fatalf("Share(4): %+v", s)
+	}
+	if s.QueueSeconds != 0.5 {
+		t.Fatalf("Share touched scheduling fields: %+v", s)
+	}
+
+	// Nil-safe accumulation: all methods no-op.
+	var nc *Cost
+	nc.AddScan(1, 1, 1)
+	nc.AddOverlay(1)
+	nc.AddColdBytes(1)
+}
+
+// The ring keeps exactly the top-K entries by TotalBytes, served most
+// expensive first.
+func TestCostTrackerTopK(t *testing.T) {
+	tr := NewCostTracker(4)
+	for i := 1; i <= 10; i++ {
+		tr.Observe(CostEntry{
+			TraceID: fmt.Sprintf("q%d", i),
+			Cost:    Cost{CodeBytes: int64(i) * 1000},
+		})
+	}
+	p := tr.Payload()
+	if p.Queries != 10 {
+		t.Fatalf("queries %d, want 10", p.Queries)
+	}
+	if want := int64(55_000); p.TotalBytes != want {
+		t.Fatalf("total bytes %d, want %d", p.TotalBytes, want)
+	}
+	if len(p.Top) != 4 {
+		t.Fatalf("ring size %d, want 4", len(p.Top))
+	}
+	for i, want := range []string{"q10", "q9", "q8", "q7"} {
+		if p.Top[i].TraceID != want {
+			t.Fatalf("top[%d] = %q, want %q (%+v)", i, p.Top[i].TraceID, want, p.Top)
+		}
+	}
+	// The floor fast-path: with a full ring, entries at or below the
+	// cheapest retained entry must be rejected without entering it.
+	tr.Observe(CostEntry{TraceID: "cheap", Cost: Cost{CodeBytes: 7000}})
+	p = tr.Payload()
+	if p.Top[3].TraceID != "q7" {
+		t.Fatalf("floor-equal entry displaced the ring: %+v", p.Top)
+	}
+	if p.Queries != 11 {
+		t.Fatalf("rejected entry must still count in totals: %d", p.Queries)
+	}
+}
+
+// Zero-byte completions (cache hits) count in the totals but never
+// occupy ring slots.
+func TestCostTrackerCacheHitsStayOut(t *testing.T) {
+	tr := NewCostTracker(2)
+	tr.Observe(CostEntry{TraceID: "hit", Cost: Cost{CacheHit: true}})
+	p := tr.Payload()
+	if p.Queries != 1 || len(p.Top) != 0 {
+		t.Fatalf("zero-byte entry entered the ring: %+v", p)
+	}
+}
+
+// Concurrent Observe/Payload: run under -race in CI.
+func TestCostTrackerConcurrent(t *testing.T) {
+	tr := NewCostTracker(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tr.Observe(CostEntry{
+					Start: time.Now(),
+					Cost:  Cost{CodeBytes: int64(g*500 + i), ColdBytes: 8},
+				})
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			tr.Payload()
+			tr.WriteMetrics(NewPromWriter())
+		}
+	}()
+	wg.Wait()
+	p := tr.Payload()
+	if p.Queries != 4000 {
+		t.Fatalf("queries %d, want 4000", p.Queries)
+	}
+	if p.ColdBytes != 4000*8 {
+		t.Fatalf("cold bytes %d, want %d", p.ColdBytes, 4000*8)
+	}
+	if len(p.Top) != 8 {
+		t.Fatalf("ring size %d, want 8", len(p.Top))
+	}
+	// The global maximum always survives concurrent insertion.
+	if p.Top[0].TotalBytes != 8*500-1+8 {
+		t.Fatalf("max entry lost: %+v", p.Top[0])
+	}
+}
+
+// Nil tracker: all methods no-op, the handler serves an empty payload.
+func TestCostTrackerNil(t *testing.T) {
+	var tr *CostTracker
+	tr.Observe(CostEntry{Cost: Cost{CodeBytes: 1}})
+	if p := tr.Payload(); p.Queries != 0 || p.Top != nil {
+		t.Fatalf("nil payload %+v", p)
+	}
+	tr.WriteMetrics(NewPromWriter())
+	rec := httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/costly", nil))
+	var body CostlyPayload
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || body.Queries != 0 {
+		t.Fatalf("nil handler body %q err %v", rec.Body.String(), err)
+	}
+}
+
+func TestCostTrackerMetrics(t *testing.T) {
+	tr := NewCostTracker(0)
+	tr.Observe(CostEntry{Cost: Cost{CodeBytes: 100, ColdBytes: 40}})
+	tr.Observe(CostEntry{Cost: Cost{CodeBytes: 60}})
+	w := NewPromWriter()
+	tr.WriteMetrics(w)
+	vals := parseProm(t, string(w.Bytes()))
+	if vals["upanns_cost_queries_total"] != 2 {
+		t.Fatalf("queries: %v", vals)
+	}
+	if vals["upanns_cost_bytes_total"] != 200 {
+		t.Fatalf("bytes: %v", vals)
+	}
+	if vals["upanns_cost_cold_bytes_total"] != 40 {
+		t.Fatalf("cold bytes: %v", vals)
+	}
+}

@@ -1,10 +1,14 @@
 // Package obs is the observability layer: request-scoped tracing,
 // Prometheus-text /metrics exposition, kernel-level bandwidth accounting,
-// and process runtime stats. It exists to make the repo's central claim —
-// ADC scans are memory-bandwidth-bound — measurable in live serving
-// instead of asserted from coarse counters.
+// process runtime stats, and the SLO health plane (burn-rate alerting,
+// per-query cost attribution, a control-plane flight recorder). It exists
+// to make the repo's central claim — ADC scans are memory-bandwidth-bound
+// — measurable in live serving instead of asserted from coarse counters,
+// and to make the serving tier operable: paging on budget burn, not
+// point-in-time error spikes, with a postmortem that survives restarts of
+// nothing.
 //
-// Four pieces cooperate:
+// Seven pieces cooperate:
 //
 //   - Traces (span.go, tracer.go): a request carries a *Trace through its
 //     context; every layer it crosses attaches named spans (router fanout,
@@ -35,7 +39,36 @@
 //     achieved scan GB/s next to the internal/archmodel roofline bound,
 //     which is what ROADMAP item 1 ("measured, not asserted") needs.
 //
-// Everything is nil-safe: a nil *Tracer starts nil *Traces, and every
-// method on a nil Trace, Span or StageLog is a no-op, so instrumented
-// code paths never branch on "is tracing on".
+//   - SLO burn rates (slo.go): an SLOTracker classifies every request
+//     against declared objectives (availability, latency, optionally
+//     integrity for degraded-but-200 answers) and reports error-budget
+//     burn over a fast (5m) and a slow (1h) window; an objective pages
+//     only when BOTH windows burn past threshold, so blips never page
+//     but real outages page in minutes and clear on recovery. The
+//     windows are bucketed rings driven by an injectable clock, which
+//     keeps the arithmetic golden-testable. Snapshots serve GET /slo
+//     and export as upanns_slo_* series.
+//
+//   - Cost accounting (cost.go): a *Cost rides the request context and
+//     accumulates bytes moved (ADC code bytes, LUT bytes, cold-tier
+//     bytes) plus queue/dispatch time as the query crosses layers;
+//     coalesced batches split backend bytes evenly. A CostTracker keeps
+//     lifetime totals and a top-K heat ring of the most expensive
+//     queries by bytes — served on GET /debug/costly — with an atomic
+//     floor gate so the common "too cheap for the ring" case never
+//     takes the lock.
+//
+//   - Flight recorder + bundles (flight.go): Flight is a process-global
+//     fixed ring of control-plane events (breaker transitions, shard
+//     loss/rejoin, drain, tier faults), written lock-free and
+//     sequence-numbered so post-incident ordering is recorded, not
+//     reconstructed. WriteBundle snapshots the ring together with
+//     traces, a metrics scrape, SLO and cost payloads, stats, and
+//     runtime profiles into one gzipped tar served on GET /debug/bundle;
+//     a section that fails to collect degrades to an error note.
+//
+// Everything is nil-safe: a nil *Tracer starts nil *Traces, every
+// method on a nil Trace, Span, StageLog, Cost, CostTracker or
+// SLOTracker is a no-op, so instrumented code paths never branch on
+// "is observability on".
 package obs

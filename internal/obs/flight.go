@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"archive/tar"
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// flight.go is the black-box flight recorder: a fixed-size lock-free
+// ring of structured control-plane events — epoch swaps, compaction
+// failures, breaker trips, shed/hedge decisions, tier faults and
+// rebalances — that is always on, costs one atomic pointer store per
+// event, and survives until someone pulls the /debug/bundle postmortem
+// artifact. Request-rate signals belong in metrics and traces; the
+// flight recorder is for the rare state transitions that explain an
+// incident after the fact ("the breaker opened at 02:13:07, four
+// seconds after the first tier fault").
+
+// flightCapacity is the ring size; control-plane events are rare, so
+// 256 covers hours of incident history.
+const flightCapacity = 256
+
+// FlightEvent is one recorded state transition.
+type FlightEvent struct {
+	Seq   uint64            `json:"seq"`
+	Time  time.Time         `json:"time"`
+	Kind  string            `json:"kind"`
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// FlightRecorder is a lock-free event ring. The zero value is ready;
+// the package-level Flight instance is the process-global recorder
+// every layer emits into (mirroring Kernel and Tier).
+type FlightRecorder struct {
+	seq   atomic.Uint64
+	slots [flightCapacity]atomic.Pointer[FlightEvent]
+	// last tracks per-kind last-emission times for RecordEvery.
+	last sync.Map // kind -> *atomic.Int64 (unix nanos)
+}
+
+// Flight is the process-global flight recorder.
+var Flight FlightRecorder
+
+// Record appends one event; attrs render with Attr's string formatting.
+func (f *FlightRecorder) Record(kind string, attrs ...Attr) {
+	if f == nil {
+		return
+	}
+	ev := &FlightEvent{Time: time.Now(), Kind: kind}
+	if len(attrs) > 0 {
+		ev.Attrs = make(map[string]string, len(attrs))
+		for _, a := range attrs {
+			ev.Attrs[a.Key] = a.Value
+		}
+	}
+	ev.Seq = f.seq.Add(1)
+	f.slots[ev.Seq%flightCapacity].Store(ev)
+}
+
+// RecordEvery records the event unless one of the same kind was
+// recorded within minGap; high-frequency decisions (shed, hedge) use it
+// so a storm becomes one ring entry per second instead of evicting the
+// history that explains the storm. Returns whether the event was
+// recorded.
+func (f *FlightRecorder) RecordEvery(minGap time.Duration, kind string, attrs ...Attr) bool {
+	if f == nil {
+		return false
+	}
+	now := time.Now().UnixNano()
+	v, _ := f.last.LoadOrStore(kind, new(atomic.Int64))
+	last := v.(*atomic.Int64)
+	prev := last.Load()
+	if prev != 0 && now-prev < int64(minGap) {
+		return false
+	}
+	if !last.CompareAndSwap(prev, now) {
+		return false // another goroutine just recorded this kind
+	}
+	f.Record(kind, attrs...)
+	return true
+}
+
+// Events returns the retained events, oldest first.
+func (f *FlightRecorder) Events() []FlightEvent {
+	if f == nil {
+		return nil
+	}
+	out := make([]FlightEvent, 0, flightCapacity)
+	for i := range f.slots {
+		if ev := f.slots[i].Load(); ev != nil {
+			out = append(out, *ev)
+		}
+	}
+	// The slots are a ring keyed by seq; sorting by seq restores
+	// emission order. Insertion sort is fine at this size.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1].Seq > out[j].Seq; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+// Recorded returns the number of events ever recorded (the ring keeps
+// the last flightCapacity of them).
+func (f *FlightRecorder) Recorded() uint64 {
+	if f == nil {
+		return 0
+	}
+	return f.seq.Load()
+}
+
+// WriteMetrics emits the flight-recorder counter.
+func (f *FlightRecorder) WriteMetrics(w *PromWriter) {
+	if f == nil {
+		return
+	}
+	w.Counter("upanns_flight_events_total", "Control-plane events recorded by the flight recorder.", float64(f.Recorded()))
+}
+
+// BundleSection is one file of a postmortem bundle.
+type BundleSection struct {
+	// Name is the file name inside the archive ("flight.json").
+	Name string
+	// Fill produces the section body. A Fill error does not abort the
+	// bundle: the section is written with the error text instead, so a
+	// half-broken process still yields a usable artifact.
+	Fill func() ([]byte, error)
+}
+
+// JSONSection adapts any marshalable value into a bundle section.
+func JSONSection(name string, v func() any) BundleSection {
+	return BundleSection{Name: name, Fill: func() ([]byte, error) {
+		return json.MarshalIndent(v(), "", "  ")
+	}}
+}
+
+// ProfileSection captures a runtime/pprof profile (debug=1 text form —
+// readable in the bundle without tooling, still parseable by pprof).
+func ProfileSection(name, profile string) BundleSection {
+	return BundleSection{Name: name, Fill: func() ([]byte, error) {
+		p := pprof.Lookup(profile)
+		if p == nil {
+			return nil, fmt.Errorf("obs: unknown profile %q", profile)
+		}
+		var buf bytes.Buffer
+		if err := p.WriteTo(&buf, 1); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	}}
+}
+
+// WriteBundle streams the sections as a gzipped tar — the one-file
+// postmortem artifact /debug/bundle serves.
+func WriteBundle(w *bytes.Buffer, sections []BundleSection) error {
+	gz := gzip.NewWriter(w)
+	tw := tar.NewWriter(gz)
+	now := time.Now()
+	for _, s := range sections {
+		body, err := s.Fill()
+		if err != nil {
+			body = []byte(fmt.Sprintf("section failed: %v\n", err))
+		}
+		hdr := &tar.Header{
+			Name:    s.Name,
+			Mode:    0o644,
+			Size:    int64(len(body)),
+			ModTime: now,
+		}
+		if err := tw.WriteHeader(hdr); err != nil {
+			return err
+		}
+		if _, err := tw.Write(body); err != nil {
+			return err
+		}
+	}
+	if err := tw.Close(); err != nil {
+		return err
+	}
+	return gz.Close()
+}
+
+// BundleHandler serves a postmortem bundle. The sections callback runs
+// per request so every pull snapshots current state.
+func BundleHandler(sections func() []BundleSection) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var buf bytes.Buffer
+		if err := WriteBundle(&buf, sections()); err != nil {
+			http.Error(w, fmt.Sprintf("bundle: %v", err), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/gzip")
+		w.Header().Set("Content-Disposition",
+			fmt.Sprintf("attachment; filename=%q", "upanns-bundle-"+time.Now().UTC().Format("20060102T150405Z")+".tar.gz"))
+		w.Write(buf.Bytes()) //nolint:errcheck // best-effort reply
+	})
+}

@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"archive/tar"
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFlightRecordAndOrder(t *testing.T) {
+	var f FlightRecorder
+	f.Record("epoch_swap", Int("epoch", 1))
+	f.Record("breaker", Str("from", "closed"), Str("to", "open"))
+	f.Record("breaker", Str("from", "open"), Str("to", "half-open"))
+	evs := f.Events()
+	if len(evs) != 3 || f.Recorded() != 3 {
+		t.Fatalf("events %d recorded %d, want 3", len(evs), f.Recorded())
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("events out of order: %+v", evs)
+		}
+	}
+	if evs[0].Kind != "epoch_swap" || evs[0].Attrs["epoch"] != "1" {
+		t.Fatalf("first event %+v", evs[0])
+	}
+	if evs[1].Attrs["to"] != "open" {
+		t.Fatalf("attrs lost: %+v", evs[1])
+	}
+}
+
+// The ring retains the newest flightCapacity events across a wrap.
+func TestFlightRingWrap(t *testing.T) {
+	var f FlightRecorder
+	total := flightCapacity + 50
+	for i := 0; i < total; i++ {
+		f.Record("tick", Int("i", int64(i)))
+	}
+	evs := f.Events()
+	if len(evs) != flightCapacity {
+		t.Fatalf("retained %d, want %d", len(evs), flightCapacity)
+	}
+	if f.Recorded() != uint64(total) {
+		t.Fatalf("recorded %d, want %d", f.Recorded(), total)
+	}
+	if evs[0].Attrs["i"] != "50" {
+		t.Fatalf("oldest retained event %+v, want i=50", evs[0])
+	}
+	if evs[len(evs)-1].Attrs["i"] != "305" {
+		t.Fatalf("newest event %+v", evs[len(evs)-1])
+	}
+}
+
+// RecordEvery collapses a storm of same-kind events into one entry per
+// gap while letting other kinds through.
+func TestFlightRecordEvery(t *testing.T) {
+	var f FlightRecorder
+	if !f.RecordEvery(time.Hour, "shed") {
+		t.Fatalf("first event of a kind must record")
+	}
+	for i := 0; i < 100; i++ {
+		if f.RecordEvery(time.Hour, "shed") {
+			t.Fatalf("throttled kind recorded within the gap")
+		}
+	}
+	if !f.RecordEvery(time.Hour, "hedge") {
+		t.Fatalf("distinct kind must not share the throttle")
+	}
+	if f.Recorded() != 2 {
+		t.Fatalf("recorded %d, want 2", f.Recorded())
+	}
+}
+
+func TestFlightNil(t *testing.T) {
+	var f *FlightRecorder
+	f.Record("x")
+	if f.RecordEvery(time.Second, "x") {
+		t.Fatalf("nil recorder recorded")
+	}
+	if f.Events() != nil || f.Recorded() != 0 {
+		t.Fatalf("nil recorder retained state")
+	}
+	f.WriteMetrics(NewPromWriter())
+}
+
+// untarBundle unpacks a gzipped tar bundle into name -> body.
+func untarBundle(t *testing.T, blob []byte) map[string]string {
+	t.Helper()
+	gz, err := gzip.NewReader(bytes.NewReader(blob))
+	if err != nil {
+		t.Fatalf("gzip: %v", err)
+	}
+	out := map[string]string{}
+	tr := tar.NewReader(gz)
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("tar: %v", err)
+		}
+		body, err := io.ReadAll(tr)
+		if err != nil {
+			t.Fatalf("tar body: %v", err)
+		}
+		out[hdr.Name] = string(body)
+	}
+	return out
+}
+
+// A bundle round-trips: every section present, JSON sections
+// marshaled, a failing section replaced by its error text, profiles
+// captured.
+func TestWriteBundleRoundTrip(t *testing.T) {
+	var f FlightRecorder
+	f.Record("shard_lost", Int("shard", 2))
+	sections := []BundleSection{
+		JSONSection("flight.json", func() any { return f.Events() }),
+		{Name: "metrics.txt", Fill: func() ([]byte, error) { return []byte("upanns_x 1\n"), nil }},
+		{Name: "broken.json", Fill: func() ([]byte, error) { return nil, errors.New("collector died") }},
+		ProfileSection("goroutine.txt", "goroutine"),
+	}
+	var buf bytes.Buffer
+	if err := WriteBundle(&buf, sections); err != nil {
+		t.Fatalf("WriteBundle: %v", err)
+	}
+	files := untarBundle(t, buf.Bytes())
+	if len(files) != 4 {
+		t.Fatalf("sections %v, want 4", files)
+	}
+	if !strings.Contains(files["flight.json"], `"shard_lost"`) {
+		t.Fatalf("flight.json: %q", files["flight.json"])
+	}
+	if files["metrics.txt"] != "upanns_x 1\n" {
+		t.Fatalf("metrics.txt: %q", files["metrics.txt"])
+	}
+	if !strings.Contains(files["broken.json"], "section failed: collector died") {
+		t.Fatalf("failed section body: %q", files["broken.json"])
+	}
+	if !strings.Contains(files["goroutine.txt"], "goroutine profile") {
+		t.Fatalf("goroutine profile: %q", files["goroutine.txt"])
+	}
+}
+
+func TestProfileSectionUnknown(t *testing.T) {
+	if _, err := ProfileSection("x", "no-such-profile").Fill(); err == nil {
+		t.Fatalf("unknown profile must error")
+	}
+}
+
+func TestBundleHandler(t *testing.T) {
+	h := BundleHandler(func() []BundleSection {
+		return []BundleSection{JSONSection("slo.json", func() any { return SLOSnapshot{State: "ok"} })}
+	})
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/bundle", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/gzip" {
+		t.Fatalf("content type %q", ct)
+	}
+	if cd := rec.Header().Get("Content-Disposition"); !strings.Contains(cd, "upanns-bundle-") {
+		t.Fatalf("disposition %q", cd)
+	}
+	files := untarBundle(t, rec.Body.Bytes())
+	if !strings.Contains(files["slo.json"], `"ok"`) {
+		t.Fatalf("bundle body %v", files)
+	}
+}
+
+// Same labels in a different argument order must serialize to the same
+// bytes — dashboards and the docs cross-checker depend on stable
+// series identity.
+func TestPromLabelOrderDeterministic(t *testing.T) {
+	a := NewPromWriter()
+	a.Gauge("upanns_test_multi", "Multi-label.", 1, "shard", "0", "objective", "availability", "window", "fast")
+	b := NewPromWriter()
+	b.Gauge("upanns_test_multi", "Multi-label.", 1, "window", "fast", "shard", "0", "objective", "availability")
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("label order leaked into output:\n%s\nvs\n%s", a.Bytes(), b.Bytes())
+	}
+	if !strings.Contains(string(a.Bytes()), `objective="availability",shard="0",window="fast"`) {
+		t.Fatalf("labels not sorted: %s", a.Bytes())
+	}
+}

@@ -70,6 +70,13 @@ func (w *PromWriter) header(name, help, typ string) {
 func (w *PromWriter) series(name string, labels []string, v float64) {
 	w.buf.WriteString(name)
 	if len(labels) >= 2 {
+		// Emit label pairs sorted by key regardless of caller order:
+		// scrapes must be byte-stable run to run so /metrics diffs and
+		// the CI scrape check are reproducible, and Prometheus treats
+		// {a="1",b="2"} and {b="2",a="1"} as the same series anyway.
+		if !labelKeysSorted(labels) {
+			labels = sortLabelPairs(labels)
+		}
 		w.buf.WriteByte('{')
 		for i := 0; i+1 < len(labels); i += 2 {
 			if i > 0 {
@@ -85,6 +92,35 @@ func (w *PromWriter) series(name string, labels []string, v float64) {
 	w.buf.WriteByte(' ')
 	w.buf.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
 	w.buf.WriteByte('\n')
+}
+
+// labelKeysSorted reports whether the alternating key/value pairs are
+// already in key order — the common case (single label, or callers
+// passing keys alphabetically), which keeps the sort allocation off the
+// scrape path.
+func labelKeysSorted(labels []string) bool {
+	for i := 2; i+1 < len(labels); i += 2 {
+		if labels[i] < labels[i-2] {
+			return false
+		}
+	}
+	return true
+}
+
+// sortLabelPairs returns a copy of the alternating key/value pairs
+// sorted by key (stable, so duplicate keys keep caller order).
+func sortLabelPairs(labels []string) []string {
+	n := len(labels) / 2
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return labels[2*idx[a]] < labels[2*idx[b]] })
+	out := make([]string, 0, 2*n)
+	for _, i := range idx {
+		out = append(out, labels[2*i], labels[2*i+1])
+	}
+	return out
 }
 
 // escapeLabel escapes label values per the exposition format.

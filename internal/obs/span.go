@@ -82,8 +82,20 @@ type Trace struct {
 	id      string
 	root    *Span
 	start   time.Time
-	sampled bool // rides the traceparent flag downstream
-	remote  bool // started from an incoming traceparent header
+	cost    *Cost // per-query cost vector, attached at completion
+	sampled bool  // rides the traceparent flag downstream
+	remote  bool  // started from an incoming traceparent header
+}
+
+// SetCost attaches the request's cost vector to the trace so the
+// slow-query log carries it. Nil-safe on both sides.
+func (tr *Trace) SetCost(c Cost) {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	tr.cost = &c
+	tr.mu.Unlock()
 }
 
 // ID returns the trace identity (32 hex chars), or "" on nil.
@@ -242,7 +254,10 @@ type WireTrace struct {
 	Err     bool               `json:"error,omitempty"`
 	Slow    bool               `json:"slow,omitempty"`
 	Stages  map[string]float64 `json:"stage_seconds,omitempty"`
-	Root    *WireSpan          `json:"root"`
+	// Cost is the request's resource vector when cost accounting ran —
+	// the slow-query log's "what did this query actually move" column.
+	Cost *Cost     `json:"cost,omitempty"`
+	Root *WireSpan `json:"root"`
 }
 
 // Wire renders the trace's current span tree in wire form (nil on a nil
@@ -259,6 +274,7 @@ func (tr *Trace) Wire() *WireTrace {
 		Name:    tr.root.name,
 		Dur:     root.Dur,
 		Err:     tr.root.err,
+		Cost:    tr.cost,
 		Root:    root,
 		Stages:  map[string]float64{},
 	}

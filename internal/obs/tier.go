@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -28,6 +30,11 @@ type TierCounters struct {
 	evictions  atomic.Uint64
 
 	skippedClusters atomic.Uint64
+
+	// faultMu guards the per-shard fault attribution map; faults are
+	// rare (I/O errors), so a mutex off the scan path is fine.
+	faultMu     sync.Mutex
+	shardFaults map[string]uint64
 }
 
 // Tier is the process-global tier counter block. Every tier store
@@ -81,8 +88,21 @@ func (t *TierCounters) RecordHotSetChange(promoted, evicted int) {
 }
 
 // RecordSkippedCluster accounts one probed cluster abandoned after an
-// I/O failure under the skip-faulty policy.
-func (t *TierCounters) RecordSkippedCluster() { t.skippedClusters.Add(1) }
+// I/O failure under the skip-faulty policy, attributed to the shard
+// whose store skipped it (empty shard = unattributed single-host
+// deployments).
+func (t *TierCounters) RecordSkippedCluster(shard string) {
+	t.skippedClusters.Add(1)
+	if shard == "" {
+		return
+	}
+	t.faultMu.Lock()
+	if t.shardFaults == nil {
+		t.shardFaults = make(map[string]uint64)
+	}
+	t.shardFaults[shard]++
+	t.faultMu.Unlock()
+}
 
 // TierSnapshot is a point-in-time view of the tier counters with the
 // derived rates alongside.
@@ -108,6 +128,9 @@ type TierSnapshot struct {
 	Promotions      uint64 `json:"promotions"`
 	Evictions       uint64 `json:"evictions"`
 	SkippedClusters uint64 `json:"skipped_clusters"`
+	// SkippedByShard attributes skipped clusters to shard IDs (empty for
+	// single-host deployments that set no shard ID).
+	SkippedByShard map[string]uint64 `json:"skipped_by_shard,omitempty"`
 }
 
 // Snapshot returns the current counters and derived rates.
@@ -134,6 +157,14 @@ func (t *TierCounters) Snapshot() TierSnapshot {
 	if s.PrefetchHits > 0 {
 		s.AvgPrefetchLeadMs = s.PrefetchLeadSeconds / float64(s.PrefetchHits) * 1e3
 	}
+	t.faultMu.Lock()
+	if len(t.shardFaults) > 0 {
+		s.SkippedByShard = make(map[string]uint64, len(t.shardFaults))
+		for sh, n := range t.shardFaults {
+			s.SkippedByShard[sh] = n
+		}
+	}
+	t.faultMu.Unlock()
 	return s
 }
 
@@ -154,4 +185,12 @@ func (t *TierCounters) WriteMetrics(w *PromWriter) {
 	w.Counter("upanns_tier_promotions_total", "Clusters pinned into the hot set by rebalances.", float64(s.Promotions))
 	w.Counter("upanns_tier_evictions_total", "Clusters evicted from the hot set by rebalances.", float64(s.Evictions))
 	w.Counter("upanns_tier_skipped_clusters_total", "Probed clusters abandoned after I/O failures (skip-faulty policy).", float64(s.SkippedClusters))
+	shards := make([]string, 0, len(s.SkippedByShard))
+	for sh := range s.SkippedByShard {
+		shards = append(shards, sh)
+	}
+	sort.Strings(shards)
+	for _, sh := range shards {
+		w.Counter("upanns_tier_shard_faults_total", "Tier I/O faults attributed per shard.", float64(s.SkippedByShard[sh]), "shard", sh)
+	}
 }

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/filter"
 	"repro/internal/obs"
@@ -131,6 +132,15 @@ type HandlerConfig struct {
 	// land in GET /trace/recent. Nil disables tracing; the endpoints
 	// still exist and serve empty payloads.
 	Tracer *obs.Tracer
+	// SLO, when non-nil, records every /search outcome into the burn-rate
+	// tracker served at GET /slo. Client errors (bad request, invalid
+	// filter) do not count against the error budget; shed, timed-out and
+	// backend-failed requests do.
+	SLO *obs.SLOTracker
+	// Costs, when non-nil, serves the per-query heat ring at
+	// GET /debug/costly. Point it at the same tracker as
+	// Config.Costs on the server so the ring actually fills.
+	Costs *obs.CostTracker
 	// Metrics, when non-nil, is called per GET /metrics request to append
 	// deployment-specific series (e.g. mutable.UpdatableIndex.WriteMetrics)
 	// after the process, tracer, kernel and serving families.
@@ -145,7 +155,10 @@ type HandlerConfig struct {
 //	GET  /stats                        -> StatsPayload
 //	GET  /healthz                      -> HealthPayload (200 serving, 503 draining)
 //	GET  /metrics                      -> Prometheus text exposition
+//	GET  /slo                          -> obs.SLOSnapshot (burn rates + alert state)
 //	GET  /trace/recent                 -> obs.RecentPayload (recent + slow/error traces)
+//	GET  /debug/costly                 -> obs.CostlyPayload (per-query heat ring)
+//	GET  /debug/bundle                 -> postmortem tar.gz (flight record, traces, metrics, profiles)
 //	GET  /debug/pprof/...              -> runtime profiles
 //
 // Overload maps to 503 + Retry-After, missed deadlines to 504. Create
@@ -167,22 +180,94 @@ func NewHandler(srv *Server, cfg HandlerConfig) *Handler {
 	h.mux.HandleFunc("POST /delete", func(w http.ResponseWriter, r *http.Request) { h.handleWrite(false, w, r) })
 	h.mux.HandleFunc("GET /stats", h.handleStats)
 	h.mux.HandleFunc("GET /healthz", h.handleHealthz)
-	MountObs(h.mux, cfg.Tracer, h.collectMetrics)
+	MountObs(h.mux, ObsConfig{
+		Tracer:  cfg.Tracer,
+		SLO:     cfg.SLO,
+		Costs:   cfg.Costs,
+		Collect: h.collectMetrics,
+		Bundle:  h.bundleSections,
+	})
 	return h
 }
 
-// MountObs wires the shared observability surface — /metrics,
-// /trace/recent and /debug/pprof — onto mux. The shard handler and the
-// cluster router both use it so operators see the same endpoints on
-// every process. tc may be nil (the trace endpoint serves empty rings).
-func MountObs(mux *http.ServeMux, tc *obs.Tracer, collect func(*obs.PromWriter)) {
-	mux.Handle("GET /metrics", obs.MetricsHandler(collect))
-	mux.Handle("GET /trace/recent", tc.Handler())
+// ObsConfig wires the shared observability surface MountObs mounts. All
+// fields except Collect may be nil: the endpoints still exist and serve
+// empty ("disabled") payloads, so dashboards and scrapers see one URL
+// schema on every process regardless of what the deployment enabled.
+type ObsConfig struct {
+	// Tracer serves GET /trace/recent and the bundle's traces section.
+	Tracer *obs.Tracer
+	// SLO serves GET /slo and the bundle's slo.json section.
+	SLO *obs.SLOTracker
+	// SLOPayload, when non-nil, overrides the /slo (and slo.json) body —
+	// the cluster router uses it to serve the fleet rollup instead of its
+	// own tracker alone.
+	SLOPayload func() any
+	// Costs serves GET /debug/costly and the bundle's costly.json section.
+	Costs *obs.CostTracker
+	// Collect builds the GET /metrics exposition; it also fills the
+	// bundle's metrics.txt section.
+	Collect func(*obs.PromWriter)
+	// Bundle, when non-nil, appends process-specific postmortem sections
+	// (effective config, stats snapshots) to GET /debug/bundle.
+	Bundle func() []obs.BundleSection
+}
+
+// MountObs wires the shared observability surface — /metrics, /slo,
+// /trace/recent, /debug/costly, /debug/bundle and /debug/pprof — onto
+// mux. The shard handler and the cluster router both use it so operators
+// see the same endpoints on every process.
+func MountObs(mux *http.ServeMux, oc ObsConfig) {
+	sloPayload := oc.SLOPayload
+	if sloPayload == nil {
+		sloPayload = func() any { return oc.SLO.Snapshot() }
+	}
+	mux.Handle("GET /metrics", obs.MetricsHandler(oc.Collect))
+	mux.HandleFunc("GET /slo", func(w http.ResponseWriter, r *http.Request) {
+		WriteJSON(w, http.StatusOK, sloPayload())
+	})
+	mux.Handle("GET /trace/recent", oc.Tracer.Handler())
+	mux.Handle("GET /debug/costly", oc.Costs.Handler())
+	mux.Handle("GET /debug/bundle", obs.BundleHandler(func() []obs.BundleSection {
+		// Every pull snapshots current state: the flight record first
+		// (it is why anyone pulls a bundle), then the request-plane views,
+		// then the runtime profiles.
+		s := []obs.BundleSection{
+			obs.JSONSection("flight.json", func() any { return obs.Flight.Events() }),
+			obs.JSONSection("traces.json", func() any {
+				return obs.RecentPayload{Recent: oc.Tracer.Recent(), Slow: oc.Tracer.Slow()}
+			}),
+			{Name: "metrics.txt", Fill: func() ([]byte, error) {
+				w := obs.NewPromWriter()
+				if oc.Collect != nil {
+					oc.Collect(w)
+				}
+				return w.Bytes(), nil
+			}},
+			obs.JSONSection("slo.json", sloPayload),
+			obs.JSONSection("costly.json", func() any { return oc.Costs.Payload() }),
+			obs.ProfileSection("goroutine.txt", "goroutine"),
+			obs.ProfileSection("heap.txt", "heap"),
+		}
+		if oc.Bundle != nil {
+			s = append(s, oc.Bundle()...)
+		}
+		return s
+	}))
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+}
+
+// bundleSections are the shard's own postmortem sections: the effective
+// serving configuration and a full stats snapshot.
+func (h *Handler) bundleSections() []obs.BundleSection {
+	return []obs.BundleSection{
+		obs.JSONSection("config.json", func() any { return h.srv.Config() }),
+		obs.JSONSection("stats.json", func() any { return h.statsPayload() }),
+	}
 }
 
 // collectMetrics builds the shard's /metrics payload: process health,
@@ -198,6 +283,9 @@ func (h *Handler) collectMetrics(w *obs.PromWriter) {
 	if h.cfg.Writer != nil {
 		h.cfg.Writer.Stats().WriteMetrics(w)
 	}
+	h.cfg.SLO.WriteMetrics(w)
+	h.cfg.Costs.WriteMetrics(w)
+	obs.Flight.WriteMetrics(w)
 	if h.cfg.Metrics != nil {
 		h.cfg.Metrics(w)
 	}
@@ -213,7 +301,11 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // readiness signal a cluster router (or load balancer) uses to stop
 // sending traffic before the process exits. It does not cancel in-flight
 // requests and is idempotent.
-func (h *Handler) StartDraining() { h.draining.Store(true) }
+func (h *Handler) StartDraining() {
+	if !h.draining.Swap(true) {
+		obs.Flight.Record("drain", obs.Str("shard", h.cfg.ShardID))
+	}
+}
 
 // Draining reports whether StartDraining has been called.
 func (h *Handler) Draining() bool { return h.draining.Load() }
@@ -275,8 +367,14 @@ func (h *Handler) handleSearch(w http.ResponseWriter, r *http.Request) {
 	incoming := r.Header.Get(obs.TraceparentHeader)
 	tr := h.cfg.Tracer.StartRemote(incoming, "serve.request")
 	ctx := obs.WithTrace(r.Context(), tr)
+	start := time.Now()
 	cands, err := h.srv.SearchOpts(ctx, req.Vector, opts)
 	h.cfg.Tracer.Finish(tr, err)
+	// Client mistakes (bad k, invalid filter) do not burn the error
+	// budget; shed, timed-out and backend-failed requests do.
+	clientErr := errors.Is(err, ErrBadRequest) || errors.Is(err, filter.ErrInvalid) ||
+		errors.Is(err, ErrFilterUnsupported)
+	h.cfg.SLO.Record(err != nil && !clientErr, false, time.Since(start))
 	if h.writeServeError(w, err) {
 		return
 	}
@@ -319,7 +417,7 @@ func (h *Handler) handleWrite(upsert bool, w http.ResponseWriter, r *http.Reques
 	WriteJSON(w, http.StatusOK, map[string]int64{"id": req.ID})
 }
 
-func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
+func (h *Handler) statsPayload() StatsPayload {
 	st := StatsPayload{ShardID: h.cfg.ShardID, Serve: h.srv.Stats()}
 	if h.cfg.Writer != nil {
 		ws := h.cfg.Writer.Stats()
@@ -337,7 +435,11 @@ func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
 		ts := h.cfg.Tracer.Stats()
 		st.Trace = &ts
 	}
-	WriteJSON(w, http.StatusOK, st)
+	return st
+}
+
+func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
+	WriteJSON(w, http.StatusOK, h.statsPayload())
 }
 
 func (h *Handler) handleHealthz(w http.ResponseWriter, r *http.Request) {

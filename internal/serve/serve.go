@@ -42,6 +42,8 @@ package serve
 import (
 	"errors"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Errors returned by Server.Search.
@@ -97,6 +99,13 @@ type Config struct {
 	// cache entry, making the key robust to float jitter while keeping
 	// collisions between genuinely different queries negligible.
 	CacheQuantum float64
+
+	// Costs, when non-nil, receives one cost entry per completed request:
+	// the dispatch's backend cost vector divided across its distinct
+	// queries plus the request's own scheduling times. It feeds the
+	// /debug/costly heat ring. Nil disables cost accounting on untraced
+	// requests (traced requests still carry a cost vector in their trace).
+	Costs *obs.CostTracker
 }
 
 // DefaultConfig returns the serving defaults described on each field.

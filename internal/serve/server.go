@@ -157,6 +157,12 @@ func (s *Server) SearchOpts(ctx context.Context, vec []float32, opts SearchOptio
 			s.ctr.cacheHits.Add(1)
 			s.lat.Observe(time.Since(now).Seconds())
 			tr.AddSpan(nil, "serve.cache", now, time.Since(now), obs.Bool("hit", true))
+			s.cfg.Costs.Observe(obs.CostEntry{
+				TraceID:        tr.ID(),
+				Start:          now,
+				LatencySeconds: time.Since(now).Seconds(),
+				Cost:           obs.Cost{CacheHit: true},
+			})
 			return cands, nil
 		}
 	}
@@ -189,6 +195,11 @@ func (s *Server) SearchOpts(ctx context.Context, vec []float32, opts SearchOptio
 	default:
 		s.mu.RUnlock()
 		s.ctr.shed.Add(1)
+		// One flight entry per second of shedding: the storm's onset is
+		// what explains an incident, not its every request.
+		obs.Flight.RecordEvery(time.Second, "shed",
+			obs.Int("queue_depth", int64(s.cfg.QueueDepth)),
+			obs.Int("shed_total", int64(s.ctr.shed.Load())))
 		tr.AddSpan(nil, "serve.admit", admitStart, time.Since(admitStart),
 			obs.Str("outcome", "shed"))
 		return nil, ErrOverloaded
@@ -324,7 +335,7 @@ func (s *Server) runBatch(b Backend, bt batch[*request], ds *dispatchScratch) {
 		groups[gi] = append(groups[gi], r)
 	}
 	for _, g := range groups {
-		s.dispatchGroup(b, g, ds)
+		s.dispatchGroup(b, g, ds, bt.opened)
 	}
 	for i := range groups {
 		groups[i] = nil // release request pointers held by the scratch
@@ -334,8 +345,9 @@ func (s *Server) runBatch(b Backend, bt batch[*request], ds *dispatchScratch) {
 
 // dispatchGroup coalesces duplicate queries within one (k, filter)
 // group, dispatches one backend batch of distinct rows, and fans results
-// back out.
-func (s *Server) dispatchGroup(b Backend, group []*request, ds *dispatchScratch) {
+// back out. opened is when the batch opened; the gap from each request's
+// submit to it is that request's queue cost.
+func (s *Server) dispatchGroup(b Backend, group []*request, ds *dispatchScratch, opened time.Time) {
 	// Coalesce: under Zipf-skewed traffic the same hot query often appears
 	// several times in one micro-batch; one backend row answers them all.
 	// Batch-size-1 dispatch can never do this — it is part of why batched
@@ -374,6 +386,15 @@ func (s *Server) dispatchGroup(b Backend, group []*request, ds *dispatchScratch)
 			break
 		}
 	}
+	// One cost vector per dispatch, shared like the stage log: the index
+	// layers accumulate bytes into it, and after the dispatch it is
+	// divided across the distinct queries. Allocated only when someone
+	// will read it (the heat ring or a traced request), so the bare path
+	// stays allocation-free.
+	var cost *obs.Cost
+	if s.cfg.Costs != nil || sl != nil {
+		cost = &obs.Cost{}
+	}
 	// Record the cache generation before dispatching: results computed
 	// before an invalidating write must not repopulate the cache after it.
 	var cacheGen uint64
@@ -381,7 +402,7 @@ func (s *Server) dispatchGroup(b Backend, group []*request, ds *dispatchScratch)
 		cacheGen = s.cache.generation()
 	}
 	dispStart := time.Now()
-	res, err := b.Search(m, mutable.SearchOpts{K: k, Pred: pred, Mode: filter.ModeAuto, Stages: sl})
+	res, err := b.Search(m, mutable.SearchOpts{K: k, Pred: pred, Mode: filter.ModeAuto, Stages: sl, Cost: cost})
 	// Spans must land before replies unblock waiters: the handler
 	// finalizes the trace as soon as its reply arrives.
 	dispDur := time.Since(dispStart)
@@ -409,6 +430,25 @@ func (s *Server) dispatchGroup(b Backend, group []*request, ds *dispatchScratch)
 	}
 	s.ctr.batches.Add(1)
 	s.ctr.batchedQ.Add(uint64(len(distinct)))
+	if cost != nil {
+		share := cost.Share(len(distinct))
+		done := time.Now()
+		for i, r := range group {
+			c := share
+			if wait := opened.Sub(r.submit); wait > 0 {
+				c.QueueSeconds = wait.Seconds()
+			}
+			c.DispatchSeconds = dispDur.Seconds()
+			c.Coalesced = distinct[assign[i]] != r
+			r.tr.SetCost(c)
+			s.cfg.Costs.Observe(obs.CostEntry{
+				TraceID:        r.tr.ID(),
+				Start:          r.submit,
+				LatencySeconds: done.Sub(r.submit).Seconds(),
+				Cost:           c,
+			})
+		}
+	}
 	if s.cache != nil {
 		for i, r := range distinct {
 			s.cache.putAt(r.key, res[i], cacheGen)

@@ -47,6 +47,10 @@ type SearchStats struct {
 	HotClusters     int
 	ColdClusters    int
 	SkippedClusters int
+	// ColdBytes is the bytes this search streamed from the cold tier
+	// (id blocks + PQ codes) — the per-query cost accounting's
+	// attribution of device traffic to the query that caused it.
+	ColdBytes int
 }
 
 // scratch is the tiered analogue of ivfpq.Scratch, plus the chunk
@@ -213,11 +217,12 @@ func (t *Index) searchWith(query []float32, o ivfpq.SearchOpts, s *scratch) ([]t
 				if err != nil {
 					if t.store.cfg.SkipFaulty {
 						st.SkippedClusters++
-						t.store.recordSkipped()
+						t.store.recordSkipped(cl, err)
 						break
 					}
 					return nil, st, fmt.Errorf("tier: cluster %d: %w", cl, err)
 				}
+				st.ColdBytes += bn*8 + bn*m
 				bids = s.chunkIDs[:bn]
 				bcodes = s.chunkCodes[:bn*m]
 			}

@@ -2,6 +2,8 @@ package tier
 
 import (
 	"errors"
+	"log"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,6 +14,11 @@ import (
 
 // Config tunes a Store.
 type Config struct {
+	// ShardID names the shard this store serves, for fault attribution:
+	// it labels tier fault log lines, the upanns_tier_shard_faults_total
+	// series, and flight-recorder events. Empty on single-host
+	// deployments.
+	ShardID string
 	// HotBytes is the byte budget for the pinned hot set, the
 	// WRAM-analogue tier. Zero pins nothing.
 	HotBytes int64
@@ -290,10 +297,28 @@ func (s *Store) readCluster(c int32) (*slab, error) {
 	return sl, nil
 }
 
-// recordSkipped accounts one cluster abandoned after an I/O failure.
-func (s *Store) recordSkipped() {
+// faultLogEvery rate-limits tier fault log lines: a dying device fails
+// every read, and one line per failure would bury the log that explains
+// the incident.
+const faultLogEvery = time.Second
+
+// recordSkipped accounts cluster c abandoned after I/O failure err,
+// attributing it to this store's shard in the process counters, the
+// flight recorder, and a rate-limited log line.
+func (s *Store) recordSkipped(c int32, err error) {
 	s.skipped.Add(1)
-	obs.Tier.RecordSkippedCluster()
+	obs.Tier.RecordSkippedCluster(s.cfg.ShardID)
+	attrs := []obs.Attr{obs.Int("cluster", int64(c))}
+	if s.cfg.ShardID != "" {
+		attrs = append(attrs, obs.Str("shard", s.cfg.ShardID))
+	}
+	if err != nil {
+		attrs = append(attrs, obs.Str("err", err.Error()))
+	}
+	if obs.Flight.RecordEvery(faultLogEvery, "tier_fault", attrs...) {
+		log.Printf("tier: shard %q skipped cluster %d after I/O failure: %v (total skipped: %d)",
+			s.cfg.ShardID, c, err, s.skipped.Load())
+	}
 }
 
 // Rebalance re-derives the hot set: rank non-resident clusters by
@@ -349,6 +374,13 @@ func (s *Store) Rebalance() {
 		s.evictions.Add(uint64(evicted))
 	}
 	obs.Tier.RecordHotSetChange(promoted, evicted)
+	if promoted > 0 || evicted > 0 {
+		obs.Flight.Record("tier_rebalance",
+			obs.Str("shard", s.cfg.ShardID),
+			obs.Str("promoted", strconv.Itoa(promoted)),
+			obs.Str("evicted", strconv.Itoa(evicted)),
+			obs.Int("hot_bytes", s.hotBytes.Load()))
+	}
 }
 
 func (s *Store) rebalanceLoop() {

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Cross-check /metrics series against the OPERATIONS.md reference.
+
+Code side: every `upanns_*` series name registered through a PromWriter
+call (Counter/Gauge/Summary) in non-test Go source. Docs side: every
+`upanns_*` token in OPERATIONS.md outside fenced code blocks. The check
+fails in both directions — a series the docs never mention, or a doc
+token no code registers — so the metrics reference cannot rot as series
+are added or renamed. The CI docs job runs this alongside the link
+checker.
+
+Doc tokens ending in `_` (e.g. `upanns_router_*` written as a family
+wildcard) are prose shorthand, not series names, and are ignored.
+"""
+
+import re
+import subprocess
+import sys
+
+REGISTER = re.compile(r'(?:Counter|Gauge|Summary)\(\s*"(upanns_[a-z0-9_]+)"')
+DOC_TOKEN = re.compile(r"upanns_[a-z0-9_]+")
+DOCS = "OPERATIONS.md"
+
+
+def go_sources():
+    out = subprocess.run(
+        ["git", "ls-files", "--cached", "--others", "--exclude-standard",
+         "*.go", "**/*.go"],
+        capture_output=True, text=True, check=True,
+    ).stdout
+    return sorted(
+        f for f in set(filter(None, out.splitlines()))
+        if not f.endswith("_test.go")
+    )
+
+
+def code_metrics():
+    names = set()
+    for path in go_sources():
+        with open(path, encoding="utf-8") as fh:
+            names.update(REGISTER.findall(fh.read()))
+    return names
+
+
+def doc_metrics():
+    names = set()
+    with open(DOCS, encoding="utf-8") as fh:
+        in_fence = False
+        for line in fh:
+            # Fenced blocks hold shell recipes (grep patterns, partial
+            # names) — only prose and tables document series.
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for tok in DOC_TOKEN.findall(line):
+                if not tok.endswith("_"):
+                    names.add(tok)
+    return names
+
+
+def main():
+    code = code_metrics()
+    docs = doc_metrics()
+    if not code:
+        print("no upanns_ metrics found in Go sources?", file=sys.stderr)
+        return 1
+    errors = []
+    for name in sorted(code - docs):
+        errors.append(f"registered in code but absent from {DOCS}: {name}")
+    for name in sorted(docs - code):
+        errors.append(f"documented in {DOCS} but registered nowhere: {name}")
+    if errors:
+        print("metrics reference out of sync:", file=sys.stderr)
+        for e in errors:
+            print("  " + e, file=sys.stderr)
+        return 1
+    print(f"metrics reference OK ({len(code)} series cross-checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
