@@ -23,7 +23,10 @@
 // (upanns_router_*, per-shard labeled series, tracer and process
 // counters), GET /slo the fleet burn-rate rollup (the router's own
 // availability/latency/integrity objectives plus every reachable
-// shard's snapshot, with a worst-of verdict), GET /trace/recent the
+// shard's snapshot, with a worst-of verdict), GET /quality the fleet
+// quality rollup (every reachable shard's shadow-oracle recall
+// estimates and drift state, with a worst-of verdict; shards sample
+// when started with -quality-sample), GET /trace/recent the
 // recent and slow/error fanout traces, GET /debug/bundle a postmortem
 // tar.gz (flight record with breaker/health transitions, traces,
 // metrics, aggregated stats, profiles), and GET /debug/pprof/ the

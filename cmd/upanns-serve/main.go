@@ -40,7 +40,8 @@
 //	GET  /stats                                -> shard id + serving/write/index/filter counters (JSON)
 //	GET  /healthz                              -> 200 while serving; 503 while draining
 //	GET  /metrics                              -> Prometheus text exposition (process, tracer, kernel, serving families)
-//	GET  /slo                                  -> burn-rate snapshot of the availability/latency objectives (see -slo-*)
+//	GET  /slo                                  -> burn-rate snapshot of the availability/latency/quality objectives (see -slo-*)
+//	GET  /quality                              -> shadow-oracle recall estimates + drift state (see -quality-sample)
 //	GET  /trace/recent                         -> recent + slow/error span trees (see -trace-sample, -trace-slow)
 //	GET  /debug/costly                         -> per-query cost heat ring (most expensive queries by bytes moved)
 //	GET  /debug/bundle                         -> postmortem tar.gz: flight record, traces, metrics, SLO, profiles
@@ -131,6 +132,10 @@ func main() {
 		sloLatThr  = flag.Duration("slo-latency-threshold", 50*time.Millisecond, "latency SLI boundary for the latency objective")
 		costTopK   = flag.Int("cost-top", 32, "per-query cost heat-ring size served at GET /debug/costly (0 disables cost accounting)")
 
+		qualitySample = flag.Int("quality-sample", 0, "shadow-oracle sampling: re-execute every Nth answered query exactly and serve recall estimates at GET /quality (0 disables; single-host mode)")
+		qualityRecall = flag.Float64("quality-recall-target", 0.9, "per-sample recall@k below which a shadow comparison burns quality SLO budget")
+		qualityDrift  = flag.Float64("quality-drift-threshold", 0.5, "KL-divergence excess over the rolling baseline at which the drift detector pages")
+
 		writeBatch    = flag.Int("write-batch", 64, "write micro-batch size cap")
 		writeLinger   = flag.Duration("write-linger", time.Millisecond, "max wait to fill a write batch")
 		compactEvery  = flag.Duration("compact-interval", 25*time.Millisecond, "compaction pressure poll period (0 disables the background compactor)")
@@ -206,6 +211,34 @@ func main() {
 		}
 	}
 
+	var slo *obs.SLOTracker
+	if *sloAvail > 0 {
+		scfg := obs.SLOConfig{
+			Name:               *shardID,
+			AvailabilityTarget: *sloAvail,
+			LatencyTarget:      *sloLatency,
+			LatencyThreshold:   *sloLatThr,
+		}
+		if *qualitySample > 0 {
+			// The quality objective: at least 90% of shadow-checked samples
+			// must meet -quality-recall-target while drift is quiet.
+			scfg.QualityTarget = 0.9
+		}
+		slo = obs.NewSLOTracker(scfg)
+	}
+	var quality *obs.Quality
+	if *qualitySample > 0 {
+		if updatable == nil {
+			fail(fmt.Errorf("-quality-sample requires single-host mode (-hosts 1); the shadow oracle lives in the mutable deployment"))
+		}
+		quality = obs.NewQuality(obs.QualityConfig{
+			ShardID:        *shardID,
+			SampleEvery:    *qualitySample,
+			RecallTarget:   *qualityRecall,
+			DriftThreshold: *qualityDrift,
+		}, updatable.QualityOracle(), updatable.ClusterOccupancy, slo)
+	}
+
 	srv, err := serve.NewServer(serve.Config{
 		K:              *k,
 		MaxK:           *maxK,
@@ -215,6 +248,7 @@ func main() {
 		DefaultTimeout: *timeout,
 		CacheSize:      *cache,
 		Costs:          costs,
+		Quality:        quality,
 	}, backend)
 	if err != nil {
 		fail(err)
@@ -232,19 +266,11 @@ func main() {
 		}, updatable)
 	}
 
-	hcfg := serve.HandlerConfig{ShardID: *shardID, Writer: writer, Costs: costs}
+	hcfg := serve.HandlerConfig{ShardID: *shardID, Writer: writer, Costs: costs, SLO: slo, Quality: quality}
 	if *traceSample > 0 {
 		hcfg.Tracer = obs.NewTracer(obs.TracerConfig{
 			SampleEvery:   *traceSample,
 			SlowThreshold: *traceSlow,
-		})
-	}
-	if *sloAvail > 0 {
-		hcfg.SLO = obs.NewSLOTracker(obs.SLOConfig{
-			Name:               *shardID,
-			AvailabilityTarget: *sloAvail,
-			LatencyTarget:      *sloLatency,
-			LatencyThreshold:   *sloLatThr,
 		})
 	}
 	if updatable != nil {
@@ -311,6 +337,9 @@ func main() {
 	if writer != nil {
 		writer.Close()
 	}
+	// The quality plane closes before the index: its shadow worker
+	// executes against the deployment it samples.
+	quality.Close()
 	if updatable != nil {
 		updatable.Close()
 		log.Printf("final index state: epoch %d, %d compactions, %d pending log entries",

@@ -63,14 +63,20 @@
 //   - observability: internal/obs — request tracing (span trees,
 //     traceparent propagation router->shard, tail-based slow/error
 //     retention behind GET /trace/recent), hand-rolled Prometheus text
-//     exposition on GET /metrics, process health stats, and kernel-level
+//     exposition on GET /metrics, process health stats, kernel-level
 //     bandwidth accounting (achieved ADC scan GB/s against the archmodel
-//     roofline); nil-safe throughout, so every layer instruments
-//     unconditionally and a disabled tracer costs a nil check;
+//     roofline), the SLO burn-rate engine and per-query cost accounting,
+//     and the search-quality plane: shadow-oracle re-execution of a
+//     sampled query fraction against the exact full-width scan of the
+//     same epoch snapshot, streaming recall@k with Wilson intervals
+//     sliced by selectivity/nprobe/tenant, and a KL drift detector, all
+//     served on GET /quality with a worst-of fleet rollup at the router;
+//     nil-safe throughout, so every layer instruments unconditionally
+//     and a disabled tracer costs a nil check;
 //
 //   - harness: internal/bench regenerates every table and figure of the
 //     paper's evaluation plus the serving, updates, cluster, filtered,
-//     and tiered sweeps, each with self-checking machine-readable
+//     tiered, and quality sweeps, each with self-checking machine-readable
 //     artifacts; the root-level benchmarks in bench_test.go expose one
 //     testing.B target per artifact.
 //

@@ -3,7 +3,7 @@
 // the shards by the same stable ID hash the router routes writes with;
 // each shard is a full mutable UpANNS deployment (own trained index, own
 // simulated PIM system) behind the real shard HTTP surface on a loopback
-// listener. Three phases demonstrate the cluster mechanics end to end:
+// listener. Six phases demonstrate the cluster mechanics end to end:
 //
 //  1. recall parity — queries fanned out to 3 shards and merged in the
 //     float domain answer within 1% of a single-host deployment of the
@@ -29,7 +29,14 @@
 //     the prober re-admits it (a shard_rejoin flight event after the
 //     shard_lost), the /debug/bundle postmortem artifact unpacks with
 //     the whole story inside, and a shard's /debug/costly heat ring
-//     attributes the drill's per-query bytes.
+//     attributes the drill's per-query bytes;
+//
+//  6. quality plane — every shard shadow-samples answered queries
+//     against its exact oracle; through a second kill drill the fleet
+//     /quality rollup drops the dead shard while the survivors' recall
+//     estimates hold (the client-visible recall dip is lost capacity,
+//     not a quality regression — the OPERATIONS.md triage distinction),
+//     and on rejoin the dip clears and the rollup regains the shard.
 //
 // The demo exits non-zero if any acceptance shape breaks, so CI runs it
 // as a smoke test:
@@ -97,6 +104,9 @@ func main() {
 	fleet, err := cluster.StartLocalShards(ds.Vectors, cluster.LocalOptions{
 		Shards: *shards, NList: *nlist, NProbe: *nprobe, K: *k, DPUs: *dpus, Seed: *seed,
 		Trace: true, Obs: true,
+		// One in 8 answered queries is re-run against the exact oracle;
+		// phase 6 reads the resulting /quality rollup through a kill drill.
+		QualitySample: 8,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -298,6 +308,102 @@ func main() {
 	}
 	fmt.Printf("  shard s0 /debug/costly: %d queries, %.1f MB moved, hottest query %.1f KB\n",
 		costly.Queries, float64(costly.TotalBytes)/1e6, float64(costly.Top[0].TotalBytes)/1e3)
+
+	// ---- Phase 6: quality plane — shadow-oracle /quality through a kill drill ----
+	fmt.Println("\nphase 6: quality plane — shadow-oracle recall estimates through a second kill drill")
+	drainShadows := func() {
+		for _, s := range fleet {
+			if !s.Quality.Drain(30 * time.Second) {
+				log.Fatalf("phase 6: shard %s shadow queue did not drain", s.ID)
+			}
+		}
+	}
+	fleetQuality := func() cluster.FleetQuality {
+		var fq cluster.FleetQuality
+		fetchJSON(front.URL+"/quality", &fq)
+		return fq
+	}
+
+	// Healthy fleet: every shard samples, estimates within their CIs.
+	preQ, errs := cleanSearchAll(router, qs)
+	if errs > 0 {
+		log.Fatalf("phase 6: %d pre-drill queries failed", errs)
+	}
+	recallQPre := dataset.Recall(preQ, truth)
+	drainShadows()
+	fq := fleetQuality()
+	var sampled uint64
+	minEst := 1.0
+	for _, snap := range fq.Shards {
+		sampled += snap.Sampled
+		if snap.Recall.Estimate < minEst {
+			minEst = snap.Recall.Estimate
+		}
+	}
+	fmt.Printf("  fleet /quality: state %q, %d/%d shards sampling, %d shadow checks, min shard recall est %.4f\n",
+		fq.State, len(fq.Shards), *shards, sampled, minEst)
+	if len(fq.Shards) != *shards || fq.State == "disabled" || sampled == 0 {
+		log.Fatal("phase 6: quality rollup missing shards or samples on a healthy fleet")
+	}
+
+	// Kill one shard again: routed recall dips, but the survivors' own
+	// shadow-measured recall holds — /quality tells the on-call the dip
+	// is lost capacity, not a per-shard quality regression.
+	victim.Kill()
+	deadline = time.Now().Add(10 * time.Second)
+	for router.HealthyShards() == router.NumShards() {
+		if time.Now().After(deadline) {
+			log.Fatalf("phase 6: prober did not notice shard %s dying", victim.ID)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	during, errs := searchAll(router, qs)
+	if errs > 0 {
+		log.Fatalf("phase 6: %d queries failed during the drill", errs)
+	}
+	recallDuring := dataset.Recall(during, truth)
+	drainShadows()
+	fqDuring := fleetQuality()
+	fmt.Printf("  during drill: routed recall %.4f -> %.4f, /quality rollup %d/%d shards\n",
+		recallQPre, recallDuring, len(fqDuring.Shards), *shards)
+	if len(fqDuring.Shards) != *shards-1 {
+		log.Fatalf("phase 6: dead shard still in (or survivor missing from) the quality rollup: %d shards", len(fqDuring.Shards))
+	}
+	for idx, snap := range fqDuring.Shards {
+		if snap.Recall.Estimate < 0.5 {
+			log.Fatalf("phase 6: surviving shard %s recall estimate collapsed to %.4f", idx, snap.Recall.Estimate)
+		}
+	}
+	if recallDuring >= recallQPre {
+		fmt.Println("  (note: degraded recall did not dip — tiny corpus, lucky partition)")
+	}
+
+	// Rejoin: the dip clears and the rollup regains the shard.
+	if err := victim.Restart(); err != nil {
+		log.Fatalf("phase 6: restarting shard %s: %v", victim.ID, err)
+	}
+	deadline = time.Now().Add(10 * time.Second)
+	for router.HealthyShards() < router.NumShards() {
+		if time.Now().After(deadline) {
+			log.Fatalf("phase 6: shard %s not re-admitted within 10s", victim.ID)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	postQ, errs := cleanSearchAll(router, qs)
+	if errs > 0 {
+		log.Fatalf("phase 6: %d post-rejoin queries failed", errs)
+	}
+	recallQPost := dataset.Recall(postQ, truth)
+	drainShadows()
+	fqPost := fleetQuality()
+	fmt.Printf("  after rejoin: routed recall %.4f (dip cleared), /quality rollup %d/%d shards\n",
+		recallQPost, len(fqPost.Shards), *shards)
+	if len(fqPost.Shards) != *shards {
+		log.Fatalf("phase 6: rejoined shard absent from the quality rollup (%d shards)", len(fqPost.Shards))
+	}
+	if recallQPost < recallQPre-0.02 {
+		log.Fatalf("phase 6: recall dip did not clear on rejoin (%.4f before, %.4f after)", recallQPre, recallQPost)
+	}
 
 	st := router.Stats()
 	fmt.Printf("\nrouter stats: %d searches (%d degraded), %d stale drops, %d writes\n",

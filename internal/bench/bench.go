@@ -281,6 +281,7 @@ func All() []Experiment {
 		{"cluster", "Distributed sharded serving: recall parity and shard-loss behavior", (*Context).Cluster},
 		{"filtered", "Filtered search: recall and tail latency vs selectivity", (*Context).Filtered},
 		{"tiered", "Out-of-core tiered serving: exactness, tail and hit rate at 4x budget pressure", (*Context).Tiered},
+		{"quality", "Search-quality plane: shadow-estimator accuracy and sampling overhead", (*Context).Quality},
 	}
 }
 

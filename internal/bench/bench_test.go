@@ -18,8 +18,8 @@ func tinyOptions() Options {
 
 func TestExperimentRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 23 {
-		t.Fatalf("registry holds %d experiments, want 23", len(all))
+	if len(all) != 24 {
+		t.Fatalf("registry holds %d experiments, want 24", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -37,7 +37,7 @@ func TestExperimentRegistry(t *testing.T) {
 	if _, ok := Find("nonsense"); ok {
 		t.Fatal("Find(nonsense) succeeded")
 	}
-	if len(IDs()) != 23 {
+	if len(IDs()) != 24 {
 		t.Fatal("IDs() count mismatch")
 	}
 }

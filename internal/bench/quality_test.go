@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestQualityExperiment asserts the quality plane's acceptance shape at
+// tiny scale: the shadow-oracle estimator, head-sampling one query in
+// four, must bracket the true recall measured by exact offline
+// re-execution of the full stream, and the plane must actually sample.
+// The wall-clock overhead pair is only meaningful in uninstrumented
+// builds (bench-smoke checks it), so under the race detector the
+// latency-budget violations are dropped here.
+func TestQualityExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive in -short mode")
+	}
+	ctx := NewContext(tinyOptions())
+	art, err := ctx.QualityRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	acc := art.Accuracy
+	if acc == nil || art.Overhead == nil {
+		t.Fatalf("incomplete artifact: %+v", art)
+	}
+	if want := int64(acc.Queries / acc.SampleEvery); acc.Samples != want {
+		t.Errorf("estimator sampled %d of %d queries, want %d (1-in-%d)",
+			acc.Samples, acc.Queries, want, acc.SampleEvery)
+	}
+	if acc.TrueRecall <= 0.2 {
+		t.Fatalf("true recall %.4f implausibly low; harness misconfigured", acc.TrueRecall)
+	}
+	if acc.CILow >= acc.CIHigh || acc.Estimate < acc.CILow || acc.Estimate > acc.CIHigh {
+		t.Errorf("malformed estimator interval: %+v", acc)
+	}
+	if art.Overhead.Shadowed == 0 {
+		t.Error("overhead on-side never shadow-executed")
+	}
+
+	violations := art.Violations()
+	if raceEnabled {
+		kept := violations[:0]
+		for _, v := range violations {
+			if !strings.Contains(v, "budget") {
+				kept = append(kept, v)
+			}
+		}
+		violations = kept
+	}
+	if len(violations) != 0 {
+		t.Fatalf("acceptance violations:\n  %s", strings.Join(violations, "\n  "))
+	}
+}

@@ -306,6 +306,28 @@ func (s *shard) fetchSLO(ctx context.Context) (*obs.SLOSnapshot, error) {
 	return &snap, nil
 }
 
+// fetchQuality pulls one shard's GET /quality shadow-oracle snapshot for
+// the router's fleet quality rollup.
+func (s *shard) fetchQuality(ctx context.Context) (*obs.QualitySnapshot, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.url+"/quality", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := s.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, &shardError{Status: resp.StatusCode, Msg: readErrorBody(resp.Body)}
+	}
+	var snap obs.QualitySnapshot
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&snap); err != nil {
+		return nil, err
+	}
+	return &snap, nil
+}
+
 func (s *shard) fetchStats(ctx context.Context) (json.RawMessage, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.url+"/stats", nil)
 	if err != nil {

@@ -20,6 +20,7 @@ import (
 //	POST /upsert  {"id": N, "vector": [...]}  -> {"id": N}   (routed to the owning shard)
 //	POST /delete  {"id": N}                   -> {"id": N}   (routed to the owning shard)
 //	GET  /stats                               -> AggregatedStats (router + per-shard payloads)
+//	GET  /quality                             -> FleetQuality (worst-of shadow-oracle rollup)
 //	GET  /healthz                             -> 200 while serving and >= 1 shard healthy; 503 otherwise
 //
 // Degraded fanouts still answer 200 — shard loss shows up in recall and
@@ -47,6 +48,11 @@ func NewHandler(r *Router) *Handler {
 		// every reachable shard's, and the worst-of verdict.
 		SLOPayload: func() any {
 			return r.FleetSLO(context.Background(), h.statsTimeout)
+		},
+		// Likewise /quality: the fleet-wide worst-of quality rollup over
+		// every shard's shadow-oracle snapshot.
+		QualityPayload: func() any {
+			return r.FleetQuality(context.Background(), h.statsTimeout)
 		},
 		Collect: h.collectMetrics,
 		Bundle:  h.bundleSections,

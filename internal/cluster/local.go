@@ -63,6 +63,18 @@ type LocalOptions struct {
 	// set (0 = the obs default, 5m). Kill drills use sub-second windows
 	// so budget burn becomes visible within a test run.
 	SLOFastWindow time.Duration
+	// QualitySample, when > 0, wires the shadow-oracle quality plane
+	// into each shard: 1 in QualitySample answered queries is re-run
+	// against the exact oracle and folded into GET /quality's recall
+	// estimators and drift detector. Requires Obs (the quality SLO
+	// objective feeds the shard's burn-rate tracker). 0 disables.
+	QualitySample int
+	// QualityRecallTarget is the per-sample recall threshold below which
+	// a shadow sample burns quality SLO budget (0 = the obs default).
+	QualityRecallTarget float64
+	// QualityDriftThreshold overrides the drift detector's KL-excess
+	// paging threshold (0 = the obs default).
+	QualityDriftThreshold float64
 }
 
 func (o LocalOptions) withDefaults(dim int) LocalOptions {
@@ -116,6 +128,9 @@ type LocalShard struct {
 	// LocalOptions.Obs was set).
 	SLO   *obs.SLOTracker
 	Costs *obs.CostTracker
+	// Quality is the shard's shadow-oracle quality plane (nil unless
+	// LocalOptions.QualitySample was set).
+	Quality *obs.Quality
 
 	addr   string
 	hs     *http.Server
@@ -159,11 +174,13 @@ func (s *LocalShard) Restart() error {
 }
 
 // Close shuts the shard down: HTTP first, then the serving layers in
-// dependency order. Safe after Kill and idempotent.
+// dependency order (the quality plane before the index — its shadow
+// worker executes against the index). Safe after Kill and idempotent.
 func (s *LocalShard) Close() {
 	s.Kill()
 	s.Writer.Close()
 	s.Server.Close()
+	s.Quality.Close()
 	s.Index.Close()
 }
 
@@ -224,15 +241,31 @@ func StartLocalShards(base *vecmath.Matrix, o LocalOptions) ([]*LocalShard, erro
 		id := fmt.Sprintf("s%d", sh)
 		var slo *obs.SLOTracker
 		var costs *obs.CostTracker
-		if o.Obs {
-			slo = obs.NewSLOTracker(obs.SLOConfig{Name: id, FastWindow: o.SLOFastWindow})
+		if o.Obs || o.QualitySample > 0 {
+			scfg := obs.SLOConfig{Name: id, FastWindow: o.SLOFastWindow}
+			if o.QualitySample > 0 {
+				// The quality objective: at least 90% of shadow-checked
+				// samples must meet the recall target while drift is quiet.
+				scfg.QualityTarget = 0.9
+			}
+			slo = obs.NewSLOTracker(scfg)
 			costs = obs.NewCostTracker(0)
+		}
+		var quality *obs.Quality
+		if o.QualitySample > 0 {
+			quality = obs.NewQuality(obs.QualityConfig{
+				ShardID:        id,
+				SampleEvery:    o.QualitySample,
+				RecallTarget:   o.QualityRecallTarget,
+				DriftThreshold: o.QualityDriftThreshold,
+			}, u.QualityOracle(), u.ClusterOccupancy, slo)
 		}
 		srv, err := serve.NewServer(serve.Config{
 			K: o.K, MaxK: o.MaxK, CacheSize: o.CacheSize, DefaultTimeout: o.RequestTimeout,
-			Costs: costs,
+			Costs: costs, Quality: quality,
 		}, u)
 		if err != nil {
+			quality.Close()
 			u.Close()
 			return fail(fmt.Errorf("cluster: shard %d server: %w", sh, err))
 		}
@@ -247,6 +280,7 @@ func StartLocalShards(base *vecmath.Matrix, o LocalOptions) ([]*LocalShard, erro
 			Metrics:    u.WriteMetrics,
 			SLO:        slo,
 			Costs:      costs,
+			Quality:    quality,
 		}
 		if o.Trace {
 			hcfg.Tracer = obs.NewTracer(obs.TracerConfig{})
@@ -260,6 +294,7 @@ func StartLocalShards(base *vecmath.Matrix, o LocalOptions) ([]*LocalShard, erro
 		if err != nil {
 			writer.Close()
 			srv.Close()
+			quality.Close()
 			u.Close()
 			return fail(fmt.Errorf("cluster: shard %d listen: %w", sh, err))
 		}
@@ -276,6 +311,7 @@ func StartLocalShards(base *vecmath.Matrix, o LocalOptions) ([]*LocalShard, erro
 			Handler:  handler,
 			SLO:      slo,
 			Costs:    costs,
+			Quality:  quality,
 			addr:     ln.Addr().String(),
 			hs:       hs,
 		})

@@ -151,6 +151,25 @@ type AggregatedStats struct {
 	// counters (pre/post decisions summed, selectivity histograms added
 	// bucket-wise); nil when no live shard indexes attributes.
 	Filter *filter.StatsSnapshot `json:"filter,omitempty"`
+	// Quality summarizes each reporting shard's shadow-oracle quality
+	// snapshot (sampled count, recall estimate, CI half-width); nil when
+	// no live shard samples quality.
+	Quality []ShardQualityStat `json:"quality,omitempty"`
+}
+
+// ShardQualityStat is one shard's quality summary inside the router's
+// aggregated /stats view: enough to see per-shard estimated recall and
+// how tight the estimate is without pulling each shard's full /quality.
+type ShardQualityStat struct {
+	ShardID string `json:"shard_id,omitempty"`
+	State   string `json:"state"`
+	// Sampled counts queries head-sampled into the shadow plane.
+	Sampled uint64 `json:"sampled"`
+	// Recall is the overall streaming recall@k estimate.
+	Recall float64 `json:"recall_estimate"`
+	// CIHalfWidth is half the Wilson interval around Recall — the
+	// estimate's current precision.
+	CIHalfWidth float64 `json:"ci_half_width"`
 }
 
 // AggregatedStats snapshots the router and fetches every shard's /stats
@@ -177,7 +196,35 @@ func (r *Router) AggregatedStats(ctx context.Context, timeout time.Duration) Agg
 	}
 	wg.Wait()
 	agg.Filter = mergeShardFilterStats(agg.Shards)
+	agg.Quality = summarizeShardQuality(agg.Shards)
 	return agg
+}
+
+// summarizeShardQuality decodes the "quality" section of each shard's
+// /stats payload into the per-shard summary rows; nil when none carried
+// one.
+func summarizeShardQuality(raws []json.RawMessage) []ShardQualityStat {
+	var out []ShardQualityStat
+	for _, raw := range raws {
+		if raw == nil {
+			continue
+		}
+		var payload struct {
+			Quality *obs.QualitySnapshot `json:"quality"`
+		}
+		if json.Unmarshal(raw, &payload) != nil || payload.Quality == nil {
+			continue
+		}
+		q := payload.Quality
+		out = append(out, ShardQualityStat{
+			ShardID:     q.ShardID,
+			State:       q.State,
+			Sampled:     q.Sampled,
+			Recall:      q.Recall.Estimate,
+			CIHalfWidth: (q.Recall.CIHigh - q.Recall.CILow) / 2,
+		})
+	}
+	return out
 }
 
 // mergeShardFilterStats decodes the "filter" section of each shard's

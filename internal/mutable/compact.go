@@ -215,6 +215,7 @@ func (u *UpdatableIndex) Compact(force bool) (bool, error) {
 			eng:   eng,
 			freqs: fc.freqs,
 			baseN: newIx.NTotal,
+			occ:   clusterOccupancy(newIx),
 		}
 	}
 
@@ -282,6 +283,14 @@ func (u *UpdatableIndex) Compact(force bool) (bool, error) {
 		obs.Int("folded", int64(folded)),
 		obs.Int("base_n", next.baseN),
 		obs.Float("seconds", float64(ns)/1e9))
+	// The publication event proper: what the quality plane's timeline
+	// correlates recall dips (and their recovery) against — epoch_swap
+	// above carries the fold economics, this one the published state.
+	obs.Flight.Record("compaction_published",
+		obs.Int("epoch", int64(next.epoch)),
+		obs.Int("base_n", next.baseN),
+		obs.Int("remaining_log", int64(remaining)),
+		obs.Str("trigger", fc.trigger))
 	return true, nil
 }
 

@@ -124,6 +124,7 @@ type snapshot struct {
 	engMu sync.Mutex
 	freqs []float64 // placement frequencies this epoch was deployed with
 	baseN int64
+	occ   []float64 // per-cluster base vector counts (quality drift reference)
 
 	// Tiered-mode state (see tiered.go): the tier executor, the epoch's
 	// image file, and the reference count governing their lifetime. The
@@ -250,8 +251,18 @@ func newIndex(ix *ivfpq.Index, freqs []float64, cfg Config) (*UpdatableIndex, er
 	if err != nil {
 		return nil, fmt.Errorf("mutable: deploying epoch 0: %w", err)
 	}
-	u.snap.Store(&snapshot{ix: ix, eng: eng, freqs: freqs, baseN: ix.NTotal})
+	u.snap.Store(&snapshot{ix: ix, eng: eng, freqs: freqs, baseN: ix.NTotal, occ: clusterOccupancy(ix)})
 	return u, nil
+}
+
+// clusterOccupancy counts base vectors per cluster; tiered deployments
+// must call it before the posting lists are stripped.
+func clusterOccupancy(ix *ivfpq.Index) []float64 {
+	occ := make([]float64, ix.NList())
+	for c := range ix.Lists {
+		occ[c] = float64(ix.Lists[c].Len())
+	}
+	return occ
 }
 
 // startCompactor launches the background compactor if configured.

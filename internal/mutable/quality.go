@@ -1,0 +1,156 @@
+package mutable
+
+import (
+	"fmt"
+
+	"repro/internal/filter"
+	"repro/internal/ivfpq"
+	"repro/internal/obs"
+	"repro/internal/topk"
+	"repro/internal/vecmath"
+)
+
+// quality.go is the shadow-oracle side of the online quality plane: the
+// exact re-execution a sampled live query is compared against. The
+// oracle answers over the same (epoch, overlay) consistent cut a live
+// search sees — tombstone- and version-shadowing-consistent via the
+// overlay read lock, image-lifetime-safe via the epoch refcount — but
+// at full probe width, so the only recall it concedes is quantization
+// itself. It deliberately bypasses every serving-plane surface: no
+// admission, no result cache, no cost vectors, no SLO request windows,
+// and no probe accounting (the drift detector would otherwise measure
+// its own shadow traffic).
+
+// OracleResult is one exact shadow answer plus the slice/drift context
+// the quality estimators key on.
+type OracleResult struct {
+	// Truth is the exact top-k over the same epoch snapshot and overlay
+	// cut, ascending by distance.
+	Truth []topk.Candidate
+	// NProbe is the live path's configured probe width (the operating
+	// point the sampled query was actually served at).
+	NProbe int
+	// Cluster is the query's nearest centroid — the drift detector's
+	// live-assignment signal.
+	Cluster int
+	// Selectivity is the estimated filter selectivity (1 = unfiltered).
+	Selectivity float64
+}
+
+// SearchOracle answers one query exactly: a full-width scan (nprobe =
+// nlist) over the current epoch base merged with a consistent overlay
+// cut, with pred (may be nil) applied as an exact per-id tag check on
+// both sides. It is the ground truth the quality plane estimates live
+// recall against, and is deliberately kept off every accounting path —
+// it never touches the probe counters, cost vectors, or engine.
+func (u *UpdatableIndex) SearchOracle(vec []float32, k int, pred filter.Pred) (OracleResult, error) {
+	res := OracleResult{NProbe: u.cfg.Engine.NProbe, Cluster: -1, Selectivity: 1}
+	if len(vec) != u.dim {
+		return res, fmt.Errorf("mutable: oracle query dim %d != index dim %d", len(vec), u.dim)
+	}
+	if k <= 0 {
+		return res, fmt.Errorf("mutable: oracle k %d must be positive", k)
+	}
+	var allow func(int64) bool
+	if pred != nil {
+		if u.attrs == nil {
+			return res, ErrNoSchema
+		}
+		if err := pred.Validate(u.attrs.Schema()); err != nil {
+			return res, err
+		}
+		// The exact per-id tag check (not the bitmap): the oracle pays
+		// whatever it costs — it runs sampled and off the hot path.
+		allow = func(id int64) bool { return u.attrs.Matches(pred, id) }
+	}
+
+	queries := vecmath.WrapMatrix(vec, 1, u.dim)
+	res.Cluster = int(u.snap.Load().ix.Coarse.Probe(vec, 1)[0])
+
+	// Full overlay coverage: every cluster's live log entries compete,
+	// so the oracle can never miss an overlay write a full-width base
+	// scan would have found in its cluster.
+	all := make([]int32, u.nlist)
+	for c := range all {
+		all[c] = int32(c)
+	}
+	probes := [][]int32{all}
+
+	// The consistent cut, exactly as searchFiltered takes it: load and
+	// pin the snapshot under the overlay read lock (publication holds
+	// the write lock, so the pair is consistent and the pin outlives a
+	// racing retire), copy the shadowing maps, scan the overlay.
+	u.mu.RLock()
+	snap := u.snap.Load()
+	snap.pin()
+	defer snap.unpin()
+	if pred != nil {
+		res.Selectivity = u.attrs.EstimateTotal(pred, int(snap.baseN))
+	}
+	view := overlayView{
+		tombs:  make(map[int64]uint64, len(u.tombs)),
+		latest: make(map[int64]entryRef, len(u.latest)),
+	}
+	for id, s := range u.tombs {
+		view.tombs[id] = s
+	}
+	for id, r := range u.latest {
+		view.latest[id] = r
+	}
+	view.cands = u.scanOverlay(snap, queries, probes, k, allow, nil)
+	u.mu.RUnlock()
+
+	// Full-width base scan on whichever executor the snapshot carries
+	// (host kernels, or the tier store for an out-of-core epoch — whose
+	// in-RAM lists are stripped, so ivfpq.SearchReference cannot run
+	// there). Quantized distances keep oracle and live arithmetic
+	// identical: the oracle measures the search's recall, not the
+	// quantizer's.
+	cands, _, err := snap.searchBase(vec, ivfpq.SearchOpts{
+		NProbe: u.nlist, K: k, Allow: allow, Quantized: true,
+	}, nil)
+	if err != nil {
+		return res, err
+	}
+	out := mergeResults(&view, [][]topk.Candidate{cands}, k)
+	res.Truth = out[0]
+	return res, nil
+}
+
+// ClusterOccupancy returns the current epoch's per-cluster base vector
+// counts — the drift detector's reference distribution. The slice is
+// immutable (computed at epoch deploy time); callers must not modify it.
+func (u *UpdatableIndex) ClusterOccupancy() []float64 {
+	return u.snap.Load().occ
+}
+
+// QualityOracle adapts the index into the quality plane's oracle
+// callback: the opaque predicate is the filter.Pred the serving layer
+// sampled, and the truth comes from SearchOracle over the same epoch
+// refcounts live searches use.
+func (u *UpdatableIndex) QualityOracle() obs.QualityOracle {
+	return func(s obs.QualitySample) (obs.QualityTruth, error) {
+		var pred filter.Pred
+		if s.Pred != nil {
+			p, ok := s.Pred.(filter.Pred)
+			if !ok {
+				return obs.QualityTruth{}, fmt.Errorf("mutable: quality sample predicate has type %T", s.Pred)
+			}
+			pred = p
+		}
+		r, err := u.SearchOracle(s.Vector, s.K, pred)
+		if err != nil {
+			return obs.QualityTruth{}, err
+		}
+		t := obs.QualityTruth{
+			Truth:       make([]int64, len(r.Truth)),
+			NProbe:      r.NProbe,
+			Cluster:     r.Cluster,
+			Selectivity: r.Selectivity,
+		}
+		for i, c := range r.Truth {
+			t.Truth[i] = c.ID
+		}
+		return t, nil
+	}
+}

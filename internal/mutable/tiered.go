@@ -93,6 +93,7 @@ func deployTiered(ix *ivfpq.Index, freqs []float64, epoch uint64, tc *TierConfig
 		return fail(fmt.Errorf("mutable: reopening epoch %d image: %w", epoch, err))
 	}
 	baseN := ix.NTotal
+	occ := clusterOccupancy(ix)
 	// The image is the base payload now; dropping the lists is what makes
 	// the deployment out-of-core. Shared quantizers are untouched.
 	ix.Lists = make([]ivfpq.List, ix.NList())
@@ -110,6 +111,7 @@ func deployTiered(ix *ivfpq.Index, freqs []float64, epoch uint64, tc *TierConfig
 		tix:     tix,
 		freqs:   freqs,
 		baseN:   baseN,
+		occ:     occ,
 		img:     f,
 		imgPath: f.Name(),
 	}

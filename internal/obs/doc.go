@@ -8,7 +8,7 @@
 // point-in-time error spikes, with a postmortem that survives restarts of
 // nothing.
 //
-// Seven pieces cooperate:
+// Eight pieces cooperate:
 //
 //   - Traces (span.go, tracer.go): a request carries a *Trace through its
 //     context; every layer it crosses attaches named spans (router fanout,
@@ -66,6 +66,22 @@
 //     traces, a metrics scrape, SLO and cost payloads, stats, and
 //     runtime profiles into one gzipped tar served on GET /debug/bundle;
 //     a section that fails to collect degrades to an error note.
+//
+//   - Search-quality plane (quality.go): a Quality head-samples one
+//     answered query in N (one atomic on the hot path) and a single
+//     background worker re-executes each sample against the exact
+//     oracle — a full-width, tombstone- and filter-consistent scan of
+//     the same epoch snapshot — turning answer/oracle overlap into
+//     streaming recall@k estimates with Wilson 95% intervals, overall
+//     and sliced by selectivity bucket, nprobe, and tenant. A KL drift
+//     detector compares live query->centroid assignments against index
+//     occupancy with a rolling baseline frozen during excursions, and
+//     pages with hysteresis; recall shortfall and drift feed a
+//     dedicated quality SLO objective with its own denominator. Shadow
+//     work is invisible to serve counters, admission, caching, and
+//     cost. Snapshots serve GET /quality and export as
+//     upanns_quality_* series; the router rolls healthy shards into a
+//     worst-of fleet verdict.
 //
 // Everything is nil-safe: a nil *Tracer starts nil *Traces, every
 // method on a nil Trace, Span, StageLog, Cost, CostTracker or

@@ -73,6 +73,12 @@ type SLOConfig struct {
 	// sets it so a kill drill — which by design produces zero client
 	// errors — still burns a visible budget while a shard is missing.
 	IntegrityTarget float64
+	// QualityTarget, when > 0, enables a quality objective over the
+	// shadow-oracle samples recorded through RecordQuality: the fraction
+	// of sampled queries whose estimated recall (or drift verdict) must
+	// be good. Quality samples keep their own denominator — shadow
+	// executions never count toward the availability or latency windows.
+	QualityTarget float64
 
 	// FastWindow and SlowWindow are the two burn evaluation windows
 	// (defaults 5m and 1h). FastWindow also fixes the bucket width at
@@ -128,6 +134,8 @@ type sloBucket struct {
 	errs     int64 // failed (availability-bad)
 	slow     int64 // answered but over LatencyThreshold
 	degraded int64 // answered below full fidelity
+	qTotal   int64 // shadow-oracle quality samples (own denominator)
+	qBad     int64 // quality samples judged bad (low recall / drift)
 }
 
 func (b *sloBucket) add(o sloBucket) {
@@ -135,6 +143,8 @@ func (b *sloBucket) add(o sloBucket) {
 	b.errs += o.errs
 	b.slow += o.slow
 	b.degraded += o.degraded
+	b.qTotal += o.qTotal
+	b.qBad += o.qBad
 }
 
 // SLOTracker evaluates one component's objectives over a bucketed
@@ -221,6 +231,27 @@ func (t *SLOTracker) Record(errored, degraded bool, latency time.Duration) {
 	t.mu.Unlock()
 }
 
+// RecordQuality classifies one shadow-oracle comparison against the
+// quality objective. Quality samples carry their own denominator in the
+// window buckets: a shadow execution is not a served request, so it must
+// not dilute the availability or latency burn rates it sits next to.
+func (t *SLOTracker) RecordQuality(bad bool) {
+	if t == nil {
+		return
+	}
+	now := t.cfg.Now()
+	t.mu.Lock()
+	t.rotate(now)
+	b := &t.buckets[t.head]
+	b.qTotal++
+	t.cum.qTotal++
+	if bad {
+		b.qBad++
+		t.cum.qBad++
+	}
+	t.mu.Unlock()
+}
+
 // window sums the n most recent buckets (head inclusive). Caller holds
 // mu.
 func (t *SLOTracker) window(n int) sloBucket {
@@ -264,6 +295,8 @@ type SLOSnapshot struct {
 	Errors            int64          `json:"errors"`
 	Slow              int64          `json:"slow"`
 	Degraded          int64          `json:"degraded"`
+	QualitySamples    int64          `json:"quality_samples,omitempty"`
+	QualityBad        int64          `json:"quality_bad,omitempty"`
 	Objectives        []SLOObjective `json:"objectives"`
 }
 
@@ -326,6 +359,8 @@ func (t *SLOTracker) Snapshot() SLOSnapshot {
 		Errors:            cum.errs,
 		Slow:              cum.slow,
 		Degraded:          cum.degraded,
+		QualitySamples:    cum.qTotal,
+		QualityBad:        cum.qBad,
 	}
 	snap.Objectives = append(snap.Objectives,
 		evalObjective("availability", t.cfg.AvailabilityTarget,
@@ -339,6 +374,11 @@ func (t *SLOTracker) Snapshot() SLOSnapshot {
 		snap.Objectives = append(snap.Objectives,
 			evalObjective("integrity", t.cfg.IntegrityTarget,
 				fast.degraded, fast.total, slow.degraded, slow.total, t.cfg.PageBurn, t.cfg.WarnBurn))
+	}
+	if t.cfg.QualityTarget > 0 {
+		snap.Objectives = append(snap.Objectives,
+			evalObjective("quality", t.cfg.QualityTarget,
+				fast.qBad, fast.qTotal, slow.qBad, slow.qTotal, t.cfg.PageBurn, t.cfg.WarnBurn))
 	}
 	for _, o := range snap.Objectives {
 		snap.State = WorseSLOState(snap.State, o.State)
@@ -362,6 +402,7 @@ func (t *SLOTracker) WriteMetrics(w *PromWriter) {
 	w.Counter("upanns_slo_bad_total", "Budget-burning requests per objective.", float64(snap.Errors), "objective", "availability")
 	w.Counter("upanns_slo_bad_total", "Budget-burning requests per objective.", float64(snap.Slow), "objective", "latency")
 	w.Counter("upanns_slo_bad_total", "Budget-burning requests per objective.", float64(snap.Degraded), "objective", "integrity")
+	w.Counter("upanns_slo_bad_total", "Budget-burning requests per objective.", float64(snap.QualityBad), "objective", "quality")
 }
 
 // Handler serves the tracker's snapshot as the /slo JSON endpoint.

@@ -31,6 +31,9 @@ type SearchRequest struct {
 	Vector []float32 `json:"vector"`
 	K      int       `json:"k,omitempty"`
 	Filter string    `json:"filter,omitempty"`
+	// Tenant is an optional tenant tag; it does not shape execution but
+	// slices the quality plane's recall estimates.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // SearchResponse is the POST /search reply: parallel id/distance slices,
@@ -101,6 +104,11 @@ type StatsPayload struct {
 	// the opaque Index payload — so a cluster router can decode and sum
 	// it across shards.
 	Filter *filter.StatsSnapshot `json:"filter,omitempty"`
+	// Quality carries the shadow-oracle quality plane's snapshot
+	// (recall estimate with CI, slices, drift state) when quality
+	// sampling is enabled. Typed, like Filter, so a cluster router can
+	// decode it per shard for its aggregated view.
+	Quality *obs.QualitySnapshot `json:"quality,omitempty"`
 }
 
 // HealthPayload is the GET /healthz response body. The status code is the
@@ -141,6 +149,11 @@ type HandlerConfig struct {
 	// GET /debug/costly. Point it at the same tracker as
 	// Config.Costs on the server so the ring actually fills.
 	Costs *obs.CostTracker
+	// Quality, when non-nil, serves the shadow-oracle quality plane at
+	// GET /quality and folds its snapshot into /stats and /metrics.
+	// Point it at the same plane as Config.Quality on the server so the
+	// estimators actually fill.
+	Quality *obs.Quality
 	// Metrics, when non-nil, is called per GET /metrics request to append
 	// deployment-specific series (e.g. mutable.UpdatableIndex.WriteMetrics)
 	// after the process, tracer, kernel and serving families.
@@ -156,6 +169,7 @@ type HandlerConfig struct {
 //	GET  /healthz                      -> HealthPayload (200 serving, 503 draining)
 //	GET  /metrics                      -> Prometheus text exposition
 //	GET  /slo                          -> obs.SLOSnapshot (burn rates + alert state)
+//	GET  /quality                      -> obs.QualitySnapshot (shadow-oracle recall + drift)
 //	GET  /trace/recent                 -> obs.RecentPayload (recent + slow/error traces)
 //	GET  /debug/costly                 -> obs.CostlyPayload (per-query heat ring)
 //	GET  /debug/bundle                 -> postmortem tar.gz (flight record, traces, metrics, profiles)
@@ -184,6 +198,7 @@ func NewHandler(srv *Server, cfg HandlerConfig) *Handler {
 		Tracer:  cfg.Tracer,
 		SLO:     cfg.SLO,
 		Costs:   cfg.Costs,
+		Quality: cfg.Quality,
 		Collect: h.collectMetrics,
 		Bundle:  h.bundleSections,
 	})
@@ -205,6 +220,12 @@ type ObsConfig struct {
 	SLOPayload func() any
 	// Costs serves GET /debug/costly and the bundle's costly.json section.
 	Costs *obs.CostTracker
+	// Quality serves GET /quality and the bundle's quality.json section.
+	Quality *obs.Quality
+	// QualityPayload, when non-nil, overrides the /quality (and
+	// quality.json) body — the cluster router uses it to serve the
+	// fleet-wide worst-of rollup instead of a single shard's snapshot.
+	QualityPayload func() any
 	// Collect builds the GET /metrics exposition; it also fills the
 	// bundle's metrics.txt section.
 	Collect func(*obs.PromWriter)
@@ -222,9 +243,16 @@ func MountObs(mux *http.ServeMux, oc ObsConfig) {
 	if sloPayload == nil {
 		sloPayload = func() any { return oc.SLO.Snapshot() }
 	}
+	qualityPayload := oc.QualityPayload
+	if qualityPayload == nil {
+		qualityPayload = func() any { return oc.Quality.Snapshot() }
+	}
 	mux.Handle("GET /metrics", obs.MetricsHandler(oc.Collect))
 	mux.HandleFunc("GET /slo", func(w http.ResponseWriter, r *http.Request) {
 		WriteJSON(w, http.StatusOK, sloPayload())
+	})
+	mux.HandleFunc("GET /quality", func(w http.ResponseWriter, r *http.Request) {
+		WriteJSON(w, http.StatusOK, qualityPayload())
 	})
 	mux.Handle("GET /trace/recent", oc.Tracer.Handler())
 	mux.Handle("GET /debug/costly", oc.Costs.Handler())
@@ -245,6 +273,7 @@ func MountObs(mux *http.ServeMux, oc ObsConfig) {
 				return w.Bytes(), nil
 			}},
 			obs.JSONSection("slo.json", sloPayload),
+			obs.JSONSection("quality.json", qualityPayload),
 			obs.JSONSection("costly.json", func() any { return oc.Costs.Payload() }),
 			obs.ProfileSection("goroutine.txt", "goroutine"),
 			obs.ProfileSection("heap.txt", "heap"),
@@ -285,6 +314,7 @@ func (h *Handler) collectMetrics(w *obs.PromWriter) {
 	}
 	h.cfg.SLO.WriteMetrics(w)
 	h.cfg.Costs.WriteMetrics(w)
+	h.cfg.Quality.WriteMetrics(w)
 	obs.Flight.WriteMetrics(w)
 	if h.cfg.Metrics != nil {
 		h.cfg.Metrics(w)
@@ -354,6 +384,7 @@ func (h *Handler) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	var opts SearchOptions
 	opts.K = req.K
+	opts.Tenant = req.Tenant
 	if req.Filter != "" {
 		pred, err := filter.Parse(req.Filter)
 		if err != nil {
@@ -434,6 +465,10 @@ func (h *Handler) statsPayload() StatsPayload {
 	if h.cfg.Tracer != nil {
 		ts := h.cfg.Tracer.Stats()
 		st.Trace = &ts
+	}
+	if h.cfg.Quality != nil {
+		qs := h.cfg.Quality.Snapshot()
+		st.Quality = &qs
 	}
 	return st
 }

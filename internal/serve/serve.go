@@ -106,6 +106,14 @@ type Config struct {
 	// /debug/costly heat ring. Nil disables cost accounting on untraced
 	// requests (traced requests still carry a cost vector in their trace).
 	Costs *obs.CostTracker
+
+	// Quality, when non-nil, head-samples successfully answered queries
+	// into the shadow-oracle quality plane: the sampled (vector, k,
+	// filter, result) is re-executed asynchronously against the exact
+	// oracle and folded into streaming recall estimators. The shadow
+	// path never re-enters the server, so sampling cannot inflate the
+	// admission, cache, cost, or SLO surfaces.
+	Quality *obs.Quality
 }
 
 // DefaultConfig returns the serving defaults described on each field.

@@ -107,6 +107,10 @@ type SearchOptions struct {
 	// predicate (nil = unfiltered). A backend that cannot answer filtered
 	// batches fails the request with ErrFilterUnsupported.
 	Filter filter.Pred
+	// Tenant is an optional tenant tag. It does not shape execution; it
+	// rides into the quality plane so recall estimates can be sliced per
+	// tenant.
+	Tenant string
 }
 
 // Search answers one query with the k nearest neighbors (k = Config.K).
@@ -163,6 +167,9 @@ func (s *Server) SearchOpts(ctx context.Context, vec []float32, opts SearchOptio
 				LatencySeconds: time.Since(now).Seconds(),
 				Cost:           obs.Cost{CacheHit: true},
 			})
+			// Cache hits are sampled too: a stale cached answer is exactly
+			// the kind of silent recall loss the shadow oracle exists to see.
+			s.sampleQuality(vec, k, opts, filterID, cands)
 			return cands, nil
 		}
 	}
@@ -220,6 +227,7 @@ func (s *Server) SearchOpts(ctx context.Context, vec []float32, opts SearchOptio
 		// outcome counters partition the requests.
 		s.ctr.completed.Add(1)
 		s.lat.Observe(time.Since(now).Seconds())
+		s.sampleQuality(r.vec, k, opts, filterID, rep.cands)
 		return rep.cands, nil
 	case <-ctx.Done():
 		s.ctr.expired.Add(1)
@@ -228,6 +236,29 @@ func (s *Server) SearchOpts(ctx context.Context, vec []float32, opts SearchOptio
 		s.ctr.expired.Add(1)
 		return nil, ErrDeadline
 	}
+}
+
+// sampleQuality offers one successfully answered query to the quality
+// plane's head sampler. Unselected queries cost a single atomic add;
+// selected ones pay one vector/id-set copy inside Submit and are
+// shadow-executed asynchronously, never back through this server.
+func (s *Server) sampleQuality(vec []float32, k int, opts SearchOptions, filterID string, cands []topk.Candidate) {
+	q := s.cfg.Quality
+	if q == nil || !q.ShouldSample() {
+		return
+	}
+	ids := make([]int64, len(cands))
+	for i, c := range cands {
+		ids[i] = c.ID
+	}
+	var pred any
+	if opts.Filter != nil {
+		pred = opts.Filter
+	}
+	q.Submit(obs.QualitySample{
+		Vector: vec, K: k, FilterID: filterID, Pred: pred,
+		Tenant: opts.Tenant, Live: ids,
+	})
 }
 
 // Close stops admission, flushes every queued request through the
